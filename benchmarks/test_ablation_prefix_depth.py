@@ -1,0 +1,85 @@
+"""Ablation — vp-prefix cutoff depth (section V-A.2).
+
+The paper sets the threshold to half the tree's depth "to strike a balance
+between timely calculation of hash values and achieving a balanced
+distribution of data over the cluster".  This ablation sweeps the depth and
+reports (a) hashing work per block, (b) group-level load spread, and (c)
+query fan-out — exposing the trade-off the default resolves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.workloads import FamilySpec, generate_family_database
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.seq.mutate import mutate_to_identity
+
+DEPTHS = (2, 4, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    db = generate_family_database(
+        FamilySpec(families=20, members_per_family=4, length=150), rng=31
+    )
+    rows = []
+    for depth in DEPTHS:
+        mendel = Mendel.build(
+            db,
+            MendelConfig(
+                group_count=6, group_size=2, prefix_depth=depth,
+                sample_size=512, seed=5,
+            ),
+        )
+        group_shares = {}
+        for node_id, count in mendel.stats.per_node_blocks.items():
+            group = node_id.split(".")[0]
+            group_shares[group] = group_shares.get(group, 0) + count
+        shares = np.array(sorted(group_shares.values())) / mendel.block_count
+        probe = mutate_to_identity(db.records[8], 0.85, rng=7, seq_id="p")
+        report = mendel.query(probe, QueryParams(k=8, n=4, i=0.7))
+        rows.append(
+            {
+                "prefix_depth": depth,
+                "hash_evals_per_block": mendel.stats.hash_evals / mendel.block_count,
+                "group_share_max": float(shares[-1]),
+                "groups_contacted": report.stats.groups_contacted,
+                "found_target": int(
+                    bool(report.alignments)
+                    and report.alignments[0].subject_id == db.records[8].seq_id
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_prefix_depth_table(benchmark, sweep):
+    benchmark.pedantic(lambda: None, rounds=1)
+    print()
+    print(format_table(sweep, title="Ablation: vp-prefix cutoff depth"))
+
+
+def test_deeper_threshold_costs_more_hashing(sweep, check):
+    def body():
+        evals = [row["hash_evals_per_block"] for row in sweep]
+        assert evals == sorted(evals)
+        assert evals[-1] > evals[0]
+
+    check(body)
+
+
+def test_all_depths_preserve_recall(sweep, check):
+    def body():
+        assert all(row["found_target"] == 1 for row in sweep)
+
+    check(body)
+
+
+def test_too_shallow_concentrates_load(sweep, check):
+    def body():
+        # With depth 2 there are at most 4 frontier regions for 6 groups, so
+        # the biggest group's share must exceed the deepest setting's.
+        assert sweep[0]["group_share_max"] >= sweep[-1]["group_share_max"]
+
+    check(body)

@@ -1,0 +1,78 @@
+"""Ablation — replication factor (fault-tolerance extension).
+
+Replication multiplies storage and per-node search work in exchange for
+failure survival.  This ablation measures both sides of the trade: storage
+copies, query turnaround, and recall under one failure per group, for
+replication factors 1 and 2.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.workloads import FamilySpec, generate_family_database
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.seq.mutate import mutate_to_identity
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    db = generate_family_database(
+        FamilySpec(families=12, members_per_family=3, length=150), rng=91
+    )
+    probes = [
+        mutate_to_identity(db.records[i], 0.9, rng=i, seq_id=f"p{i}")
+        for i in (2, 9, 17)
+    ]
+    targets = [db.records[i].seq_id for i in (2, 9, 17)]
+    params = QueryParams(k=8, n=4, i=0.8)
+    rows = []
+    for replication in (1, 2):
+        mendel = Mendel.build(
+            db,
+            MendelConfig(group_count=3, group_size=3, replication=replication,
+                         sample_size=256, seed=51),
+        )
+        stored = sum(mendel.stats.per_node_blocks.values())
+        healthy = [mendel.query(p, params).stats.turnaround for p in probes]
+        for group in mendel.index.topology.groups:
+            group.nodes[0].fail()
+        recall = sum(
+            1
+            for probe, target in zip(probes, targets)
+            if (best := mendel.query(probe, params).best()) is not None
+            and best.subject_id == target
+        ) / len(probes)
+        rows.append(
+            {
+                "replication": replication,
+                "stored_copies_x": stored / mendel.block_count,
+                "turnaround_ms": 1e3 * sum(healthy) / len(healthy),
+                "recall_after_failures_pct": 100.0 * recall,
+            }
+        )
+    return rows
+
+
+def test_ablation_replication_table(benchmark, sweep):
+    benchmark.pedantic(lambda: None, rounds=1)
+    print()
+    print(format_table(sweep, title="Ablation: replication factor"))
+
+
+def test_storage_cost_scales(sweep, check):
+    def body():
+        assert sweep[0]["stored_copies_x"] == pytest.approx(1.0)
+        assert sweep[1]["stored_copies_x"] == pytest.approx(2.0)
+
+    check(body)
+
+
+def test_replication_buys_failure_recall(sweep, check):
+    def body():
+        assert sweep[1]["recall_after_failures_pct"] == 100.0
+        assert (
+            sweep[1]["recall_after_failures_pct"]
+            >= sweep[0]["recall_after_failures_pct"]
+        )
+
+    check(body)

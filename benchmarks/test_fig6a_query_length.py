@@ -1,0 +1,59 @@
+"""Fig. 6a — average turnaround vs query length (Mendel vs BLAST).
+
+Paper claims: the length of an alignment query has little effect on Mendel's
+turnaround, while BLAST's grows with length; Mendel is faster throughout.
+Shape assertions: Mendel wins at every length, and its absolute slope
+(ms per residue) is a small fraction of BLAST's.
+"""
+
+import pytest
+
+from repro.bench.figures import run_fig6a_query_length
+from repro.bench.harness import format_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig6a_query_length()
+
+
+def test_fig6a_series(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1)
+    print()
+    print(format_table(result.rows, title="Fig. 6a: turnaround vs query length"))
+    print(f"meta: {result.meta}")
+    assert [r["query_length"] for r in result.rows] == [
+        500, 1000, 1500, 2000, 2500, 3000,
+    ]
+
+
+def test_mendel_wins_at_every_length(result, check):
+    def body():
+        for row in result.rows:
+            assert row["mendel_ms"] < row["blast_ms"], row
+
+    check(body)
+
+
+def test_mendel_slope_flat_relative_to_blast(result, check):
+    def body():
+        lengths = result.series("query_length")
+        mendel = result.series("mendel_ms")
+        blast = result.series("blast_ms")
+        mendel_slope = (mendel[-1] - mendel[0]) / (lengths[-1] - lengths[0])
+        blast_slope = (blast[-1] - blast[0]) / (lengths[-1] - lengths[0])
+        # On the same axes as BLAST, Mendel's curve reads as near-flat: its
+        # ms-per-residue slope is under a fifth of BLAST's.
+        assert mendel_slope < 0.2 * blast_slope
+
+    check(body)
+
+
+def test_speed_advantage_factor(result, check):
+    def body():
+        # The paper's plots show Mendel several-fold faster; require >= 3x on
+        # average at this scale.
+        ratios = [r["blast_ms"] / r["mendel_ms"] for r in result.rows]
+        assert sum(ratios) / len(ratios) > 3.0
+
+    check(body)

@@ -1,0 +1,57 @@
+"""Fig. 6b — average turnaround vs database size (1000-residue queries).
+
+Paper claims: Mendel shows "nearly constant average turnaround times" as
+the database grows (DHT/hash-table-like behaviour), while BLAST maintains
+performance only while the database is memory resident and "progress comes
+to a halt when the data volumes grow large".  Shape assertions: Mendel's
+growth ratio is near zero; BLAST degrades super-linearly once past the
+memory capacity; the crossover leaves Mendel far ahead at the largest size.
+"""
+
+import pytest
+
+from repro.bench.figures import run_fig6b_db_size
+from repro.bench.harness import format_table, growth_ratio
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig6b_db_size()
+
+
+def test_fig6b_series(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1)
+    print()
+    print(format_table(result.rows, title="Fig. 6b: turnaround vs database size"))
+    sizes = result.series("db_residues")
+    assert sizes == sorted(sizes)
+
+
+def test_mendel_nearly_constant(result, check):
+    def body():
+        ratio = growth_ratio(result.series("db_residues"), result.series("mendel_ms"))
+        # 1.0 would be linear growth; "nearly constant" means a small fraction.
+        assert ratio < 0.25
+
+    check(body)
+
+
+def test_blast_hits_the_memory_wall(result, check):
+    def body():
+        blast = result.series("blast_ms")
+        sizes = result.series("db_residues")
+        # Once past memory capacity, BLAST degrades super-linearly.
+        ratio = growth_ratio(sizes, blast)
+        assert ratio > 2.0
+        # And the largest database is dramatically slower than the smallest.
+        assert blast[-1] / blast[0] > 20.0
+
+    check(body)
+
+
+def test_mendel_wins_decisively_at_scale(result, check):
+    def body():
+        last = result.rows[-1]
+        assert last["blast_ms"] / last["mendel_ms"] > 50.0
+
+    check(body)

@@ -1,0 +1,43 @@
+"""Fig. 6c — scalability: turnaround vs cluster size.
+
+Paper claims "sufficient scalability with respect to the size of the
+cluster": the same database indexed over more nodes answers the e_coli-style
+query set faster.  Shape assertions: turnaround decreases monotonically with
+node count and the 5 -> 50 node speedup is substantial.
+"""
+
+import pytest
+
+from repro.bench.figures import run_fig6c_scalability
+from repro.bench.harness import format_table, speedup
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig6c_scalability()
+
+
+def test_fig6c_series(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1)
+    print()
+    print(format_table(result.rows, title="Fig. 6c: turnaround vs cluster size"))
+    assert [r["nodes"] for r in result.rows] == [5, 10, 20, 50]
+
+
+def test_monotone_decrease(result, check):
+    def body():
+        times = result.series("mendel_ms")
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    check(body)
+
+
+def test_substantial_speedup(result, check):
+    def body():
+        # The partitioned search space plus added parallelism should deliver at
+        # least ~5x from 5 to 50 nodes (the paper's figure shows a steep drop;
+        # mpiBLAST-style superlinear effects are possible because tier-1 also
+        # shrinks each node's searched fraction).
+        assert speedup(result.series("mendel_ms")) > 5.0
+
+    check(body)

@@ -1,0 +1,97 @@
+"""Micro-kernel benchmarks: real wall-clock timings of the hot paths.
+
+Unlike the figure benchmarks (which reproduce the paper's *modelled*
+cluster curves), these time the actual Python/numpy kernels so performance
+regressions in the library itself are caught: segment-distance batches,
+vp-tree k-NN, BLAST seeding + extension, banded gapped extension, and
+Smith–Waterman.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align.gapped import banded_extend
+from repro.align.smith_waterman import smith_waterman_score
+from repro.align.ungapped import batch_extent
+from repro.blast.engine import BlastEngine
+from repro.seq.alphabet import PROTEIN
+from repro.seq.distance import MatrixDistance, default_distance
+from repro.seq.matrices import BLOSUM62, mendel_distance_matrix
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+from repro.vptree.tree import VPTree
+
+M = BLOSUM62.astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def rng_data():
+    rng = np.random.default_rng(111)
+    return {
+        "points": rng.integers(0, 20, (5000, 8)).astype(np.uint8),
+        "query_window": rng.integers(0, 20, 8).astype(np.uint8),
+        "long_a": rng.integers(0, 20, 400).astype(np.uint8),
+        "long_b": rng.integers(0, 20, 400).astype(np.uint8),
+    }
+
+
+def test_matrix_distance_batch_5k(benchmark, rng_data):
+    dist = MatrixDistance(mendel_distance_matrix(BLOSUM62))
+    result = benchmark(dist.batch, rng_data["query_window"], rng_data["points"])
+    assert result.shape == (5000,)
+
+
+def test_vptree_knn_5k(benchmark, rng_data):
+    tree = VPTree(rng_data["points"], default_distance(PROTEIN),
+                  bucket_capacity=64, rng=1)
+    hits = benchmark(tree.knn, rng_data["query_window"], 8)
+    assert len(hits) == 8
+
+
+def test_vptree_bounded_knn_5k(benchmark, rng_data):
+    tree = VPTree(rng_data["points"], default_distance(PROTEIN),
+                  bucket_capacity=64, rng=1)
+    # Radius 15 = one expensive mismatch: the read-mapping regime.
+    hits = benchmark(tree.knn, rng_data["points"][17], 8, 15.0)
+    assert hits and hits[0][0] == 0.0
+
+
+def test_smith_waterman_400x400(benchmark, rng_data):
+    result = benchmark(
+        smith_waterman_score, rng_data["long_a"], rng_data["long_b"], M
+    )
+    assert result.score >= 0
+
+
+def test_banded_extend_400(benchmark, rng_data):
+    a = rng_data["long_a"]
+    result = benchmark(banded_extend, a, a, M, 200, 200, 8)
+    assert result.query_end - result.query_start == 400
+
+
+def test_batch_extent_1k_seeds(benchmark, rng_data):
+    rng = np.random.default_rng(7)
+    query = rng.integers(0, 20, 1000).astype(np.uint8)
+    subject = rng.integers(0, 20, 20000).astype(np.uint8)
+    q_starts = rng.integers(0, 1000, 1000).astype(np.int64)
+    s_starts = rng.integers(0, 20000, 1000).astype(np.int64)
+    limits = np.minimum(1000 - q_starts, 20000 - s_starts)
+    keeps, gains = benchmark(
+        batch_extent, query, subject, q_starts, s_starts, limits, M, 7.0, 1
+    )
+    assert keeps.shape == (1000,)
+
+
+@pytest.fixture(scope="module")
+def blast_setup():
+    db = random_set(count=50, length=200, alphabet=PROTEIN, rng=113,
+                    id_prefix="mb")
+    engine = BlastEngine(db)
+    probe = mutate_to_identity(db.records[9], 0.85, rng=3, seq_id="probe")
+    return engine, probe, db.records[9].seq_id
+
+
+def test_blast_search_wallclock(benchmark, blast_setup):
+    engine, probe, target = blast_setup
+    report = benchmark(engine.search, probe)
+    assert report.alignments[0].subject_id == target

@@ -1,0 +1,78 @@
+"""Extension benchmark — throughput under concurrent clients.
+
+The paper evaluates single-query turnaround; a storage framework also
+lives under concurrent load.  Using the FIFO node resources of
+``QueryEngine.run_batch``, this benchmark offers 1..8 simultaneous clients
+and reports mean turnaround, makespan, and throughput — the classic
+saturation curve: throughput rises with offered load (idle nodes absorb
+work) while per-query latency degrades as queues form.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.workloads import FamilySpec, generate_family_database, generate_read_queries
+from repro.core import Mendel, MendelConfig, QueryParams
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    db = generate_family_database(
+        FamilySpec(families=20, members_per_family=4, length=200), rng=21
+    )
+    mendel = Mendel.build(db, MendelConfig(group_count=4, group_size=3, seed=77))
+    params = QueryParams(k=8, n=6, i=0.9)
+    queries = generate_read_queries(db, max(CLIENT_COUNTS), 400, rng=22).records
+    rows = []
+    for clients in CLIENT_COUNTS:
+        reports = mendel.engine.run_batch(queries[:clients], params)
+        turnarounds = [r.stats.turnaround for r in reports]
+        makespan = max(turnarounds)  # all arrive at t=0
+        rows.append(
+            {
+                "clients": clients,
+                "mean_turnaround_ms": 1e3 * sum(turnarounds) / clients,
+                "makespan_ms": 1e3 * makespan,
+                "throughput_qps": clients / makespan,
+            }
+        )
+        # Correctness must be identical under load.
+        sequential = [mendel.query(q, params).alignments for q in queries[:clients]]
+        assert [r.alignments for r in reports] == sequential
+    return rows
+
+
+def test_throughput_table(benchmark, sweep):
+    benchmark.pedantic(lambda: None, rounds=1)
+    print()
+    print(format_table(sweep, title="Throughput under concurrent clients"))
+
+
+def test_throughput_rises_with_offered_load(sweep, check):
+    def body():
+        qps = [row["throughput_qps"] for row in sweep]
+        assert all(b > a for a, b in zip(qps, qps[1:]))
+
+    check(body)
+
+
+def test_latency_degrades_under_contention(sweep, check):
+    def body():
+        means = [row["mean_turnaround_ms"] for row in sweep]
+        assert all(b >= a for a, b in zip(means, means[1:]))
+        assert means[-1] > 1.5 * means[0]  # queues actually formed
+
+    check(body)
+
+
+def test_saturation_is_sublinear(sweep, check):
+    def body():
+        # 8x the clients must NOT give 8x the throughput — the cluster has
+        # finite service capacity and the curve bends.
+        first, last = sweep[0], sweep[-1]
+        gain = last["throughput_qps"] / first["throughput_qps"]
+        assert 1.0 < gain < last["clients"] / first["clients"]
+
+    check(body)

@@ -1,0 +1,92 @@
+"""Elastic scaling scenario: grow the cluster, grow the data.
+
+Demonstrates the two scalability stories of the paper:
+
+1. **scale-out** — index the same database over increasingly large
+   simulated clusters and watch query turnaround fall (Fig. 6c);
+2. **data growth** — incrementally insert new reference sequences into a
+   live deployment (the DHT's "commodity hardware can be added
+   incrementally" story applied to data: no full reindex is needed) and
+   confirm that both old and new sequences are searchable.
+"""
+
+from repro import Mendel, MendelConfig, QueryParams
+from repro.bench.harness import format_table
+from repro.bench.workloads import (
+    FamilySpec,
+    generate_family_database,
+    generate_read_queries,
+)
+from repro.seq.mutate import mutate_to_identity
+
+
+def scale_out() -> None:
+    database = generate_family_database(
+        FamilySpec(families=25, members_per_family=4, length=220), rng=61
+    )
+    queries = generate_read_queries(database, 2, 500, rng=62, id_prefix="q")
+    params = QueryParams(k=8, n=6, i=0.7)
+
+    rows = []
+    for group_count, group_size in ((1, 4), (2, 4), (4, 4), (8, 4)):
+        mendel = Mendel.build(
+            database,
+            MendelConfig(group_count=group_count, group_size=group_size, seed=3),
+        )
+        times = [mendel.query(q, params).stats.turnaround for q in queries]
+        rows.append(
+            {
+                "nodes": group_count * group_size,
+                "groups": group_count,
+                "mean_turnaround_ms": 1e3 * sum(times) / len(times),
+            }
+        )
+    print(format_table(rows, title="scale-out: same data, growing cluster"))
+    times = [r["mean_turnaround_ms"] for r in rows]
+    assert times[-1] < times[0], "more nodes should mean faster queries"
+    print(f"speedup 4 -> 32 nodes: {times[0] / times[-1]:.1f}x\n")
+
+
+def data_growth() -> None:
+    initial = generate_family_database(
+        FamilySpec(families=10, members_per_family=3, length=200), rng=71,
+    )
+    mendel = Mendel.build(
+        initial, MendelConfig(group_count=3, group_size=2, seed=9)
+    )
+    print(f"initial deployment: {mendel.block_count} blocks")
+
+    batches = [
+        generate_family_database(
+            FamilySpec(families=5, members_per_family=3, length=200),
+            rng=80 + i,
+            id_prefix=f"batch{i}",
+        )
+        for i in range(3)
+    ]
+    for i, batch in enumerate(batches):
+        mendel.insert(batch)
+        print(f"after inserting batch {i}: {mendel.block_count} blocks")
+
+    # Old and new data must both be live.
+    params = QueryParams(k=4, n=6, i=0.7)
+    old_target = initial.records[4]
+    new_target = batches[2].records[7]
+    old_probe = mutate_to_identity(old_target, 0.9, rng=1, seq_id="old-probe")
+    new_probe = mutate_to_identity(new_target, 0.9, rng=2, seq_id="new-probe")
+    assert (
+        mendel.query(old_probe, params).best().subject_id == old_target.seq_id
+    ), "pre-growth data must remain searchable"
+    assert (
+        mendel.query(new_probe, params).best().subject_id == new_target.seq_id
+    ), "incrementally inserted data must be searchable"
+    print("old and new reference sequences both searchable — OK")
+
+
+def main() -> None:
+    scale_out()
+    data_growth()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Protein homology search: Mendel vs the BLAST baseline, side by side.
+
+The paper's core claim is that Mendel answers homology searches over a
+large protein database faster than BLAST while finding *more* distant
+homologs.  This example builds both engines over the same nr-like family
+database, then searches with probes at graded identities and prints a
+comparison of turnaround and recall.
+"""
+
+from repro import Mendel, MendelConfig, QueryParams
+from repro.bench.harness import format_table
+from repro.bench.workloads import FamilySpec, generate_family_database
+from repro.blast import BlastEngine
+from repro.seq.mutate import mutate_to_identity
+
+
+def main() -> None:
+    database = generate_family_database(
+        FamilySpec(families=30, members_per_family=4, length=220), rng=17
+    )
+    print(f"nr-like database: {len(database)} sequences, "
+          f"{database.total_residues} residues")
+
+    mendel = Mendel.build(
+        database, MendelConfig(group_count=5, group_size=3, seed=29)
+    )
+    blast = BlastEngine(database)
+    print(f"Mendel: {mendel.block_count} blocks over {mendel.node_count} nodes; "
+          f"BLAST: {blast.lookup.total_words} indexed words\n")
+
+    target = database.records[10]
+    rows = []
+    for identity in (0.9, 0.7, 0.5, 0.4, 0.3):
+        probe = mutate_to_identity(
+            target, identity, rng=int(identity * 100), seq_id=f"probe-{identity:.1f}"
+        )
+        # Match the NNS radius to how distant a homolog we are hunting.
+        params = QueryParams(k=4, n=8, i=max(0.3, identity - 0.15), c=0.3)
+        m_report = mendel.query(probe, params)
+        b_report = blast.search(probe)
+        m_found = any(a.subject_id == target.seq_id for a in m_report.alignments)
+        b_found = any(a.subject_id == target.seq_id for a in b_report.alignments)
+        rows.append(
+            {
+                "probe_identity": identity,
+                "mendel_ms": 1e3 * m_report.stats.turnaround,
+                "blast_ms": 1e3 * b_report.turnaround,
+                "mendel_found": "yes" if m_found else "no",
+                "blast_found": "yes" if b_found else "no",
+            }
+        )
+
+    print(format_table(rows, title="homology search: Mendel vs BLAST"))
+
+    found = [r for r in rows if r["mendel_found"] == "yes"]
+    assert rows[0]["mendel_found"] == "yes", "90% homolog must be found"
+    print(f"\nMendel recovered the homolog at identities down to "
+          f"{found[-1]['probe_identity']:.0%}")
+
+    # Show what an actual distant alignment looks like.
+    probe = mutate_to_identity(target, 0.5, rng=50, seq_id="probe-0.5")
+    report = mendel.query(probe, QueryParams(k=4, n=8, i=0.35, c=0.3))
+    print("\nalignments for the 50%-identity probe:")
+    for alignment in report.alignments[:4]:
+        print(" ", alignment.brief())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package, so
+PEP 517/660 editable installs fail with ``invalid command 'bdist_wheel'``.
+Keeping a ``setup.py`` (and no ``[build-system]`` table in pyproject.toml)
+lets ``pip install -e .`` take the legacy ``setup.py develop`` path, which
+works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — a full reproduction of *Mendel: A Distributed Storage Framework
+for Similarity Searching over Sequencing Data* (IPDPS 2016).
+
+Public API highlights:
+
+* :class:`repro.Mendel` — build an index over a reference database on a
+  simulated cluster and run similarity queries.
+* :class:`repro.MendelConfig` / :class:`repro.QueryParams` — deployment and
+  per-query (Table I) parameters.
+* :mod:`repro.seq` — sequence substrate (alphabets, FASTA, matrices,
+  distances, generators).
+* :mod:`repro.vptree` — vantage-point trees (static, dynamic, prefix LSH).
+* :mod:`repro.blast` — the from-scratch BLAST baseline used in the paper's
+  comparisons.
+* :mod:`repro.bench` — workload generators and the per-figure experiment
+  harness.
+"""
+
+from repro.core.framework import Mendel
+from repro.core.params import MendelConfig, QueryParams
+from repro.core.query import QueryReport, QueryStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mendel",
+    "MendelConfig",
+    "QueryParams",
+    "QueryReport",
+    "QueryStats",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Alignment substrate: ungapped X-drop extension, banded gapped extension,
+full Smith–Waterman, and Karlin–Altschul statistics."""
+
+from repro.align.gapped import GappedExtension, banded_extend
+from repro.align.global_align import format_pairwise, needleman_wunsch
+from repro.align.result import Alignment, Anchor
+from repro.align.smith_waterman import (
+    LocalAlignmentResult,
+    smith_waterman,
+    smith_waterman_score,
+)
+from repro.align.stats import (
+    KarlinAltschulParams,
+    karlin_altschul,
+    uniform_background,
+)
+from repro.align.ungapped import UngappedExtension, extend_ungapped
+
+__all__ = [
+    "GappedExtension",
+    "banded_extend",
+    "format_pairwise",
+    "needleman_wunsch",
+    "Alignment",
+    "Anchor",
+    "LocalAlignmentResult",
+    "smith_waterman",
+    "smith_waterman_score",
+    "KarlinAltschulParams",
+    "karlin_altschul",
+    "uniform_background",
+    "UngappedExtension",
+    "extend_ungapped",
+]

@@ -1,0 +1,182 @@
+"""Banded gapped extension (Gapped BLAST style; paper section V-B).
+
+From an anchor's seed point the alignment is extended forward and backward
+with affine-gap dynamic programming restricted to a band of ``bandwidth``
+diagonals either side of the anchor's diagonal — the paper's ``l`` query
+parameter ("the gapped extension considers all anchors from the same
+sequence within l diagonals in either direction").  An X-drop criterion
+terminates each direction once every cell of the current row falls more than
+``x_drop`` below the best score seen.
+
+The DP is banded: each row holds ``2*bandwidth + 1`` cells, the row loop is
+Python but all per-row work is vectorised, so cost is
+``O(extension_length * bandwidth)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.smith_waterman import _scan_max_affine
+from repro.util.validation import check_non_negative, check_positive
+
+_NEG = -1e18  # effectively -inf but safe under arithmetic
+
+
+@dataclass(frozen=True)
+class GappedExtension:
+    """Result of a two-directional banded gapped extension.
+
+    Coordinates are absolute over the full query/subject; ``score`` is the
+    summed DP score of both directions (the seed residue pair is scored in
+    the forward pass).
+    """
+
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+    score: float
+
+
+def _extend_one_direction(
+    query: np.ndarray,
+    subject: np.ndarray,
+    matrix: np.ndarray,
+    bandwidth: int,
+    gap_open: float,
+    gap_extend: float,
+    x_drop: float,
+) -> tuple[int, int, float]:
+    """Banded affine extension of *query* against *subject* starting at
+    their position 0; returns ``(query_consumed, subject_consumed, score)``.
+
+    Unlike local alignment, scores may go negative (extension semantics);
+    the X-drop rule prunes hopeless rows.
+    """
+    n, m = query.shape[0], subject.shape[0]
+    width = 2 * bandwidth + 1
+    best_score = 0.0
+    best_i = best_j = 0
+
+    # Row 0: aligning zero query residues against j subject residues (a pure
+    # gap in the query).  Band position b corresponds to j = b - bandwidth.
+    h_prev = np.full(width, _NEG)
+    f_prev = np.full(width, _NEG)
+    for b in range(width):
+        j = b - bandwidth
+        if j == 0:
+            h_prev[b] = 0.0
+        elif 0 < j <= m:
+            h_prev[b] = -gap_open - gap_extend * (j - 1)
+
+    # Preallocated row buffers — the row loop below does no allocation.
+    offsets = np.arange(width) - bandwidth
+    sub_scores = np.empty(width)
+    diag = np.empty(width)
+    f = np.empty(width)
+    h_no_e = np.empty(width)
+    h = np.empty(width)
+    scan_buf = np.empty(width)
+
+    for i in range(1, n + 1):
+        # Band position b in row i covers subject column j = i + b - bandwidth.
+        j_lo = i - bandwidth  # j at b = 0
+        # Valid subject columns are 1..m (column 0 is the gap border).
+        b_first = max(0, 1 - j_lo)
+        b_last = min(width, m + 1 - j_lo)  # one past the last valid b
+
+        sub_scores[:] = _NEG
+        if b_first < b_last:
+            cols = subject[j_lo + b_first - 1 : j_lo + b_last - 1]
+            sub_scores[b_first:b_last] = matrix[query[i - 1], cols]
+
+        np.add(h_prev, sub_scores, out=diag)  # prev row, same b == (i-1, j-1)
+        # f = max(h_prev[b+1] - open, f_prev[b+1] - extend)
+        np.maximum(h_prev[1:] - gap_open, f_prev[1:] - gap_extend, out=f[:-1])
+        f[-1] = _NEG
+
+        np.maximum(diag, f, out=h_no_e)
+        np.subtract(h_no_e, gap_open, out=h)  # reuse h as scan input
+        scanned = _scan_max_affine(h, gap_extend, out=scan_buf)
+        np.maximum(h_no_e[1:], scanned[:-1], out=h[1:])
+        h[0] = h_no_e[0]
+        if b_first > 0:
+            h[:b_first] = _NEG
+        if b_last < width:
+            h[b_last:] = _NEG
+        # j == 0 with i > 0 means a pure gap in the subject.
+        if 0 <= -j_lo < width:
+            h[-j_lo] = -gap_open - gap_extend * (i - 1)
+
+        b_best = int(np.argmax(h))
+        row_best = float(h[b_best])
+        if row_best > best_score:
+            best_score = row_best
+            best_i, best_j = i, j_lo + b_best
+        if row_best < best_score - x_drop:
+            break
+        # X-drop inside the band: cells far below best cannot recover more
+        # than x_drop, prune them.
+        np.copyto(h, _NEG, where=h < best_score - x_drop)
+        h_prev, h = h, h_prev
+        f_prev, f = f, f_prev
+
+    return best_i, best_j, best_score
+
+
+def banded_extend(
+    query: np.ndarray,
+    subject: np.ndarray,
+    matrix: np.ndarray,
+    seed_query: int,
+    seed_subject: int,
+    bandwidth: int = 8,
+    gap_open: float = 11.0,
+    gap_extend: float = 1.0,
+    x_drop: float = 25.0,
+) -> GappedExtension:
+    """Gapped-extend from the seed pair ``(seed_query, seed_subject)``.
+
+    The forward pass starts *at* the seed pair (scoring it) and the backward
+    pass starts just before it, so the seed is counted exactly once.
+    """
+    check_non_negative("bandwidth", bandwidth)
+    check_positive("gap_open", gap_open)
+    check_positive("gap_extend", gap_extend)
+    check_non_negative("x_drop", x_drop)
+    query = np.asarray(query, dtype=np.uint8)
+    subject = np.asarray(subject, dtype=np.uint8)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if not 0 <= seed_query < query.shape[0]:
+        raise ValueError(f"seed_query {seed_query} out of bounds")
+    if not 0 <= seed_subject < subject.shape[0]:
+        raise ValueError(f"seed_subject {seed_subject} out of bounds")
+
+    fwd_i, fwd_j, fwd_score = _extend_one_direction(
+        query[seed_query:],
+        subject[seed_subject:],
+        matrix,
+        bandwidth,
+        gap_open,
+        gap_extend,
+        x_drop,
+    )
+    bwd_i, bwd_j, bwd_score = _extend_one_direction(
+        query[:seed_query][::-1],
+        subject[:seed_subject][::-1],
+        matrix,
+        bandwidth,
+        gap_open,
+        gap_extend,
+        x_drop,
+    )
+    return GappedExtension(
+        query_start=seed_query - bwd_i,
+        query_end=seed_query + fwd_i,
+        subject_start=seed_subject - bwd_j,
+        subject_end=seed_subject + fwd_j,
+        score=fwd_score + bwd_score,
+    )

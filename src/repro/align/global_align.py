@@ -1,0 +1,181 @@
+"""Global (Needleman–Wunsch) alignment with affine gaps.
+
+Used for whole-sequence comparison (e.g. verifying that two family members
+align end-to-end) and as an independent reference in the test suite.  Same
+Gotoh recurrences as the local aligner but without the zero floor and with
+gap-initialised borders; traceback produces the gapped strings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.smith_waterman import LocalAlignmentResult
+from repro.util.validation import check_positive
+
+_NEG = -1e18
+
+
+def needleman_wunsch(
+    query: np.ndarray,
+    subject: np.ndarray,
+    matrix: np.ndarray,
+    gap_open: float = 11.0,
+    gap_extend: float = 1.0,
+    alphabet_letters: str | None = None,
+) -> LocalAlignmentResult:
+    """Optimal global alignment of *query* against *subject*.
+
+    Returns a :class:`LocalAlignmentResult` whose spans always cover both
+    sequences entirely; ``score`` may be negative for unrelated inputs.
+    """
+    check_positive("gap_open", gap_open)
+    check_positive("gap_extend", gap_extend)
+    query = np.asarray(query, dtype=np.uint8)
+    subject = np.asarray(subject, dtype=np.uint8)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n, m = query.shape[0], subject.shape[0]
+    if n == 0 and m == 0:
+        return LocalAlignmentResult(0.0, 0, 0, 0, 0, identity=0.0)
+
+    h = np.full((n + 1, m + 1), _NEG)
+    e = np.full((n + 1, m + 1), _NEG)
+    f = np.full((n + 1, m + 1), _NEG)
+    h[0, 0] = 0.0
+    for j in range(1, m + 1):
+        e[0, j] = -gap_open - gap_extend * (j - 1)
+        h[0, j] = e[0, j]
+    for i in range(1, n + 1):
+        f[i, 0] = -gap_open - gap_extend * (i - 1)
+        h[i, 0] = f[i, 0]
+
+    for i in range(1, n + 1):
+        sub_scores = matrix[query[i - 1], subject] if m else np.zeros(0)
+        f[i, 1:] = np.maximum(h[i - 1, 1:] - gap_open, f[i - 1, 1:] - gap_extend)
+        for j in range(1, m + 1):
+            e[i, j] = max(h[i, j - 1] - gap_open, e[i, j - 1] - gap_extend)
+            h[i, j] = max(
+                h[i - 1, j - 1] + sub_scores[j - 1], e[i, j], f[i, j]
+            )
+
+    # Traceback from the corner.
+    i, j = n, m
+    q_parts: list[str] = []
+    s_parts: list[str] = []
+    matches = 0
+    columns = 0
+    gaps = 0
+    letters = alphabet_letters
+
+    def q_char(idx: int) -> str:
+        return letters[query[idx]] if letters else "?"
+
+    def s_char(idx: int) -> str:
+        return letters[subject[idx]] if letters else "?"
+
+    state = "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            if i > 0 and j > 0 and np.isclose(
+                h[i, j], h[i - 1, j - 1] + matrix[query[i - 1], subject[j - 1]]
+            ):
+                q_parts.append(q_char(i - 1))
+                s_parts.append(s_char(j - 1))
+                matches += int(query[i - 1] == subject[j - 1])
+                columns += 1
+                i -= 1
+                j -= 1
+            elif j > 0 and np.isclose(h[i, j], e[i, j]):
+                state = "E"
+            elif i > 0 and np.isclose(h[i, j], f[i, j]):
+                state = "F"
+            elif j > 0:  # border row
+                state = "E"
+            else:  # border column
+                state = "F"
+        elif state == "E":
+            q_parts.append("-")
+            s_parts.append(s_char(j - 1))
+            gaps += 1
+            columns += 1
+            if j > 1 and np.isclose(e[i, j], e[i, j - 1] - gap_extend) and not (
+                np.isclose(e[i, j], h[i, j - 1] - gap_open)
+            ):
+                j -= 1
+            else:
+                j -= 1
+                state = "H"
+        else:  # "F"
+            q_parts.append(q_char(i - 1))
+            s_parts.append("-")
+            gaps += 1
+            columns += 1
+            if i > 1 and np.isclose(f[i, j], f[i - 1, j] - gap_extend) and not (
+                np.isclose(f[i, j], h[i - 1, j] - gap_open)
+            ):
+                i -= 1
+            else:
+                i -= 1
+                state = "H"
+
+    identity = matches / columns if columns else 0.0
+    return LocalAlignmentResult(
+        score=float(h[n, m]),
+        query_start=0,
+        query_end=n,
+        subject_start=0,
+        subject_end=m,
+        identity=identity,
+        gaps=gaps,
+        aligned_query="".join(reversed(q_parts)),
+        aligned_subject="".join(reversed(s_parts)),
+    )
+
+
+def format_pairwise(
+    result: LocalAlignmentResult,
+    width: int = 60,
+    query_label: str = "Query",
+    subject_label: str = "Sbjct",
+) -> str:
+    """BLAST-style pairwise rendering of a traceback-bearing alignment::
+
+        Query  1   MKVLAW-FW  8
+                   ||||.| ||
+        Sbjct  4   MKVLGWAFW  12
+    """
+    if not result.aligned_query:
+        return "(no traceback available)"
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    lines: list[str] = []
+    q_pos = result.query_start
+    s_pos = result.subject_start
+    aligned_q = result.aligned_query
+    aligned_s = result.aligned_subject
+    label_width = max(len(query_label), len(subject_label))
+    for start in range(0, len(aligned_q), width):
+        q_chunk = aligned_q[start : start + width]
+        s_chunk = aligned_s[start : start + width]
+        middle = "".join(
+            "|" if a == b and a != "-" else (" " if a == "-" or b == "-" else ".")
+            for a, b in zip(q_chunk, s_chunk)
+        )
+        q_advance = sum(1 for c in q_chunk if c != "-")
+        s_advance = sum(1 for c in s_chunk if c != "-")
+        number_width = len(str(max(result.query_end, result.subject_end)))
+        lines.append(
+            f"{query_label:<{label_width}}  {q_pos + 1:>{number_width}}  "
+            f"{q_chunk}  {q_pos + q_advance}"
+        )
+        lines.append(
+            f"{'':<{label_width}}  {'':>{number_width}}  {middle}"
+        )
+        lines.append(
+            f"{subject_label:<{label_width}}  {s_pos + 1:>{number_width}}  "
+            f"{s_chunk}  {s_pos + s_advance}"
+        )
+        lines.append("")
+        q_pos += q_advance
+        s_pos += s_advance
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,172 @@
+"""Workload generators for the evaluation experiments.
+
+Substitutes for the paper's datasets (see DESIGN.md §4):
+
+* :func:`generate_family_database` — an *nr-like* protein database: gene
+  families of homologous sequences at graded identities.  The family
+  structure is what the sensitivity and turnaround experiments depend on
+  (queries have relatives at known similarity levels), and it also makes the
+  vp-prefix LSH meaningful (real sequence databases are highly clustered).
+* :func:`generate_read_queries` — *s_aureus / e_coli-like* query sets:
+  reads sampled from database sequences with sequencing-error substitutions,
+  concatenated to reach a requested query length.
+* :func:`sensitivity_groups` — the Fig. 6d protocol: one generated target
+  plus groups of mutants at decreasing similarity levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.seq.alphabet import PROTEIN, Alphabet
+from repro.seq.generate import protein_background, random_codes, random_protein
+from repro.seq.mutate import mutate_to_identity, sample_read
+from repro.seq.records import SequenceRecord, SequenceSet
+from repro.util.rng import RandomSource, as_generator
+from repro.util.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Shape of a synthetic nr-like database."""
+
+    families: int = 20
+    members_per_family: int = 5
+    length: int = 250
+    min_identity: float = 0.55
+    max_identity: float = 0.95
+    length_jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive("families", self.families)
+        check_positive("members_per_family", self.members_per_family)
+        check_positive("length", self.length)
+        check_fraction("min_identity", self.min_identity)
+        check_fraction("max_identity", self.max_identity)
+        if self.min_identity > self.max_identity:
+            raise ValueError("min_identity must be <= max_identity")
+        check_fraction("length_jitter", self.length_jitter)
+
+    @property
+    def total_sequences(self) -> int:
+        return self.families * self.members_per_family
+
+
+def generate_family_database(
+    spec: FamilySpec = FamilySpec(),
+    rng: RandomSource = None,
+    alphabet: Alphabet = PROTEIN,
+    id_prefix: str = "nr",
+) -> SequenceSet:
+    """An nr-like database: per family, one ancestor plus mutated members.
+
+    Member identities to the ancestor are drawn uniformly from
+    ``[min_identity, max_identity]``; member lengths jitter around
+    ``spec.length``.
+    """
+    gen = as_generator(rng)
+    if alphabet.name != "protein":
+        raise ValueError("family databases are generated for protein data")
+    out = SequenceSet(alphabet=alphabet)
+    freqs = protein_background()
+    for family in range(spec.families):
+        if spec.length_jitter > 0:
+            low = max(16, int(round(spec.length * (1 - spec.length_jitter))))
+            high = max(low + 1, int(round(spec.length * (1 + spec.length_jitter))) + 1)
+            length = int(gen.integers(low, high))
+        else:
+            length = spec.length
+        ancestor = SequenceRecord(
+            seq_id=f"{id_prefix}-f{family:04d}-m000",
+            codes=random_codes(length, freqs, gen),
+            alphabet=alphabet,
+            description=f"family {family} ancestor",
+        )
+        out.add(ancestor)
+        for member in range(1, spec.members_per_family):
+            identity = float(
+                gen.uniform(spec.min_identity, spec.max_identity)
+            )
+            out.add(
+                mutate_to_identity(
+                    ancestor,
+                    identity,
+                    rng=gen,
+                    seq_id=f"{id_prefix}-f{family:04d}-m{member:03d}",
+                )
+            )
+    return out
+
+
+def generate_read_queries(
+    database: SequenceSet,
+    count: int,
+    length: int,
+    error_rate: float = 0.02,
+    rng: RandomSource = None,
+    id_prefix: str = "read",
+) -> SequenceSet:
+    """A query set of *count* reads of *length*, each stitched from segments
+    of database sequences with per-residue sequencing errors.
+
+    Long reads (longer than any single reference) are assembled from several
+    sampled segments, mimicking a whole-genome query set mapped against a
+    protein database.
+    """
+    check_positive("count", count)
+    check_positive("length", length)
+    check_fraction("error_rate", error_rate)
+    gen = as_generator(rng)
+    records = list(database)
+    if not records:
+        raise ValueError("database is empty")
+    out = SequenceSet(alphabet=database.alphabet)
+    for index in range(count):
+        pieces: list[np.ndarray] = []
+        remaining = length
+        while remaining > 0:
+            source = records[int(gen.integers(0, len(records)))]
+            take = min(remaining, len(source))
+            read = sample_read(
+                source, take, rng=gen, error_rate=error_rate
+            )
+            pieces.append(read.codes)
+            remaining -= take
+        out.add(
+            SequenceRecord(
+                seq_id=f"{id_prefix}-{index:05d}",
+                codes=np.concatenate(pieces),
+                alphabet=database.alphabet,
+                description=f"synthetic read of length {length}",
+            )
+        )
+    return out
+
+
+def sensitivity_groups(
+    levels: tuple[float, ...] = (0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2),
+    group_size: int = 5,
+    target_length: int = 1000,
+    rng: RandomSource = None,
+) -> tuple[SequenceRecord, dict[float, list[SequenceRecord]]]:
+    """The Fig. 6d protocol: a generated 1000-residue target plus groups of
+    mutants at each similarity level.
+
+    Returns ``(target, {level: [mutants]})``.
+    """
+    check_positive("group_size", group_size)
+    check_positive("target_length", target_length)
+    gen = as_generator(rng)
+    target = random_protein(target_length, rng=gen, seq_id="sens-target")
+    groups: dict[float, list[SequenceRecord]] = {}
+    for level in levels:
+        check_fraction("similarity level", level)
+        groups[level] = [
+            mutate_to_identity(
+                target, level, rng=gen, seq_id=f"sens-{level:.2f}-{i:02d}"
+            )
+            for i in range(group_size)
+        ]
+    return target, groups

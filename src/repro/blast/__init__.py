@@ -1,0 +1,42 @@
+"""From-scratch BLAST baseline (the paper's comparison system)."""
+
+from repro.blast.distributed import (
+    DistributedBlast,
+    DistributedBlastReport,
+    partition_database,
+)
+from repro.blast.engine import BlastConfig, BlastEngine, BlastReport, BlastStats
+from repro.blast.mapreduce import (
+    Biodoop,
+    CloudBlast,
+    MapReduceCosts,
+    MapReduceJobReport,
+)
+from repro.blast.lookup import WordLookup
+from repro.blast.words import (
+    NeighborhoodResult,
+    neighborhood_words,
+    query_neighborhoods,
+    word_code,
+    words_of,
+)
+
+__all__ = [
+    "DistributedBlast",
+    "DistributedBlastReport",
+    "partition_database",
+    "Biodoop",
+    "CloudBlast",
+    "MapReduceCosts",
+    "MapReduceJobReport",
+    "BlastConfig",
+    "BlastEngine",
+    "BlastReport",
+    "BlastStats",
+    "WordLookup",
+    "NeighborhoodResult",
+    "neighborhood_words",
+    "query_neighborhoods",
+    "word_code",
+    "words_of",
+]

@@ -1,0 +1,93 @@
+"""Database word lookup table (the BLAST "inverted index over exact words").
+
+Maps every k-word integer code occurring in the database to the array of
+``(sequence index, position)`` pairs where it occurs.  This is the structure
+whose *exact-match* restriction motivates Mendel's NNS-based design: a
+single substitution in a seed region changes the word code and the hit is
+lost (the sensitivity benchmark shows exactly this effect).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blast.words import words_of
+from repro.seq.alphabet import Alphabet
+from repro.seq.records import SequenceSet
+
+
+class WordLookup:
+    """Exact k-word index over a :class:`~repro.seq.records.SequenceSet`."""
+
+    def __init__(self, database: SequenceSet, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"word length must be >= 1, got {k}")
+        self.database = database
+        self.k = int(k)
+        self.alphabet: Alphabet = database.alphabet
+        base = self.alphabet.canonical_size
+
+        word_parts: list[np.ndarray] = []
+        seq_parts: list[np.ndarray] = []
+        pos_parts: list[np.ndarray] = []
+        total_words = 0
+        for seq_index, record in enumerate(database):
+            codes = record.codes
+            if codes.shape[0] < k:
+                continue
+            words = words_of(codes, k, base)
+            # Words containing ambiguity codes must not be indexed.
+            keep = np.ones(words.shape[0], dtype=bool)
+            if (codes >= base).any():
+                mask = codes >= base
+                for offset in range(k):
+                    keep &= ~mask[offset : offset + words.shape[0]]
+            valid = np.flatnonzero(keep)
+            total_words += valid.shape[0]
+            if valid.shape[0]:
+                word_parts.append(words[valid])
+                seq_parts.append(np.full(valid.shape[0], seq_index, dtype=np.int64))
+                pos_parts.append(valid.astype(np.int64))
+
+        # Group occurrences by word code with one sort (no per-word loop).
+        self._table: dict[int, np.ndarray] = {}
+        if word_parts:
+            all_words = np.concatenate(word_parts)
+            pairs = np.stack(
+                [np.concatenate(seq_parts), np.concatenate(pos_parts)], axis=1
+            )
+            order = np.argsort(all_words, kind="stable")
+            all_words = all_words[order]
+            pairs = pairs[order]
+            boundaries = np.flatnonzero(
+                np.concatenate(([True], all_words[1:] != all_words[:-1]))
+            )
+            ends = np.concatenate((boundaries[1:], [all_words.shape[0]]))
+            for start, end in zip(boundaries, ends):
+                self._table[int(all_words[start])] = pairs[start:end]
+        self.total_words = total_words
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, word_codes: np.ndarray) -> np.ndarray:
+        """All ``(seq_index, position)`` pairs for any of *word_codes*.
+
+        Returns an ``(n, 2)`` int64 array (possibly empty).
+        """
+        chunks = [
+            self._table[int(code)]
+            for code in np.asarray(word_codes).ravel()
+            if int(code) in self._table
+        ]
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(chunks, axis=0)
+
+    def occurrence_count(self, word_codes: np.ndarray) -> int:
+        """Total database occurrences of *word_codes* (work accounting)."""
+        return sum(
+            self._table[int(code)].shape[0]
+            for code in np.asarray(word_codes).ravel()
+            if int(code) in self._table
+        )

@@ -1,0 +1,219 @@
+"""CloudBLAST / Biodoop: MapReduce-parallelised BLAST (paper section II-C).
+
+The two cloud baselines the paper discusses:
+
+* **CloudBLAST** (Matsunaga et al. 2008) parallelises the *computation*:
+  "segmenting the query sequences and running multiple instances of BLAST
+  on each segment" — every mapper holds the whole database and processes a
+  slice of the query set.
+* **Biodoop** (Leo et al. 2009) "takes an opposing approach: distribute the
+  data among computing resources, rather than the computation" — the
+  database is segmented and every query visits every segment.
+
+"However, both methods see sublinear speedup as the number of compute
+resources grow."  The sublinearity comes from the MapReduce machinery
+itself: per-job startup, per-task scheduling/JVM spawn, and the shuffle all
+cost fixed time that does not shrink with more workers.
+:class:`MapReduceCosts` models those constants; the alignment work itself
+runs through the real :class:`~repro.blast.engine.BlastEngine`, so results
+are exact and only time is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.result import Alignment
+from repro.blast.distributed import partition_database
+from repro.blast.engine import BlastConfig, BlastEngine, BlastReport, BlastStats
+from repro.cluster.node import HP_DL160, NodeProfile, SUNFIRE_X4100
+from repro.seq.records import SequenceRecord, SequenceSet
+from repro.util.validation import check_non_negative, check_positive
+
+_RESULT_BYTES = 120
+
+
+@dataclass(frozen=True)
+class MapReduceCosts:
+    """Fixed overheads of one MapReduce job (Hadoop-era constants).
+
+    ``job_startup`` covers submission + scheduling of the job itself;
+    ``task_overhead`` is paid per map task (container/JVM spawn);
+    ``shuffle_per_byte`` prices moving intermediate results to the reducer.
+    """
+
+    job_startup: float = 2.0
+    task_overhead: float = 0.25
+    shuffle_per_byte: float = 2e-8
+    reduce_per_result: float = 2e-6
+
+    def __post_init__(self) -> None:
+        check_non_negative("job_startup", self.job_startup)
+        check_non_negative("task_overhead", self.task_overhead)
+        check_non_negative("shuffle_per_byte", self.shuffle_per_byte)
+        check_non_negative("reduce_per_result", self.reduce_per_result)
+
+
+@dataclass
+class MapReduceJobReport:
+    """Outcome of one MapReduce search job over a query set."""
+
+    reports: list[BlastReport]
+    turnaround: float
+    map_tasks: int
+    shuffle_bytes: int
+
+    def report_for(self, query_id: str) -> BlastReport:
+        for report in self.reports:
+            if report.query_id == query_id:
+                return report
+        raise KeyError(f"no report for query {query_id!r}")
+
+
+def _profiles(count: int, heterogeneous: bool) -> list[NodeProfile]:
+    pair = (HP_DL160, SUNFIRE_X4100)
+    return [pair[i % 2] if heterogeneous else HP_DL160 for i in range(count)]
+
+
+class CloudBlast:
+    """Query-segmentation MapReduce BLAST (the CloudBLAST architecture).
+
+    Every mapper holds the complete database; the *query set* is split
+    round-robin into ``mappers`` map tasks.
+    """
+
+    def __init__(
+        self,
+        database: SequenceSet,
+        mappers: int = 4,
+        config: BlastConfig | None = None,
+        costs: MapReduceCosts = MapReduceCosts(),
+        heterogeneous: bool = True,
+    ) -> None:
+        check_positive("mappers", mappers)
+        self.engine = BlastEngine(database, config)
+        self.mappers = int(mappers)
+        self.costs = costs
+        self.profiles = _profiles(self.mappers, heterogeneous)
+
+    def search_set(self, queries: list[SequenceRecord]) -> MapReduceJobReport:
+        """Run one job over *queries*; results are exact BLAST results."""
+        if not queries:
+            raise ValueError("query set must be non-empty")
+        slices: list[list[SequenceRecord]] = [[] for _ in range(self.mappers)]
+        for index, query in enumerate(queries):
+            slices[index % self.mappers].append(query)
+
+        reports: list[BlastReport] = []
+        mapper_times: list[float] = []
+        shuffle_bytes = 0
+        for mapper, batch in enumerate(slices):
+            if not batch:
+                continue
+            elapsed = self.costs.task_overhead
+            for query in batch:
+                report = self.engine.search(query, profile=self.profiles[mapper])
+                reports.append(report)
+                elapsed += report.turnaround
+                shuffle_bytes += len(report.alignments) * _RESULT_BYTES
+            mapper_times.append(elapsed)
+
+        total_results = sum(len(r.alignments) for r in reports)
+        turnaround = (
+            self.costs.job_startup
+            + max(mapper_times)
+            + shuffle_bytes * self.costs.shuffle_per_byte
+            + total_results * self.costs.reduce_per_result
+        )
+        return MapReduceJobReport(
+            reports=reports,
+            turnaround=turnaround,
+            map_tasks=sum(1 for s in slices if s),
+            shuffle_bytes=shuffle_bytes,
+        )
+
+
+class Biodoop:
+    """Data-distribution MapReduce BLAST (the Biodoop architecture).
+
+    The *database* is segmented across ``mappers``; every query is searched
+    against every segment and per-segment hits merge at the reducer with
+    E-values corrected to the full database size.
+    """
+
+    def __init__(
+        self,
+        database: SequenceSet,
+        mappers: int = 4,
+        config: BlastConfig | None = None,
+        costs: MapReduceCosts = MapReduceCosts(),
+        heterogeneous: bool = True,
+    ) -> None:
+        check_positive("mappers", mappers)
+        self.config = config or BlastConfig()
+        self.segments = partition_database(database, mappers)
+        self.engines = [BlastEngine(s, self.config) for s in self.segments]
+        self.costs = costs
+        self.profiles = _profiles(len(self.engines), heterogeneous)
+        self.db_residues = database.total_residues
+
+    def search_set(self, queries: list[SequenceRecord]) -> MapReduceJobReport:
+        if not queries:
+            raise ValueError("query set must be non-empty")
+        mapper_times: list[float] = []
+        shuffle_bytes = 0
+        per_query: dict[str, list[Alignment]] = {q.seq_id: [] for q in queries}
+        for mapper, engine in enumerate(self.engines):
+            elapsed = self.costs.task_overhead
+            scale = self.db_residues / max(1, engine.db_residues)
+            for query in queries:
+                report = engine.search(query, profile=self.profiles[mapper])
+                elapsed += report.turnaround
+                shuffle_bytes += len(report.alignments) * _RESULT_BYTES
+                for alignment in report.alignments:
+                    corrected = min(1e300, alignment.evalue * scale)
+                    if corrected > self.config.evalue_threshold:
+                        continue
+                    per_query[query.seq_id].append(
+                        Alignment(
+                            query_id=alignment.query_id,
+                            subject_id=alignment.subject_id,
+                            query_start=alignment.query_start,
+                            query_end=alignment.query_end,
+                            subject_start=alignment.subject_start,
+                            subject_end=alignment.subject_end,
+                            score=alignment.score,
+                            bit_score=alignment.bit_score,
+                            evalue=corrected,
+                            identity=alignment.identity,
+                        )
+                    )
+            mapper_times.append(elapsed)
+
+        reports = []
+        total_results = 0
+        for query in queries:
+            alignments = sorted(
+                per_query[query.seq_id], key=lambda a: (a.evalue, -a.score)
+            )
+            total_results += len(alignments)
+            reports.append(
+                BlastReport(
+                    query_id=query.seq_id,
+                    alignments=alignments,
+                    stats=BlastStats(),  # per-segment stats not aggregated
+                    turnaround=0.0,
+                )
+            )
+        turnaround = (
+            self.costs.job_startup
+            + max(mapper_times)
+            + shuffle_bytes * self.costs.shuffle_per_byte
+            + total_results * self.costs.reduce_per_result
+        )
+        return MapReduceJobReport(
+            reports=reports,
+            turnaround=turnaround,
+            map_tasks=len(self.engines),
+            shuffle_bytes=shuffle_bytes,
+        )

@@ -1,0 +1,117 @@
+"""Word tokenisation and neighbourhood generation (BLAST seeding).
+
+BLAST tokenises the query into overlapping k-letter words and, for protein
+searches, expands each word into its *neighbourhood*: every k-letter word
+whose substitution-matrix score against the query word is at least the
+threshold ``T``.  Database positions matching any neighbourhood word become
+seed hits.
+
+Neighbourhood generation is vectorised: the scores of all ``20^k`` candidate
+words against a query word decompose per position, so they are computed with
+a k-way outer sum of matrix rows (no enumeration loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.seq.alphabet import Alphabet
+
+
+def word_code(codes: np.ndarray, base: int) -> int:
+    """Pack a k-letter code array into one integer (base-``base`` digits)."""
+    codes = np.asarray(codes)
+    value = 0
+    for code in codes:
+        value = value * base + int(code)
+    return value
+
+
+def words_of(codes: np.ndarray, k: int, base: int) -> np.ndarray:
+    """All overlapping k-word integer codes of *codes* (vectorised rolling
+    encode); empty when the sequence is shorter than ``k``."""
+    codes = np.asarray(codes, dtype=np.int64)
+    n = codes.shape[0]
+    if n < k:
+        return np.empty(0, dtype=np.int64)
+    weights = base ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    out = np.zeros(n - k + 1, dtype=np.int64)
+    for offset in range(k):
+        out += codes[offset : offset + n - k + 1] * weights[offset]
+    return out
+
+
+@dataclass(frozen=True)
+class NeighborhoodResult:
+    """Neighbourhood words for one query word position."""
+
+    position: int
+    word_codes: np.ndarray  # integer codes of all neighbourhood words
+
+
+def neighborhood_words(
+    query_word: np.ndarray,
+    matrix: np.ndarray,
+    threshold: float,
+    canonical_size: int,
+) -> np.ndarray:
+    """Integer codes of every canonical k-word scoring >= *threshold*
+    against *query_word* under *matrix*.
+
+    Complexity ``O(canonical_size^k)`` memory/time via an outer sum — cheap
+    for the protein default ``k=3`` (8000 candidates).
+    """
+    query_word = np.asarray(query_word)
+    k = query_word.shape[0]
+    if k < 1:
+        raise ValueError("word length must be >= 1")
+    if canonical_size**k > 20_000_000:
+        raise ValueError(
+            f"neighbourhood enumeration infeasible for base {canonical_size} "
+            f"and k={k}"
+        )
+    # scores[c0, c1, ..., c_{k-1}] = sum_p matrix[query_word[p], c_p]
+    total = np.zeros((canonical_size,) * k)
+    for position in range(k):
+        row = matrix[query_word[position], :canonical_size].astype(np.float64)
+        shape = [1] * k
+        shape[position] = canonical_size
+        total = total + row.reshape(shape)
+    hits = np.flatnonzero(total.ravel() >= threshold)
+    return hits.astype(np.int64)  # ravel order == base-`canonical_size` digits
+
+
+def query_neighborhoods(
+    query: np.ndarray,
+    k: int,
+    matrix: np.ndarray,
+    threshold: float,
+    alphabet: Alphabet,
+    exact_only: bool = False,
+) -> list[NeighborhoodResult]:
+    """Neighbourhoods for every query word position.
+
+    ``exact_only=True`` (the DNA mode) keeps just the word itself.
+    """
+    query = np.asarray(query, dtype=np.uint8)
+    base = alphabet.canonical_size
+    results: list[NeighborhoodResult] = []
+    cache: dict[int, np.ndarray] = {}
+    for position in range(query.shape[0] - k + 1):
+        word = query[position : position + k]
+        if (word >= base).any():
+            continue  # words containing ambiguity codes do not seed
+        code = word_code(word, base)
+        if exact_only:
+            results.append(
+                NeighborhoodResult(
+                    position=position, word_codes=np.array([code], dtype=np.int64)
+                )
+            )
+            continue
+        if code not in cache:
+            cache[code] = neighborhood_words(word, matrix, threshold, base)
+        results.append(NeighborhoodResult(position=position, word_codes=cache[code]))
+    return results

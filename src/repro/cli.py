@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+::
+
+    python -m repro index refs.fasta --alphabet protein --out deploy.npz
+    python -m repro info deploy.npz
+    python -m repro query deploy.npz queries.fasta --top 5
+    python -m repro bench fig6a
+
+``index`` builds a deployment and saves it; ``query`` loads one and
+searches every sequence of a FASTA query set; ``info`` summarises a saved
+deployment; ``bench`` reruns one of the paper's figures and prints its
+table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench import figures as _figures
+from repro.bench.harness import format_table
+from repro.core import Mendel, MendelConfig, QueryParams, load_index, save_index
+from repro.core.autoconfig import suggest_config
+from repro.core.query import QueryEngine
+from repro.seq.fasta import read_fasta
+
+_FIGURES = {
+    "fig5": _figures.run_fig5_load_balance,
+    "fig6a": _figures.run_fig6a_query_length,
+    "fig6b": _figures.run_fig6b_db_size,
+    "fig6c": _figures.run_fig6c_scalability,
+    "fig6d": _figures.run_fig6d_sensitivity,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mendel: distributed similarity search over sequencing data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    index = sub.add_parser("index", help="build and save a deployment")
+    index.add_argument("fasta", help="reference FASTA file")
+    index.add_argument("--alphabet", choices=("dna", "protein"),
+                       default="protein")
+    index.add_argument("--out", required=True, help="output archive (.npz)")
+    index.add_argument("--nodes", type=int, default=10,
+                       help="node budget for auto-configuration")
+    index.add_argument("--groups", type=int, default=None,
+                       help="explicit group count (overrides auto)")
+    index.add_argument("--group-size", type=int, default=None,
+                       help="explicit nodes per group (overrides auto)")
+    index.add_argument("--replication", type=int, default=1)
+    index.add_argument("--segment-length", type=int, default=None)
+    index.add_argument("--seed", type=int, default=42)
+
+    info = sub.add_parser("info", help="summarise a saved deployment")
+    info.add_argument("archive", help="saved .npz deployment")
+
+    query = sub.add_parser("query", help="search a saved deployment")
+    query.add_argument("archive", help="saved .npz deployment")
+    query.add_argument("fasta", help="query FASTA file")
+    query.add_argument("--alphabet", choices=("dna", "protein"),
+                       default=None, help="query alphabet (default: index's)")
+    query.add_argument("--top", type=int, default=5,
+                       help="alignments to print per query")
+    query.add_argument("--k", type=int, default=4)
+    query.add_argument("--n", type=int, default=8)
+    query.add_argument("--identity", type=float, default=0.5, dest="i")
+    query.add_argument("--c-score", type=float, default=0.5, dest="c")
+    query.add_argument("--matrix", default="BLOSUM62", dest="M")
+    query.add_argument("--evalue", type=float, default=10.0, dest="E")
+
+    bench = sub.add_parser("bench", help="rerun one of the paper's figures")
+    bench.add_argument("figure", choices=sorted(_FIGURES) + ["all"])
+    bench.add_argument("--out", default=None,
+                       help="with 'all': write the markdown report here")
+
+    return parser
+
+
+def _cmd_index(args: argparse.Namespace, out) -> int:
+    database = read_fasta(args.fasta, args.alphabet)
+    config = suggest_config(database, node_budget=args.nodes, seed=args.seed)
+    overrides = {}
+    if args.groups is not None:
+        overrides["group_count"] = args.groups
+    if args.group_size is not None:
+        overrides["group_size"] = args.group_size
+    if args.segment_length is not None:
+        overrides["segment_length"] = args.segment_length
+    if args.replication != 1:
+        overrides["replication"] = args.replication
+    if overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **overrides)
+    mendel = Mendel.build(database, config)
+    save_index(mendel.index, args.out)
+    print(
+        f"indexed {mendel.block_count} blocks from {len(database)} sequences "
+        f"({database.total_residues} residues) onto {mendel.node_count} nodes; "
+        f"saved to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace, out) -> int:
+    index = load_index(args.archive)
+    config = index.config
+    print(f"alphabet:        {index.alphabet.name}", file=out)
+    print(f"sequences:       {len(index.database)}", file=out)
+    print(f"residues:        {index.database.total_residues}", file=out)
+    print(f"blocks:          {len(index.store)}", file=out)
+    print(
+        f"cluster:         {config.group_count} groups x {config.group_size} "
+        f"nodes (replication {config.replication})",
+        file=out,
+    )
+    print(f"segment length:  {config.segment_length}", file=out)
+    fractions = sorted(index.load_fractions().values())
+    print(
+        f"load per node:   min {100 * fractions[0]:.2f}% / "
+        f"max {100 * fractions[-1]:.2f}%",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    index = load_index(args.archive)
+    alphabet = args.alphabet or index.alphabet.name
+    queries = read_fasta(args.fasta, alphabet)
+    engine = QueryEngine(index)
+    params = QueryParams(k=args.k, n=args.n, i=args.i, c=args.c,
+                         M=args.M, E=args.E)
+    mendel = Mendel(index=index, engine=engine)
+    for record in queries:
+        if alphabet == "dna" and index.alphabet.name == "protein":
+            report = mendel.query_translated(record, params)
+        else:
+            report = engine.run(record, params)
+        print(
+            f"# {record.seq_id}: {len(report.alignments)} alignments, "
+            f"turnaround {report.stats.turnaround * 1e3:.1f} ms",
+            file=out,
+        )
+        for alignment in report.alignments[: args.top]:
+            print(alignment.brief(), file=out)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    if args.figure == "all":
+        from repro.bench.report import generate_report
+
+        text = generate_report(max_rows=12)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"report written to {args.out}", file=out)
+        else:
+            print(text, file=out)
+        return 0
+    result = _FIGURES[args.figure]()
+    print(format_table(result.rows, title=result.name), file=out)
+    if result.meta:
+        print(f"meta: {result.meta}", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "index": _cmd_index,
+        "info": _cmd_info,
+        "query": _cmd_query,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

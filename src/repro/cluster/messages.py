@@ -1,0 +1,97 @@
+"""Message types exchanged in the simulated cluster.
+
+Each message estimates its own wire size so the network model can charge
+serialisation cost.  Sizes are deliberately simple (structural bytes plus
+payload bytes) — the network term is dominated by latency for the small
+control messages and by payload size for block transfers, matching the LAN
+behaviour of the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+_HEADER_BYTES = 64  # routing/envelope overhead per message
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base envelope: source/destination node ids."""
+
+    src: str
+    dst: str
+
+    def payload_bytes(self) -> int:
+        return 0
+
+    def wire_bytes(self) -> int:
+        return _HEADER_BYTES + self.payload_bytes()
+
+
+@dataclass(frozen=True)
+class StoreBlocks(Message):
+    """Batch of inverted-index blocks shipped to their storage node."""
+
+    block_ids: tuple[int, ...] = ()
+    codes_bytes: int = 0
+
+    def payload_bytes(self) -> int:
+        return self.codes_bytes + 8 * len(self.block_ids)
+
+
+@dataclass(frozen=True)
+class SubQuery(Message):
+    """One query window replicated to every node of a target group."""
+
+    query_id: int = 0
+    window_index: int = 0
+    codes_bytes: int = 0
+
+    def payload_bytes(self) -> int:
+        return self.codes_bytes + 16
+
+
+@dataclass(frozen=True)
+class AnchorReport(Message):
+    """Expanded anchors sent from a worker node to its group entry point."""
+
+    query_id: int = 0
+    anchor_count: int = 0
+    anchor_bytes_each: int = 48
+
+    def payload_bytes(self) -> int:
+        return self.anchor_count * self.anchor_bytes_each
+
+
+@dataclass(frozen=True)
+class GroupReport(Message):
+    """Merged group-level anchors sent to the system entry point."""
+
+    query_id: int = 0
+    anchor_count: int = 0
+    anchor_bytes_each: int = 48
+
+    def payload_bytes(self) -> int:
+        return self.anchor_count * self.anchor_bytes_each
+
+
+@dataclass(frozen=True)
+class QueryResult(Message):
+    """Final ranked alignments returned to the client."""
+
+    query_id: int = 0
+    alignment_count: int = 0
+    alignment_bytes_each: int = 120
+
+    def payload_bytes(self) -> int:
+        return self.alignment_count * self.alignment_bytes_each
+
+
+def codes_nbytes(codes: np.ndarray | Sequence[np.ndarray]) -> int:
+    """Total byte size of one code array or a sequence of them."""
+    if isinstance(codes, np.ndarray):
+        return int(codes.nbytes)
+    return int(sum(int(np.asarray(c).nbytes) for c in codes))

@@ -1,0 +1,187 @@
+"""Storage nodes: the unit of the simulated cluster (section IV / VI-A.1).
+
+A :class:`StorageNode` owns a local dynamic vp-tree over the inverted-index
+blocks hashed to it, plus a simple service-time model calibrated by a
+*speed factor* so the heterogeneous testbed of the paper (25 HP DL160 +
+25 Sun SunFire X4100) can be mirrored: the slower half of the cluster gets a
+lower speed factor and work takes proportionally longer in simulated time.
+
+The time model charges per *logical distance evaluation* performed by the
+node's vp-tree (counted by :class:`repro.vptree.metric.MetricAdapter`), so
+simulated service times track the real algorithmic work done rather than a
+fixed constant — this is what lets the evaluation figures reproduce shape
+without a physical testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.util.validation import check_positive
+from repro.vptree.dynamic import DynamicVPTree
+
+
+@dataclass
+class NodeProfile:
+    """Hardware class of a node.
+
+    ``seconds_per_eval`` is the base cost of one segment-distance evaluation
+    on a reference machine; a node's effective cost is divided by its
+    ``speed_factor``.
+    """
+
+    name: str = "reference"
+    speed_factor: float = 1.0
+    seconds_per_eval: float = 2e-6
+
+    def __post_init__(self) -> None:
+        check_positive("speed_factor", self.speed_factor)
+        check_positive("seconds_per_eval", self.seconds_per_eval)
+
+
+#: The two hardware classes of the paper's 50-node testbed.
+HP_DL160 = NodeProfile(name="hp-dl160", speed_factor=1.0)
+SUNFIRE_X4100 = NodeProfile(name="sunfire-x4100", speed_factor=0.6)
+
+
+@dataclass
+class NodeStats:
+    blocks_stored: int = 0
+    queries_served: int = 0
+    evals_charged: int = 0
+    busy_seconds: float = 0.0
+
+
+class StorageNode:
+    """One simulated storage node.
+
+    Parameters
+    ----------
+    node_id:
+        Cluster-unique identifier (``"g03.n1"`` style).
+    group_id:
+        Owning storage group.
+    metric_factory:
+        Zero-argument callable producing a fresh segment metric; each node
+        gets its own :class:`MetricAdapter` so per-node work is countable.
+    segment_length:
+        Length of indexed inverted-index blocks.
+    profile:
+        Hardware class (service-time calibration).
+    bucket_capacity:
+        Leaf bucket size of the local vp-tree.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        group_id: str,
+        metric_factory: Callable[[], Callable],
+        segment_length: int,
+        profile: NodeProfile = HP_DL160,
+        bucket_capacity: int = 32,
+        rng_seed: int = 0,
+    ) -> None:
+        self.node_id = node_id
+        self.group_id = group_id
+        self.profile = profile
+        self.stats = NodeStats()
+        #: failure-injection flag: dead nodes are skipped by query fan-out
+        #: (fault-tolerance extension; paper section VII-B future work)
+        self.alive = True
+        self.tree = DynamicVPTree(
+            metric=metric_factory(),
+            segment_length=segment_length,
+            bucket_capacity=bucket_capacity,
+            rng=rng_seed,
+        )
+        #: block ids stored locally, in insertion order
+        self.block_ids: list[int] = []
+
+    # -- storage -------------------------------------------------------------
+
+    def store_blocks(self, codes: np.ndarray, block_ids: list[int]) -> None:
+        """Index a batch of blocks (rows of *codes*) in the local vp-tree."""
+        if codes.ndim == 1:
+            codes = codes[None, :]
+        if codes.shape[0] != len(block_ids):
+            raise ValueError(
+                f"{codes.shape[0]} code rows vs {len(block_ids)} block ids"
+            )
+        self.tree.insert_batch(codes, payloads=block_ids)
+        self.block_ids.extend(block_ids)
+        self.stats.blocks_stored += len(block_ids)
+
+    # -- local search with time accounting ------------------------------------
+
+    def local_knn(
+        self,
+        query_codes: np.ndarray,
+        k: int,
+        max_radius: float = float("inf"),
+    ) -> tuple[list, float]:
+        """k-NN over the local tree; returns ``(hits, service_seconds)``.
+
+        ``hits`` are ``(distance, block_id)`` pairs; ``service_seconds`` is
+        the modelled node-local compute time for the search.  ``max_radius``
+        bounds the search ball (the query pipeline passes the largest
+        distance its identity filter could accept).
+        """
+        before = self.tree.adapter.pair_evaluations
+        hits = (
+            self.tree.knn(query_codes, k, max_radius=max_radius)
+            if len(self.tree)
+            else []
+        )
+        evals = self.tree.adapter.pair_evaluations - before
+        seconds = self.service_time(evals)
+        self.stats.queries_served += 1
+        self.stats.evals_charged += evals
+        self.stats.busy_seconds += seconds
+        return hits, seconds
+
+    def service_time(self, evals: int, overhead_evals: int = 50) -> float:
+        """Simulated seconds to perform *evals* distance evaluations
+        (plus a fixed request-handling overhead) on this hardware class."""
+        total = evals + overhead_evals
+        return total * self.profile.seconds_per_eval / self.profile.speed_factor
+
+    def service_time_ops(self, residue_ops: float) -> float:
+        """Simulated seconds for *residue_ops* elementary residue operations
+        (one segment-distance evaluation costs ``segment_length`` of them);
+        used to charge extension and aggregation work."""
+        per_residue = self.profile.seconds_per_eval / max(1, self.tree.segment_length)
+        return residue_ops * per_residue / self.profile.speed_factor
+
+    def reset_storage(self) -> None:
+        """Drop all locally indexed blocks (used when the group reshuffles
+        placement after membership changes)."""
+        metric = self.tree.adapter.metric
+        self.tree = DynamicVPTree(
+            metric=metric,
+            segment_length=self.tree.segment_length,
+            bucket_capacity=self.tree.bucket_capacity,
+            rng=0,
+        )
+        self.block_ids = []
+
+    def fail(self) -> None:
+        """Mark the node as failed (its data stays in place for recovery)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring a failed node back; its local index is intact."""
+        self.alive = True
+
+    @property
+    def block_count(self) -> int:
+        return len(self.block_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StorageNode({self.node_id!r}, group={self.group_id!r}, "
+            f"blocks={self.block_count}, profile={self.profile.name})"
+        )

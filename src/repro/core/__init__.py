@@ -1,0 +1,43 @@
+"""Core Mendel: inverted-index blocks, the two-tier index, the distributed
+query pipeline, and the public facade."""
+
+from repro.core.aggregate import bin_by_sequence, merge_anchors, merge_same_diagonal
+from repro.core.anchors import (
+    CandidateScore,
+    consecutivity_score,
+    evaluate_candidate,
+    extend_anchor,
+    match_mask,
+)
+from repro.core.autoconfig import suggest_config
+from repro.core.blocks import BlockStore, InvertedIndexBlock
+from repro.core.framework import Mendel
+from repro.core.persist import load_index, save_index
+from repro.core.index import IndexStats, MendelIndex
+from repro.core.params import MendelConfig, QueryParams
+from repro.core.query import QueryEngine, QueryReport, QueryStats, resolve_matrix
+
+__all__ = [
+    "bin_by_sequence",
+    "merge_anchors",
+    "merge_same_diagonal",
+    "CandidateScore",
+    "consecutivity_score",
+    "evaluate_candidate",
+    "extend_anchor",
+    "match_mask",
+    "BlockStore",
+    "InvertedIndexBlock",
+    "Mendel",
+    "IndexStats",
+    "MendelIndex",
+    "MendelConfig",
+    "QueryParams",
+    "QueryEngine",
+    "QueryReport",
+    "QueryStats",
+    "resolve_matrix",
+    "suggest_config",
+    "load_index",
+    "save_index",
+]

@@ -1,0 +1,55 @@
+"""Anchor aggregation (paper section V-B, the two checkpoint stages).
+
+Anchors stream back from worker nodes to the *group entry point* and then to
+the *system entry point*.  At each checkpoint, anchors are binned by subject
+sequence id, sorted by start position, and overlapping anchors on the same
+diagonal are combined.  The same :func:`merge_anchors` routine serves both
+stages (the operation is idempotent and associative over anchor sets, which
+the property tests verify — that is what makes two-stage aggregation safe).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.align.result import Anchor
+
+
+def bin_by_sequence(anchors: Iterable[Anchor]) -> dict[str, list[Anchor]]:
+    """Bin anchors by subject sequence id, each bin sorted by diagonal and
+    start position (the paper's "categorized anchors")."""
+    bins: dict[str, list[Anchor]] = defaultdict(list)
+    for anchor in anchors:
+        bins[anchor.seq_id].append(anchor)
+    for seq_id in bins:
+        bins[seq_id].sort(key=lambda a: (a.diagonal, a.query_start, a.query_end))
+    return dict(bins)
+
+
+def merge_same_diagonal(anchors: Sequence[Anchor]) -> list[Anchor]:
+    """Merge overlapping/touching anchors sharing one (seq, diagonal).
+
+    Input must already be sorted by ``query_start``; output preserves order.
+    """
+    merged: list[Anchor] = []
+    for anchor in anchors:
+        if merged and merged[-1].overlaps(anchor):
+            merged[-1] = merged[-1].merge(anchor)
+        else:
+            merged.append(anchor)
+    return merged
+
+
+def merge_anchors(anchors: Iterable[Anchor]) -> list[Anchor]:
+    """Full checkpoint aggregation: bin by sequence, group by diagonal,
+    combine overlaps.  Deterministic output order: by sequence id, then
+    diagonal, then query start."""
+    out: list[Anchor] = []
+    for seq_id, per_seq in sorted(bin_by_sequence(anchors).items()):
+        per_diag: dict[int, list[Anchor]] = defaultdict(list)
+        for anchor in per_seq:  # already sorted by (diagonal, query_start)
+            per_diag[anchor.diagonal].append(anchor)
+        for diagonal in sorted(per_diag):
+            out.extend(merge_same_diagonal(per_diag[diagonal]))
+    return out

@@ -1,0 +1,62 @@
+"""Automatic deployment configuration (paper section VII-B, future work).
+
+"Currently, many aspects of the system configuration require user
+intervention with an in-depth knowledge of the Mendel framework."
+
+:func:`suggest_config` derives a reasonable :class:`MendelConfig` from the
+database itself and a node budget, encoding the deployment heuristics the
+paper leaves to the operator:
+
+* **segment length** — 8 for protein, 16 for DNA (DNA's 4-letter alphabet
+  needs longer windows for the same seed specificity);
+* **group shape** — groups of ~5 nodes (the paper's configuration), with
+  the group count filling the node budget;
+* **prefix-tree sample** — large enough that the frontier at half depth has
+  several regions per group, bounded to keep hashing cheap;
+* **replication** — 2 when groups can afford it and fault tolerance is
+  requested.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import MendelConfig
+from repro.seq.records import SequenceSet
+from repro.util.validation import check_positive
+
+_PAPER_GROUP_SIZE = 5
+
+
+def suggest_config(
+    database: SequenceSet,
+    node_budget: int = 50,
+    fault_tolerant: bool = False,
+    seed: int = 42,
+) -> MendelConfig:
+    """A :class:`MendelConfig` tuned to *database* and *node_budget*."""
+    check_positive("node_budget", node_budget)
+    if len(database) == 0:
+        raise ValueError("cannot configure for an empty database")
+
+    segment_length = 16 if database.alphabet.name == "dna" else 8
+
+    group_size = min(_PAPER_GROUP_SIZE, node_budget)
+    group_count = max(1, node_budget // group_size)
+
+    block_estimate = max(
+        2, sum(max(0, len(r) - segment_length + 1) for r in database)
+    )
+    # Enough sample mass for ~16 frontier regions per group, within bounds.
+    sample_size = int(min(8192, max(256, 32 * group_count * 16)))
+    sample_size = min(sample_size, block_estimate)
+    sample_size = max(2, sample_size)
+
+    replication = 2 if fault_tolerant and group_size >= 2 else 1
+
+    return MendelConfig(
+        segment_length=segment_length,
+        group_count=group_count,
+        group_size=group_size,
+        sample_size=sample_size,
+        replication=replication,
+        seed=seed,
+    )

@@ -1,0 +1,144 @@
+"""The Mendel facade: the library's primary public entry point.
+
+Typical use::
+
+    from repro import Mendel, MendelConfig, QueryParams
+    from repro.seq import read_fasta
+
+    db = read_fasta("references.fasta", "protein")
+    mendel = Mendel.build(db, MendelConfig(group_count=4, group_size=3))
+    report = mendel.query_text("MKV...WLA", params=QueryParams(n=8, c=0.5))
+    for alignment in report.alignments:
+        print(alignment.brief())
+
+``build`` runs the full indexing pipeline (blocks -> vp-prefix dispersion ->
+local vp-trees); ``query``/``query_text``/``query_many`` evaluate alignment
+searches over the simulated cluster and report ranked alignments with
+turnaround statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.index import IndexStats, MendelIndex
+from repro.core.params import MendelConfig, QueryParams
+from repro.core.query import QueryEngine, QueryReport
+from repro.seq.records import SequenceRecord, SequenceSet
+
+
+@dataclass
+class Mendel:
+    """A built Mendel deployment bound to one reference database."""
+
+    index: MendelIndex
+    engine: QueryEngine
+
+    @classmethod
+    def build(cls, database: SequenceSet, config: MendelConfig | None = None) -> "Mendel":
+        """Index *database* on a simulated cluster shaped by *config*."""
+        index = MendelIndex(database, config or MendelConfig())
+        return cls(index=index, engine=QueryEngine(index))
+
+    # -- queries -------------------------------------------------------------
+
+    def query(
+        self, record: SequenceRecord, params: QueryParams | None = None
+    ) -> QueryReport:
+        """Similarity-search *record* against the indexed database."""
+        return self.engine.run(record, params)
+
+    def query_text(
+        self,
+        text: str,
+        params: QueryParams | None = None,
+        query_id: str = "query",
+    ) -> QueryReport:
+        """Convenience: encode *text* under the database alphabet and query."""
+        record = SequenceRecord.from_text(query_id, text, self.index.alphabet)
+        return self.query(record, params)
+
+    def query_many(
+        self,
+        records: SequenceSet | list[SequenceRecord],
+        params: QueryParams | None = None,
+    ) -> list[QueryReport]:
+        """Evaluate a whole query set; one report per query, in order."""
+        return [self.query(record, params) for record in records]
+
+    def query_translated(
+        self, record: SequenceRecord, params: QueryParams | None = None
+    ) -> QueryReport:
+        """BLASTX-style translated search: a DNA *record* against a protein
+        index, querying all six reading frames and merging the reports.
+
+        The returned report's alignments carry the frame in their query id
+        suffix (``|frame+0`` .. ``|frame-2``) with coordinates in translated
+        (amino-acid) space.  The six frames are dispatched *concurrently*
+        (one client, six in-flight subqueries contending for the cluster),
+        so the merged turnaround is the completion time of the slowest
+        frame; the other counters sum across frames.
+        """
+        from repro.seq.translate import six_frame_translations
+
+        if self.index.alphabet.name != "protein":
+            raise ValueError("translated search needs a protein index")
+        if record.alphabet.name != "dna":
+            raise ValueError("translated search needs a DNA query")
+        minimum = self.index.segment_length
+        frames = [
+            frame
+            for frame in six_frame_translations(record)
+            if len(frame) >= minimum
+        ]
+        if not frames:
+            raise ValueError(
+                f"query too short: no frame reaches the indexed segment "
+                f"length {minimum}"
+            )
+        reports = self.engine.run_batch(frames, params)
+        merged_alignments = [a for r in reports for a in r.alignments]
+        merged_alignments.sort(key=lambda a: (a.evalue, -a.score))
+        stats = reports[0].stats
+        for report in reports[1:]:
+            stats.windows += report.stats.windows
+            stats.subqueries_routed += report.stats.subqueries_routed
+            stats.candidate_hits += report.stats.candidate_hits
+            stats.anchors_extended += report.stats.anchors_extended
+            stats.anchors_merged += report.stats.anchors_merged
+            stats.gapped_extensions += report.stats.gapped_extensions
+            stats.node_evals += report.stats.node_evals
+        stats.turnaround = max(r.stats.turnaround for r in reports)
+        stats.messages = reports[-1].stats.messages  # shared network counters
+        stats.bytes_sent = reports[-1].stats.bytes_sent
+        stats.alignments_reported = len(merged_alignments)
+        return QueryReport(
+            query_id=record.seq_id, alignments=merged_alignments, stats=stats
+        )
+
+    # -- growth & introspection ------------------------------------------------
+
+    def insert(self, new_sequences: SequenceSet) -> None:
+        """Incrementally index additional reference sequences."""
+        self.index.insert_sequences(new_sequences)
+
+    def add_node(self, group_id: str):
+        """Elastically grow *group_id* by one node (data redistributes
+        within the group only); returns the new node."""
+        return self.index.add_node(group_id)
+
+    @property
+    def stats(self) -> IndexStats:
+        return self.index.stats
+
+    @property
+    def node_count(self) -> int:
+        return len(self.index.topology.nodes)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.index.store)
+
+    def load_fractions(self) -> dict[str, float]:
+        """Per-node storage share (the Fig. 5 load-balance measure)."""
+        return self.index.load_fractions()

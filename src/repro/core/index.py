@@ -1,0 +1,258 @@
+"""Index construction: the three-step pipeline of section V-A.
+
+1. **Inverted-index block creation** — :class:`~repro.core.blocks.BlockStore`
+   slides a stride-1 window over every reference sequence.
+2. **Vp-prefix tree sequence dispersion** — a shared
+   :class:`~repro.vptree.prefix.VPPrefixTree` (built over a sample of the
+   blocks) hashes each block to a storage group; flat SHA-1 picks the node
+   within the group.
+3. **Local vp-tree indexing** — each node batch-inserts its blocks into its
+   dynamic vp-tree.
+
+The index also records a simulated *indexing makespan*: per-node insertion
+work proceeds in parallel across the cluster (the paper's batch submission),
+so the makespan is the slowest node's service time plus dispersal costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import StorageNode
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.core.blocks import BlockStore
+from repro.core.params import MendelConfig
+from repro.seq.distance import default_distance
+from repro.seq.records import SequenceSet
+from repro.util.rng import as_generator
+from repro.vptree.prefix import VPPrefixTree
+
+
+@dataclass
+class IndexStats:
+    """Bookkeeping from index construction."""
+
+    block_count: int = 0
+    hash_evals: int = 0
+    insert_evals: int = 0
+    simulated_makespan: float = 0.0
+    per_node_blocks: dict[str, int] = field(default_factory=dict)
+
+
+class MendelIndex:
+    """A fully built Mendel deployment: block store + cluster + prefix LSH.
+
+    Parameters
+    ----------
+    database:
+        The reference :class:`~repro.seq.records.SequenceSet`.
+    config:
+        Deployment shape (:class:`~repro.core.params.MendelConfig`).
+    """
+
+    def __init__(self, database: SequenceSet, config: MendelConfig) -> None:
+        if len(database) == 0:
+            raise ValueError("cannot index an empty database")
+        self.database = database
+        self.config = config
+        self.alphabet = database.alphabet
+        self.stats = IndexStats()
+        gen = as_generator(config.seed)
+
+        # Step 1: inverted-index block creation.
+        self.store = BlockStore(database, config.segment_length)
+        if len(self.store) < 2:
+            raise ValueError(
+                "database produced fewer than 2 index blocks; sequences must "
+                f"be at least segment_length={config.segment_length} long"
+            )
+        self.stats.block_count = len(self.store)
+
+        # Shared tier-1 LSH built over a block sample.
+        sample_size = min(config.sample_size, len(self.store))
+        sample_ids = gen.choice(len(self.store), size=sample_size, replace=False)
+        sample = self.store.codes_matrix(sample_ids)
+        self._metric_factory = lambda: default_distance(self.alphabet)
+        self.prefix_tree = VPPrefixTree(
+            sample,
+            self._metric_factory(),
+            depth_threshold=config.prefix_depth,
+            bucket_capacity=config.prefix_bucket_capacity,
+            rng=int(gen.integers(0, 2**31 - 1)),
+        )
+
+        # Cluster shell.
+        spec = ClusterSpec(
+            group_count=config.group_count,
+            group_size=config.group_size,
+            heterogeneous=config.heterogeneous,
+            bucket_capacity=config.bucket_capacity,
+        )
+        self.topology = ClusterTopology(
+            spec=spec,
+            prefix_tree=self.prefix_tree,
+            sample=sample,
+            metric_factory=self._metric_factory,
+            segment_length=config.segment_length,
+            rng=int(gen.integers(0, 2**31 - 1)),
+        )
+
+        # Steps 2+3: dispersion and local indexing (batched per node).
+        self.node_of_block: dict[int, str] = {}
+        self._disperse()
+
+    # -- construction internals ------------------------------------------------
+
+    def _disperse(self) -> None:
+        """Hash every block to its node and batch-insert per node."""
+        tree_adapter = self.prefix_tree._tree.adapter
+        evals_before = tree_adapter.pair_evaluations
+
+        per_node_ids: dict[str, list[int]] = {
+            node.node_id: [] for node in self.topology.nodes
+        }
+        nodes_by_id: dict[str, StorageNode] = {
+            node.node_id: node for node in self.topology.nodes
+        }
+        replication = self.config.replication
+        for block in self.store.blocks:
+            codes = self.store.codes_of(block.block_id)
+            prefix = self.prefix_tree.hash_one(codes).prefix
+            group = self.topology.group_for_prefix(prefix)
+            replicas = group.place_replicas(
+                self.store.block_key(block.block_id), replication
+            )
+            for node in replicas:
+                per_node_ids[node.node_id].append(block.block_id)
+            self.node_of_block[block.block_id] = replicas[0].node_id
+
+        self.stats.hash_evals = tree_adapter.pair_evaluations - evals_before
+
+        makespan = 0.0
+        for node_id, block_ids in per_node_ids.items():
+            node = nodes_by_id[node_id]
+            if block_ids:
+                before = node.tree.adapter.pair_evaluations
+                codes = self.store.codes_matrix(block_ids)
+                node.store_blocks(codes, block_ids)
+                evals = node.tree.adapter.pair_evaluations - before
+                self.stats.insert_evals += evals
+                makespan = max(makespan, node.service_time(evals))
+            self.stats.per_node_blocks[node_id] = len(block_ids)
+        # Hashing is embarrassingly parallel: the prefix tree is replicated
+        # cluster-wide and every node ingests (and hashes) its share of the
+        # input stream, pipelining with insertion — so the makespan is the
+        # slower of per-node insertion and the per-node hashing share.
+        entry = self.topology.nodes[0]
+        node_count = max(1, len(self.topology.nodes))
+        self.stats.simulated_makespan = max(
+            makespan, entry.service_time(self.stats.hash_evals // node_count)
+        )
+
+    # -- convenience ----------------------------------------------------------------
+
+    @property
+    def segment_length(self) -> int:
+        return self.config.segment_length
+
+    def node(self, node_id: str) -> StorageNode:
+        for node in self.topology.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"no node {node_id!r}")
+
+    def load_fractions(self) -> dict[str, float]:
+        """Per-node fraction of stored blocks (the Fig. 5 measure)."""
+        return self.topology.load_fractions()
+
+    def add_node(self, group_id: str) -> StorageNode:
+        """Elastically grow one storage group by a node and redistribute.
+
+        The DHT story of section IV-A — "commodity hardware can be added
+        incrementally if there is demand for additional storage or
+        processing" — applied to one group: a new node joins, the group's
+        flat hash is rebuilt, and the group's blocks are re-placed under the
+        new membership.  Only this group's data moves; the tier-1
+        prefix->group assignment is untouched, so the rest of the cluster is
+        unaffected.
+        """
+        from repro.cluster.node import HP_DL160, SUNFIRE_X4100
+
+        group = self.topology.group(group_id)  # KeyError for unknown groups
+        new_number = len(group.nodes)
+        profile = (
+            (HP_DL160, SUNFIRE_X4100)[new_number % 2]
+            if self.config.heterogeneous
+            else HP_DL160
+        )
+        node = StorageNode(
+            node_id=f"{group_id}.n{new_number}",
+            group_id=group_id,
+            metric_factory=self._metric_factory,
+            segment_length=self.config.segment_length,
+            profile=profile,
+            bucket_capacity=self.config.bucket_capacity,
+            rng_seed=new_number + 1,
+        )
+        group.add_node(node)
+
+        # Re-place every distinct block of the group under the new hash.
+        group_blocks = sorted(
+            {block_id for member in group.nodes for block_id in member.block_ids}
+        )
+        for member in group.nodes:
+            member.reset_storage()
+        per_node: dict[str, list[int]] = {n.node_id: [] for n in group.nodes}
+        for block_id in group_blocks:
+            replicas = group.place_replicas(
+                self.store.block_key(block_id), self.config.replication
+            )
+            for replica in replicas:
+                per_node[replica.node_id].append(block_id)
+            self.node_of_block[block_id] = replicas[0].node_id
+        for member in group.nodes:
+            block_ids = per_node[member.node_id]
+            if block_ids:
+                member.store_blocks(self.store.codes_matrix(block_ids), block_ids)
+            self.stats.per_node_blocks[member.node_id] = len(block_ids)
+        return node
+
+    def insert_sequences(self, new_sequences: SequenceSet) -> None:
+        """Incrementally index additional reference sequences.
+
+        Supports the growth scenario of research challenge 1: new data is
+        blocked, hashed with the *existing* prefix tree (the cluster-wide
+        hash function is immutable) and batch-inserted into the local trees.
+        """
+        if new_sequences.alphabet.name != self.alphabet.name:
+            raise ValueError(
+                f"alphabet mismatch: index is {self.alphabet.name}, "
+                f"got {new_sequences.alphabet.name}"
+            )
+        start_block = len(self.store)
+        for record in new_sequences:
+            self.database.add(record)
+            self.store._ingest(record)
+
+        per_node_ids: dict[str, list[int]] = {}
+        for block in self.store.blocks[start_block:]:
+            codes = self.store.codes_of(block.block_id)
+            prefix = self.prefix_tree.hash_one(codes).prefix
+            group = self.topology.group_for_prefix(prefix)
+            replicas = group.place_replicas(
+                self.store.block_key(block.block_id), self.config.replication
+            )
+            for node in replicas:
+                per_node_ids.setdefault(node.node_id, []).append(block.block_id)
+            self.node_of_block[block.block_id] = replicas[0].node_id
+
+        nodes_by_id = {node.node_id: node for node in self.topology.nodes}
+        for node_id, block_ids in per_node_ids.items():
+            node = nodes_by_id[node_id]
+            node.store_blocks(self.store.codes_matrix(block_ids), block_ids)
+            self.stats.per_node_blocks[node_id] = (
+                self.stats.per_node_blocks.get(node_id, 0) + len(block_ids)
+            )
+        self.stats.block_count = len(self.store)

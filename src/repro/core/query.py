@@ -1,0 +1,646 @@
+"""Query evaluation (paper section V-B) over the simulated cluster.
+
+The pipeline, executed as discrete-event processes so the reported
+*turnaround* reflects cluster parallelism:
+
+1. the client sends the query to the **system entry point** (any node —
+   Mendel is symmetric);
+2. a sliding window of the indexed segment length steps over the query in
+   intervals of ``k`` (subquery normalisation with reduced amplification);
+3. each window is hashed through the vp-prefix tree *with branching
+   tolerance*; every group the traversal reaches becomes a **group entry
+   point** for that window;
+4. each group broadcasts its windows to all member nodes (tier-2 placement
+   is flat, so every node may hold relevant blocks); nodes run local
+   vp-tree k-NN, filter candidates by percent identity and c-score, and
+   lengthen survivors into anchors via the block neighbour references;
+5. anchors aggregate at the group entry point (overlapping same-diagonal
+   anchors combined), then again at the system entry point;
+6. merged anchors whose normalised score exceeds ``S`` receive a banded
+   gapped extension (band of ``l`` diagonals); results are scored with the
+   user matrix ``M``, assigned Karlin–Altschul E-values, filtered at ``E``,
+   deduplicated, ranked, and returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.gapped import banded_extend
+from repro.align.result import Alignment, Anchor
+from repro.align.stats import KarlinAltschulParams, karlin_altschul
+from repro.cluster.group import StorageGroup
+from repro.cluster.messages import (
+    AnchorReport,
+    GroupReport,
+    QueryResult,
+    SubQuery,
+)
+from repro.cluster.node import StorageNode
+from repro.core.aggregate import merge_anchors
+from repro.core.anchors import evaluate_candidate, extend_anchor
+from repro.core.index import MendelIndex
+from repro.core.params import QueryParams
+from repro.seq.alphabet import Alphabet
+from repro.seq.matrices import dna_matrix, named_matrix
+from repro.seq.records import SequenceRecord
+from repro.sim.engine import AllOf, Simulation
+from repro.sim.network import Network
+
+@dataclass
+class QueryStats:
+    """Per-query accounting reported alongside the alignments."""
+
+    turnaround: float = 0.0
+    windows: int = 0
+    groups_contacted: int = 0
+    subqueries_routed: int = 0
+    candidate_hits: int = 0
+    anchors_extended: int = 0
+    anchors_merged: int = 0
+    gapped_extensions: int = 0
+    alignments_reported: int = 0
+    node_evals: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of the distributed dataflow, for observability.
+
+    ``time`` is simulated seconds since the query entered the system;
+    ``actor`` is a node id, group id, or ``"client"``; ``detail`` is a
+    human-readable payload summary.
+    """
+
+    time: float
+    actor: str
+    event: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time * 1e3:9.3f} ms] {self.actor:>12}  {self.event}" + (
+            f"  ({self.detail})" if self.detail else ""
+        )
+
+
+@dataclass
+class QueryReport:
+    """Result of one query: ranked alignments plus statistics."""
+
+    query_id: str
+    alignments: list[Alignment]
+    stats: QueryStats
+    trace: list[TraceEvent] = field(default_factory=list)
+
+    def best(self) -> Alignment | None:
+        return self.alignments[0] if self.alignments else None
+
+    def subject_ids(self) -> list[str]:
+        """Distinct subject ids in rank order."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for alignment in self.alignments:
+            if alignment.subject_id not in seen:
+                seen.add(alignment.subject_id)
+                out.append(alignment.subject_id)
+        return out
+
+    def hits(self, subject_id: str) -> list[Alignment]:
+        return [a for a in self.alignments if a.subject_id == subject_id]
+
+
+def resolve_matrix(params: QueryParams, alphabet: Alphabet) -> np.ndarray:
+    """The scoring matrix for this query, defaulting sensibly per alphabet.
+
+    ``M`` names the matrix (Table I); a protein default (``BLOSUM62``)
+    against a DNA database silently means "the DNA default" rather than an
+    error, matching how alignment tools pick per-program defaults.
+    """
+    if alphabet.name == "dna" and params.M.lower() == "blosum62":
+        return dna_matrix()
+    return named_matrix(params.M)
+
+
+@dataclass
+class _Window:
+    index: int
+    query_start: int
+    codes: np.ndarray
+
+
+class QueryEngine:
+    """Evaluates queries against a :class:`~repro.core.index.MendelIndex`."""
+
+    def __init__(self, index: MendelIndex) -> None:
+        self.index = index
+        self._ka_cache: dict[str, KarlinAltschulParams] = {}
+        self._background = index.database.residue_frequencies()
+
+    # -- statistics --------------------------------------------------------
+
+    def ka_params(self, params: QueryParams) -> KarlinAltschulParams:
+        key = params.M.lower() + ":" + self.index.alphabet.name
+        if key not in self._ka_cache:
+            matrix = resolve_matrix(params, self.index.alphabet)
+            self._ka_cache[key] = karlin_altschul(matrix, self._background)
+        return self._ka_cache[key]
+
+    def search_radius(self, params: QueryParams) -> float:
+        """Largest local-tree distance the identity filter could accept.
+
+        With at most ``floor((1 - i) * w)`` mismatching positions in a
+        window of length ``w``, the segment distance cannot exceed
+        ``mismatches * max_per_residue_distance`` — so bounding the NNS at
+        that radius is lossless.  ``search_radius_scale`` < 1 tightens it
+        into an approximate (faster) search.
+        """
+        w = self.index.segment_length
+        max_mismatches = int((1.0 - params.i) * w)
+        metric = self.index.topology.nodes[0].tree.adapter.metric
+        per_residue = getattr(metric, "matrix", None)
+        if per_residue is None:
+            radius = float(max_mismatches)  # Hamming: distance == mismatches
+        else:
+            radius = max_mismatches * float(np.asarray(per_residue).max())
+        return radius * params.search_radius_scale
+
+    # -- window construction ----------------------------------------------------
+
+    def windows_for(self, query: SequenceRecord, params: QueryParams) -> list[_Window]:
+        w = self.index.segment_length
+        length = len(query)
+        if length < w:
+            raise ValueError(
+                f"query length {length} is shorter than the indexed segment "
+                f"length {w}"
+            )
+        positions = list(range(0, length - w + 1, params.k))
+        if positions[-1] != length - w:
+            positions.append(length - w)  # always cover the tail
+        return [
+            _Window(index=i, query_start=pos, codes=query.codes[pos : pos + w])
+            for i, pos in enumerate(positions)
+        ]
+
+    # -- the pipeline -------------------------------------------------------------
+
+    def run(
+        self,
+        query: SequenceRecord,
+        params: QueryParams | None = None,
+        trace: bool = False,
+    ) -> QueryReport:
+        """Evaluate *query*; returns ranked alignments and statistics.
+
+        With ``trace=True`` the report carries a
+        :class:`TraceEvent` timeline of the distributed dataflow.
+        """
+        return self.run_batch([query], params, trace=trace)[0]
+
+    def run_batch(
+        self,
+        queries: list[SequenceRecord],
+        params: QueryParams | None = None,
+        arrival_interval: float = 0.0,
+        trace: bool = False,
+    ) -> list[QueryReport]:
+        """Evaluate *queries* concurrently on one simulated cluster.
+
+        Query ``i`` arrives at simulated time ``i * arrival_interval``
+        (0 = all at once).  Overlapping queries contend for each node's CPU
+        through a FIFO :class:`~repro.sim.resource.Resource`, so per-query
+        turnarounds reflect queueing under load — the throughput story a
+        storage framework lives or dies by.  A single-query batch reduces
+        exactly to the sequential behaviour.
+
+        Returns one report per query, in input order; each report's
+        ``turnaround`` is completion time minus that query's arrival time.
+        """
+        from repro.sim.resource import Resource
+
+        params = params or QueryParams()
+        if arrival_interval < 0:
+            raise ValueError(
+                f"arrival_interval must be non-negative, got {arrival_interval}"
+            )
+        for query in queries:
+            if query.alphabet.name != self.index.alphabet.name:
+                raise ValueError(
+                    f"query alphabet {query.alphabet.name!r} does not match "
+                    f"the indexed alphabet {self.index.alphabet.name!r}"
+                )
+        matrix = resolve_matrix(params, self.index.alphabet)
+        is_protein = self.index.alphabet.name == "protein"
+        topo = self.index.topology
+        store = self.index.store
+        sim = Simulation()
+        net = Network(sim=sim)
+        entry = next((n for n in topo.nodes if n.alive), topo.nodes[0])
+        locks = {node.node_id: Resource(sim, name=node.node_id)
+                 for node in topo.nodes}
+        radius = self.search_radius(params)
+        tolerance = (
+            params.tolerance
+            if params.tolerance is not None
+            else 0.5 * self.search_radius(params)
+        )
+
+        per_query_stats = [QueryStats() for _ in queries]
+        holders: list[dict] = [{} for _ in queries]
+        traces: list[list[TraceEvent]] = [[] for _ in queries]
+
+        def make_note(index: int):
+            if not trace:
+                return lambda actor, event, detail="": None
+
+            def note(actor: str, event: str, detail: str = "") -> None:
+                traces[index].append(
+                    TraceEvent(time=sim.now, actor=actor, event=event,
+                               detail=detail)
+                )
+
+            return note
+
+        def node_proc(index: int, query: SequenceRecord, node: StorageNode,
+                      group: StorageGroup, windows: list[_Window]):
+            stats = per_query_stats[index]
+            note = make_note(index)
+            # Broadcast delivery group-entry -> node.
+            yield net.transfer(
+                group.entry_point().node_id,
+                node.node_id,
+                SubQuery(
+                    src=group.entry_point().node_id,
+                    dst=node.node_id,
+                    codes_bytes=sum(w.codes.nbytes for w in windows),
+                ).wire_bytes(),
+            )
+            # Acquire the node CPU: concurrent queries queue FIFO here.
+            lock = locks[node.node_id]
+            yield lock.request()
+            try:
+                anchors: list[Anchor] = []
+                service = 0.0
+                extension_ops = 0
+                seen: set[tuple[str, int, int]] = set()
+                local_before = node.tree.adapter.pair_evaluations
+                for window in windows:
+                    hits, seconds = node.local_knn(
+                        window.codes, params.n, max_radius=radius
+                    )
+                    service += seconds
+                    stats.candidate_hits += len(hits)
+                    for _dist, block_id in hits:
+                        candidate = store.codes_of(block_id)
+                        score = evaluate_candidate(
+                            window.codes, candidate,
+                            matrix if is_protein else None,
+                        )
+                        if score.identity < params.i or score.c_score < params.c:
+                            continue
+                        block = store.block(block_id)
+                        subject = store.record_of(block_id)
+                        anchor = extend_anchor(
+                            query=query.codes,
+                            subject=subject.codes,
+                            seq_id=block.seq_id,
+                            query_start=window.query_start,
+                            query_end=window.query_start + block.length,
+                            subject_start=block.start,
+                            identity_threshold=params.i,
+                            matrix=matrix,
+                        )
+                        key = (anchor.seq_id, anchor.diagonal, anchor.query_start)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        extension_ops += anchor.length
+                        anchors.append(anchor)
+                stats.anchors_extended += len(anchors)
+                stats.node_evals += (
+                    node.tree.adapter.pair_evaluations - local_before
+                )
+                yield service + node.service_time_ops(extension_ops)
+            finally:
+                lock.release()
+            note(node.node_id, "local search done",
+                 f"{len(windows)} windows -> {len(anchors)} anchors")
+            # Report anchors node -> group entry.
+            yield net.transfer(
+                node.node_id,
+                group.entry_point().node_id,
+                AnchorReport(
+                    src=node.node_id,
+                    dst=group.entry_point().node_id,
+                    anchor_count=len(anchors),
+                ).wire_bytes(),
+            )
+            return anchors
+
+        def group_proc(index: int, query: SequenceRecord, group: StorageGroup,
+                       windows: list[_Window]):
+            stats = per_query_stats[index]
+            note = make_note(index)
+            # System entry -> group entry (the subquery batch).
+            yield net.transfer(
+                entry.node_id,
+                group.entry_point().node_id,
+                SubQuery(
+                    src=entry.node_id,
+                    dst=group.entry_point().node_id,
+                    codes_bytes=sum(w.codes.nbytes for w in windows),
+                ).wire_bytes(),
+            )
+            node_events = [
+                sim.spawn(node_proc(index, query, node, group, windows),
+                          name=f"q{index}:node:{node.node_id}")
+                for node in group.alive_nodes()
+            ]
+            if not node_events:
+                return []  # whole group down: no anchors from here
+            per_node = yield AllOf(node_events)
+            collected = [a for anchors in per_node for a in anchors]
+            merged = merge_anchors(collected)
+            coordinator = group.entry_point()
+            yield coordinator.service_time_ops(4 * max(1, len(collected)))
+            note(group.group_id, "group aggregation",
+                 f"{len(collected)} anchors merged to {len(merged)}")
+            # Group entry -> system entry.
+            yield net.transfer(
+                group.entry_point().node_id,
+                entry.node_id,
+                GroupReport(
+                    src=group.entry_point().node_id,
+                    dst=entry.node_id,
+                    anchor_count=len(merged),
+                ).wire_bytes(),
+            )
+            return merged
+
+        def system_proc(index: int, query: SequenceRecord, arrival: float):
+            stats = per_query_stats[index]
+            note = make_note(index)
+            if arrival > 0:
+                yield arrival
+            # Client -> system entry point.
+            yield net.transfer("client", entry.node_id, query.codes.nbytes + 64)
+            note(entry.node_id, "query received",
+                 f"{len(query)} residues from client")
+
+            windows = self.windows_for(query, params)
+            stats.windows = len(windows)
+
+            # Route windows: vp-prefix hash with branching tolerance.
+            adapter = self.index.prefix_tree._tree.adapter
+            hash_before = adapter.pair_evaluations
+            routing: dict[str, list[_Window]] = {}
+            groups_by_id: dict[str, StorageGroup] = {}
+            for window in windows:
+                for group in topo.groups_for_query(window.codes, tolerance):
+                    routing.setdefault(group.group_id, []).append(window)
+                    groups_by_id[group.group_id] = group
+                    stats.subqueries_routed += 1
+            yield entry.service_time(adapter.pair_evaluations - hash_before)
+            stats.groups_contacted = len(routing)
+            note(entry.node_id, "windows hashed",
+                 f"{len(windows)} windows -> {len(routing)} groups "
+                 f"({stats.subqueries_routed} subqueries)")
+
+            group_events = [
+                sim.spawn(group_proc(index, query, groups_by_id[gid], wins),
+                          name=f"q{index}:group:{gid}")
+                for gid, wins in sorted(routing.items())
+            ]
+            merged: list[Anchor] = []
+            if group_events:
+                per_group = yield AllOf(group_events)
+                merged = merge_anchors([a for group in per_group for a in group])
+            stats.anchors_merged = len(merged)
+            note(entry.node_id, "system aggregation",
+                 f"{len(merged)} merged anchors")
+
+            (alignments, gapped_count), gapped_ops = self._gapped_pass(
+                query, merged, params, matrix
+            )
+            stats.gapped_extensions = gapped_count
+            yield entry.service_time_ops(gapped_ops)
+            note(entry.node_id, "gapped pass done",
+                 f"{gapped_count} extensions -> {len(alignments)} alignments")
+
+            # System entry -> client.
+            yield net.transfer(
+                entry.node_id,
+                "client",
+                QueryResult(
+                    src=entry.node_id,
+                    dst="client",
+                    alignment_count=len(alignments),
+                ).wire_bytes(),
+            )
+            note("client", "result received",
+                 f"{len(alignments)} ranked alignments")
+            holders[index]["alignments"] = alignments
+            holders[index]["completed_at"] = sim.now
+            holders[index]["arrival"] = arrival
+
+        done_events = [
+            sim.spawn(system_proc(i, query, i * arrival_interval),
+                      name=f"q{i}:system-entry")
+            for i, query in enumerate(queries)
+        ]
+        sim.run()
+        if not all(event.fired for event in done_events):
+            raise RuntimeError("query simulation did not complete")
+
+        reports: list[QueryReport] = []
+        for index, query in enumerate(queries):
+            stats = per_query_stats[index]
+            holder = holders[index]
+            alignments = holder.get("alignments", [])
+            stats.turnaround = holder["completed_at"] - holder["arrival"]
+            stats.alignments_reported = len(alignments)
+            stats.messages = net.stats.messages
+            stats.bytes_sent = net.stats.bytes_sent
+            reports.append(
+                QueryReport(
+                    query_id=query.seq_id,
+                    alignments=alignments,
+                    stats=stats,
+                    trace=traces[index],
+                )
+            )
+        return reports
+
+    # -- the final gapped pass -------------------------------------------------------
+
+    def _gapped_pass(
+        self,
+        query: SequenceRecord,
+        merged: list[Anchor],
+        params: QueryParams,
+        matrix: np.ndarray,
+    ) -> tuple[tuple[list[Alignment], int], float]:
+        """Gapped-extend qualifying anchors; score, filter by E, dedupe, rank.
+
+        Returns ``((alignments, gapped_count), residue_ops_charged)``.
+        """
+        ka = self.ka_params(params)
+        db_len = max(1, self.index.database.total_residues)
+        ops = 0.0
+        gapped_count = 0
+        raw: list[Alignment] = []
+        # Process each subject bin best-first: once a gapped extension covers
+        # a region, remaining anchors of the same sequence within l diagonals
+        # whose seed falls inside it are absorbed ("the gapped extension
+        # considers all anchors from the same sequence within l diagonals in
+        # either direction") rather than re-extended.
+        by_subject: dict[str, list[Anchor]] = {}
+        for anchor in merged:
+            by_subject.setdefault(anchor.seq_id, []).append(anchor)
+
+        for seq_id in sorted(by_subject):
+            # Process best raw score first: long, reliable anchors claim the
+            # per-subject budget before short lucky ones (the normalised
+            # score S stays the *trigger*, per the paper, not the order).
+            bin_anchors = sorted(
+                by_subject[seq_id],
+                key=lambda a: (-a.score, a.query_start),
+            )
+            covered: list[tuple[int, int, int]] = []  # (q_start, q_end, diagonal)
+            per_subject = 0
+            for anchor in bin_anchors:
+                normalised = anchor.score / max(1, anchor.length)
+                if normalised < params.S:
+                    continue
+                if per_subject >= params.max_gapped_per_subject:
+                    break
+                mid = (anchor.query_start + anchor.query_end) // 2
+                if any(
+                    lo <= mid < hi and abs(anchor.diagonal - diag) <= params.l
+                    for lo, hi, diag in covered
+                ):
+                    continue
+                raw_alignment, cell_ops = self._extend_and_score(
+                    query, anchor, params, matrix, ka, db_len
+                )
+                ops += cell_ops
+                gapped_count += 1
+                per_subject += 1
+                if raw_alignment is not None:
+                    covered.append(
+                        (
+                            raw_alignment.query_start,
+                            raw_alignment.query_end,
+                            anchor.diagonal,
+                        )
+                    )
+                    raw.append(raw_alignment)
+        alignments = self._dedupe_rank(raw)
+        return (alignments, gapped_count), ops
+
+    def _extend_and_score(
+        self,
+        query: SequenceRecord,
+        anchor: Anchor,
+        params: QueryParams,
+        matrix: np.ndarray,
+        ka: KarlinAltschulParams,
+        db_len: int,
+    ) -> tuple[Alignment | None, float]:
+        """Gapped-extend one anchor and build its alignment (or ``None`` if
+        it fails the E-value filter); returns the residue-op cost too."""
+        ops = 0.0
+        subject = self.index.database[anchor.seq_id]
+        seed_q = (anchor.query_start + anchor.query_end) // 2
+        seed_s = seed_q + anchor.diagonal
+        seed_q = min(max(seed_q, 0), len(query) - 1)
+        seed_s = min(max(seed_s, 0), len(subject) - 1)
+        if params.l > 0:
+            ext = banded_extend(
+                query.codes,
+                subject.codes,
+                matrix,
+                seed_query=seed_q,
+                seed_subject=seed_s,
+                bandwidth=params.l,
+                gap_open=params.gap_open,
+                gap_extend=params.gap_extend,
+                x_drop=params.x_drop,
+            )
+            span = ext.query_end - ext.query_start
+            ops += span * (2 * params.l + 1)
+            q_start, q_end = ext.query_start, ext.query_end
+            s_start, s_end = ext.subject_start, ext.subject_end
+            score = ext.score
+        else:
+            q_start, q_end = anchor.query_start, anchor.query_end
+            s_start, s_end = anchor.subject_start, anchor.subject_end
+            score = anchor.score
+            ops += anchor.length
+
+        evalue = ka.evalue(score, len(query), db_len)
+        if evalue > params.E:
+            return None, ops
+        identity = self._ungapped_identity(
+            query.codes, subject.codes, q_start, q_end, s_start, s_end
+        )
+        return (
+            Alignment(
+                query_id=query.seq_id,
+                subject_id=anchor.seq_id,
+                query_start=q_start,
+                query_end=q_end,
+                subject_start=s_start,
+                subject_end=s_end,
+                score=score,
+                bit_score=ka.bit_score(score),
+                evalue=evalue,
+                identity=identity,
+            ),
+            ops,
+        )
+
+    @staticmethod
+    def _ungapped_identity(
+        query: np.ndarray,
+        subject: np.ndarray,
+        q_start: int,
+        q_end: int,
+        s_start: int,
+        s_end: int,
+    ) -> float:
+        """Identity estimate along the dominant diagonal of the extension."""
+        span = min(q_end - q_start, s_end - s_start)
+        if span <= 0:
+            return 0.0
+        q = query[q_start : q_start + span]
+        s = subject[s_start : s_start + span]
+        return float((q == s).sum()) / span
+
+    @staticmethod
+    def _dedupe_rank(alignments: list[Alignment]) -> list[Alignment]:
+        """Suppress near-duplicate alignments (same subject, mostly
+        overlapping query spans), then rank by E-value then score."""
+        ordered = sorted(alignments, key=lambda a: (a.evalue, -a.score))
+        kept: list[Alignment] = []
+        for candidate in ordered:
+            duplicate = False
+            for existing in kept:
+                if existing.subject_id != candidate.subject_id:
+                    continue
+                lo = max(existing.query_start, candidate.query_start)
+                hi = min(existing.query_end, candidate.query_end)
+                overlap = max(0, hi - lo)
+                shorter = max(
+                    1, min(existing.query_span, candidate.query_span)
+                )
+                if overlap / shorter > 0.7:
+                    duplicate = True
+                    break
+            if not duplicate:
+                kept.append(candidate)
+        return kept

@@ -1,0 +1,89 @@
+"""Sequence substrate: alphabets, records, FASTA IO, scoring matrices,
+distances, mutation models, and synthetic generation."""
+
+from repro.seq.alphabet import DNA, PROTEIN, Alphabet, alphabet_for
+from repro.seq.distance import (
+    HammingDistance,
+    MatrixDistance,
+    default_distance,
+    hamming,
+    hamming_batch,
+    percent_identity,
+)
+from repro.seq.fasta import format_fasta, parse_fasta_text, read_fasta, write_fasta
+from repro.seq.generate import (
+    SWISSPROT_2015_FREQUENCIES,
+    dna_background,
+    protein_background,
+    random_codes,
+    random_dna,
+    random_protein,
+    random_set,
+)
+from repro.seq.matrices import (
+    BLOSUM62,
+    MATRIX_ORDER,
+    PAM250,
+    column_shift,
+    dna_matrix,
+    mendel_distance_matrix,
+    named_matrix,
+    validate_metric_matrix,
+)
+from repro.seq.mutate import (
+    MutationModel,
+    mutate,
+    mutate_to_identity,
+    sample_read,
+)
+from repro.seq.records import SequenceRecord, SequenceSet
+from repro.seq.translate import (
+    STANDARD_CODE,
+    reverse_complement,
+    six_frame_translations,
+    translate,
+    translate_codes,
+)
+
+__all__ = [
+    "DNA",
+    "PROTEIN",
+    "Alphabet",
+    "alphabet_for",
+    "HammingDistance",
+    "MatrixDistance",
+    "default_distance",
+    "hamming",
+    "hamming_batch",
+    "percent_identity",
+    "format_fasta",
+    "parse_fasta_text",
+    "read_fasta",
+    "write_fasta",
+    "SWISSPROT_2015_FREQUENCIES",
+    "dna_background",
+    "protein_background",
+    "random_codes",
+    "random_dna",
+    "random_protein",
+    "random_set",
+    "BLOSUM62",
+    "MATRIX_ORDER",
+    "PAM250",
+    "column_shift",
+    "dna_matrix",
+    "mendel_distance_matrix",
+    "named_matrix",
+    "validate_metric_matrix",
+    "MutationModel",
+    "mutate",
+    "mutate_to_identity",
+    "sample_read",
+    "SequenceRecord",
+    "SequenceSet",
+    "STANDARD_CODE",
+    "reverse_complement",
+    "six_frame_translations",
+    "translate",
+    "translate_codes",
+]

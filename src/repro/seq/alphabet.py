@@ -1,0 +1,138 @@
+"""Sequence alphabets and numpy-backed encoding.
+
+Sequences are stored throughout the library as ``numpy.uint8`` code arrays so
+that distance kernels, sliding windows, and alignments are pure vector
+operations (no Python loops over residues).  An :class:`Alphabet` owns the
+letter <-> code mapping and fast bulk encode/decode built on 256-entry lookup
+tables.
+
+Two canonical instances are provided:
+
+``DNA``
+    ``ACGT`` plus the ambiguity letter ``N``.
+
+``PROTEIN``
+    The 20 canonical amino acids in NCBI/BLOSUM order
+    (``ARNDCQEGHILKMFPSTWYV``) plus the ambiguity letters ``B``, ``Z``, ``X``
+    and the stop ``*``.  The canonical residues occupy codes ``0..19`` so
+    scoring matrices index directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_INVALID = 255  # lookup-table sentinel for letters outside the alphabet
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered set of residue letters with vectorised encode/decode.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"dna"``, ``"protein"``).
+    letters:
+        The ordered residue letters.  Code ``i`` is ``letters[i]``.
+    canonical_size:
+        Number of leading letters considered canonical (unambiguous).
+        Ambiguity letters (e.g. ``N``, ``X``) get codes ``>= canonical_size``.
+    """
+
+    name: str
+    letters: str
+    canonical_size: int
+    _encode_table: np.ndarray = field(init=False, repr=False, compare=False)
+    _decode_table: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.letters)) != len(self.letters):
+            raise ValueError(f"duplicate letters in alphabet {self.name!r}")
+        if not 0 < self.canonical_size <= len(self.letters):
+            raise ValueError(
+                f"canonical_size must be in 1..{len(self.letters)}, "
+                f"got {self.canonical_size}"
+            )
+        encode = np.full(256, _INVALID, dtype=np.uint8)
+        for code, letter in enumerate(self.letters):
+            encode[ord(letter)] = code
+            # Accept lower-case input transparently.
+            encode[ord(letter.lower())] = code
+        decode = np.frombuffer(self.letters.encode("ascii"), dtype=np.uint8).copy()
+        object.__setattr__(self, "_encode_table", encode)
+        object.__setattr__(self, "_decode_table", decode)
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    @property
+    def size(self) -> int:
+        """Total number of letters (canonical + ambiguity)."""
+        return len(self.letters)
+
+    def encode(self, text: str | bytes) -> np.ndarray:
+        """Encode *text* into a ``uint8`` code array.
+
+        Raises ``ValueError`` if any character is outside the alphabet.
+        """
+        if isinstance(text, str):
+            raw = text.encode("ascii")
+        else:
+            raw = bytes(text)
+        buf = np.frombuffer(raw, dtype=np.uint8)
+        codes = self._encode_table[buf]
+        if codes.size and codes.max(initial=0) == _INVALID:
+            bad_at = int(np.argmax(codes == _INVALID))
+            raise ValueError(
+                f"invalid {self.name} letter {chr(raw[bad_at])!r} at position {bad_at}"
+            )
+        return codes
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Decode a ``uint8`` code array back into a string."""
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codes.size and codes.max(initial=0) >= self.size:
+            bad = int(codes.max())
+            raise ValueError(f"code {bad} out of range for alphabet {self.name!r}")
+        return self._decode_table[codes].tobytes().decode("ascii")
+
+    def is_valid(self, text: str) -> bool:
+        """Return ``True`` when every character of *text* is in the alphabet."""
+        try:
+            self.encode(text)
+        except ValueError:
+            return False
+        return True
+
+    def is_canonical(self, codes: np.ndarray) -> np.ndarray:
+        """Boolean mask of positions holding canonical (unambiguous) codes."""
+        codes = np.asarray(codes)
+        return codes < self.canonical_size
+
+    def index_of(self, letter: str) -> int:
+        """Code of a single *letter* (case-insensitive)."""
+        if len(letter) != 1:
+            raise ValueError(f"expected a single letter, got {letter!r}")
+        code = int(self._encode_table[ord(letter)])
+        if code == _INVALID:
+            raise ValueError(f"letter {letter!r} not in alphabet {self.name!r}")
+        return code
+
+
+DNA = Alphabet(name="dna", letters="ACGTN", canonical_size=4)
+"""DNA alphabet: ``A C G T`` canonical plus ambiguity ``N``."""
+
+PROTEIN = Alphabet(name="protein", letters="ARNDCQEGHILKMFPSTWYVBZX*", canonical_size=20)
+"""Protein alphabet in NCBI/BLOSUM order; codes 0..19 are canonical residues."""
+
+
+def alphabet_for(name: str) -> Alphabet:
+    """Resolve an alphabet by name (``"dna"`` or ``"protein"``)."""
+    table = {"dna": DNA, "protein": PROTEIN}
+    try:
+        return table[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown alphabet {name!r}; expected one of {sorted(table)}")

@@ -1,0 +1,133 @@
+"""Sequence records: the unit stored in, and returned from, the framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.seq.alphabet import Alphabet, alphabet_for
+
+
+@dataclass
+class SequenceRecord:
+    """A named sequence with its encoded representation.
+
+    Parameters
+    ----------
+    seq_id:
+        Stable identifier (FASTA header accession, or synthetic id).
+    codes:
+        ``uint8`` code array under *alphabet*.
+    alphabet:
+        The owning :class:`~repro.seq.alphabet.Alphabet`.
+    description:
+        Free-text remainder of the FASTA header, if any.
+    """
+
+    seq_id: str
+    codes: np.ndarray
+    alphabet: Alphabet
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.codes = np.asarray(self.codes, dtype=np.uint8)
+        if self.codes.ndim != 1:
+            raise ValueError(f"codes must be 1-D, got shape {self.codes.shape}")
+        if not self.seq_id:
+            raise ValueError("seq_id must be non-empty")
+
+    def __len__(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def text(self) -> str:
+        """The decoded residue string."""
+        return self.alphabet.decode(self.codes)
+
+    def segment(self, start: int, end: int) -> np.ndarray:
+        """View (not copy) of codes ``[start:end)`` with bounds checking."""
+        if not 0 <= start <= end <= len(self):
+            raise IndexError(
+                f"segment [{start}, {end}) out of bounds for length {len(self)}"
+            )
+        return self.codes[start:end]
+
+    @classmethod
+    def from_text(
+        cls,
+        seq_id: str,
+        text: str,
+        alphabet: Alphabet | str,
+        description: str = "",
+    ) -> "SequenceRecord":
+        """Build a record by encoding *text* under *alphabet* (name or instance)."""
+        if isinstance(alphabet, str):
+            alphabet = alphabet_for(alphabet)
+        return cls(
+            seq_id=seq_id,
+            codes=alphabet.encode(text),
+            alphabet=alphabet,
+            description=description,
+        )
+
+
+@dataclass
+class SequenceSet:
+    """An ordered collection of records sharing one alphabet.
+
+    Provides id-based lookup and aggregate statistics; this is the "database"
+    handed to both Mendel and the BLAST baseline.
+    """
+
+    alphabet: Alphabet
+    records: list[SequenceRecord] = field(default_factory=list)
+    _by_id: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        existing, self.records = self.records, []
+        self._by_id = {}
+        for record in existing:
+            self.add(record)
+
+    def add(self, record: SequenceRecord) -> None:
+        if record.alphabet.name != self.alphabet.name:
+            raise ValueError(
+                f"record alphabet {record.alphabet.name!r} does not match "
+                f"set alphabet {self.alphabet.name!r}"
+            )
+        if record.seq_id in self._by_id:
+            raise ValueError(f"duplicate sequence id {record.seq_id!r}")
+        self._by_id[record.seq_id] = len(self.records)
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, seq_id: str) -> SequenceRecord:
+        try:
+            return self.records[self._by_id[seq_id]]
+        except KeyError:
+            raise KeyError(f"no sequence with id {seq_id!r}") from None
+
+    def __contains__(self, seq_id: str) -> bool:
+        return seq_id in self._by_id
+
+    @property
+    def total_residues(self) -> int:
+        """Total residue count across all records (database size measure)."""
+        return sum(len(record) for record in self.records)
+
+    def residue_frequencies(self) -> np.ndarray:
+        """Empirical residue frequency over the whole set (length
+        ``alphabet.size``); used by the Karlin–Altschul statistics."""
+        counts = np.zeros(self.alphabet.size, dtype=np.int64)
+        for record in self.records:
+            counts += np.bincount(record.codes, minlength=self.alphabet.size)
+        total = counts.sum()
+        if total == 0:
+            raise ValueError("cannot compute frequencies of an empty set")
+        return counts / total

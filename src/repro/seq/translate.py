@@ -1,0 +1,137 @@
+"""Genetic-code translation and reading frames.
+
+Supports the translated-search workflow (BLASTX-style): a DNA query —
+environmental reads, genes — searched against a *protein* reference
+database by translating all six reading frames and querying each.  This is
+the workflow behind the paper's metagenomics scenario when the reference is
+`nr` (a protein database).
+
+The standard genetic code (NCBI translation table 1) is implemented with a
+vectorised codon-index lookup: codons become base-4 integers and one fancy
+index maps a whole sequence at once.  Codons containing ambiguity bases
+translate to ``X``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.seq.alphabet import DNA, PROTEIN
+from repro.seq.records import SequenceRecord
+
+#: The standard genetic code as codon-string -> amino-acid letter
+#: (``*`` = stop), NCBI translation table 1.
+STANDARD_CODE: dict[str, str] = {
+    "TTT": "F", "TTC": "F", "TTA": "L", "TTG": "L",
+    "CTT": "L", "CTC": "L", "CTA": "L", "CTG": "L",
+    "ATT": "I", "ATC": "I", "ATA": "I", "ATG": "M",
+    "GTT": "V", "GTC": "V", "GTA": "V", "GTG": "V",
+    "TCT": "S", "TCC": "S", "TCA": "S", "TCG": "S",
+    "CCT": "P", "CCC": "P", "CCA": "P", "CCG": "P",
+    "ACT": "T", "ACC": "T", "ACA": "T", "ACG": "T",
+    "GCT": "A", "GCC": "A", "GCA": "A", "GCG": "A",
+    "TAT": "Y", "TAC": "Y", "TAA": "*", "TAG": "*",
+    "CAT": "H", "CAC": "H", "CAA": "Q", "CAG": "Q",
+    "AAT": "N", "AAC": "N", "AAA": "K", "AAG": "K",
+    "GAT": "D", "GAC": "D", "GAA": "E", "GAG": "E",
+    "TGT": "C", "TGC": "C", "TGA": "*", "TGG": "W",
+    "CGT": "R", "CGC": "R", "CGA": "R", "CGG": "R",
+    "AGT": "S", "AGC": "S", "AGA": "R", "AGG": "R",
+    "GGT": "G", "GGC": "G", "GGA": "G", "GGG": "G",
+}
+
+
+def _codon_table() -> np.ndarray:
+    """64-entry lookup: base-4 codon index -> protein code (uint8)."""
+    table = np.zeros(64, dtype=np.uint8)
+    for codon, amino in STANDARD_CODE.items():
+        index = 0
+        for base in codon:
+            index = index * 4 + DNA.index_of(base)
+        table[index] = PROTEIN.index_of(amino)
+    return table
+
+
+_CODON_TABLE = _codon_table()
+_X_CODE = PROTEIN.index_of("X")
+
+#: complement map over DNA codes (A<->T, C<->G, N->N)
+_COMPLEMENT = np.array(
+    [DNA.index_of("T"), DNA.index_of("G"), DNA.index_of("C"),
+     DNA.index_of("A"), DNA.index_of("N")],
+    dtype=np.uint8,
+)
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse complement of a DNA code array."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max() >= DNA.size:
+        raise ValueError("codes are not valid DNA")
+    return _COMPLEMENT[codes][::-1]
+
+
+def translate_codes(codes: np.ndarray, frame: int = 0) -> np.ndarray:
+    """Translate DNA *codes* starting at offset *frame* (0, 1, or 2).
+
+    Trailing bases that do not fill a codon are dropped; codons containing
+    ambiguity bases (``N``) translate to ``X``; stops translate to ``*``.
+    """
+    if frame not in (0, 1, 2):
+        raise ValueError(f"frame must be 0, 1, or 2, got {frame}")
+    codes = np.asarray(codes, dtype=np.uint8)
+    usable = (codes.shape[0] - frame) // 3
+    if usable <= 0:
+        return np.zeros(0, dtype=np.uint8)
+    window = codes[frame : frame + usable * 3].reshape(usable, 3)
+    ambiguous = (window >= 4).any(axis=1)
+    safe = np.where(window >= 4, 0, window).astype(np.int64)
+    indices = safe[:, 0] * 16 + safe[:, 1] * 4 + safe[:, 2]
+    out = _CODON_TABLE[indices]
+    out[ambiguous] = _X_CODE
+    return out
+
+
+def translate(record: SequenceRecord, frame: int = 0) -> SequenceRecord:
+    """Translate a DNA record in the given forward *frame*."""
+    if record.alphabet.name != "dna":
+        raise ValueError(f"can only translate DNA, got {record.alphabet.name}")
+    return SequenceRecord(
+        seq_id=f"{record.seq_id}|frame+{frame}",
+        codes=translate_codes(record.codes, frame),
+        alphabet=PROTEIN,
+        description=f"translation of {record.seq_id} frame +{frame}",
+    )
+
+
+def six_frame_translations(record: SequenceRecord) -> list[SequenceRecord]:
+    """All six reading-frame translations (+0..+2, -0..-2) of a DNA record.
+
+    Frames shorter than one codon are omitted (very short inputs).
+    """
+    if record.alphabet.name != "dna":
+        raise ValueError(f"can only translate DNA, got {record.alphabet.name}")
+    out: list[SequenceRecord] = []
+    reverse = reverse_complement(record.codes)
+    for frame in (0, 1, 2):
+        forward = translate_codes(record.codes, frame)
+        if forward.size:
+            out.append(
+                SequenceRecord(
+                    seq_id=f"{record.seq_id}|frame+{frame}",
+                    codes=forward,
+                    alphabet=PROTEIN,
+                    description=f"translation of {record.seq_id} frame +{frame}",
+                )
+            )
+        backward = translate_codes(reverse, frame)
+        if backward.size:
+            out.append(
+                SequenceRecord(
+                    seq_id=f"{record.seq_id}|frame-{frame}",
+                    codes=backward,
+                    alphabet=PROTEIN,
+                    description=f"translation of {record.seq_id} frame -{frame}",
+                )
+            )
+    return out

@@ -1,0 +1,8 @@
+"""Discrete-event simulation substrate standing in for the paper's
+physical 50-node LAN cluster."""
+
+from repro.sim.engine import AllOf, SimError, SimEvent, Simulation
+from repro.sim.network import Network, NetworkStats
+from repro.sim.resource import Resource
+
+__all__ = ["AllOf", "SimError", "SimEvent", "Simulation", "Network", "NetworkStats", "Resource"]

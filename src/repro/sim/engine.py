@@ -1,0 +1,171 @@
+"""Discrete-event simulation kernel.
+
+Substitutes for the paper's physical 50-node LAN testbed: cluster components
+run as generator *processes* over a shared virtual clock, so concurrency
+(parallel subquery fan-out, aggregation barriers) is modelled faithfully
+while the actual algorithmic work executes natively in-process.
+
+The kernel is deliberately small — an event heap plus three coordination
+forms a process can ``yield``:
+
+* a non-negative number — suspend for that many simulated seconds;
+* a :class:`SimEvent` — suspend until it fires, resuming with its value;
+* an :class:`AllOf` — barrier over several events (resumes with their values
+  in the order given, once all have fired).
+
+Determinism: heap ties break on a monotone sequence number, so identical
+runs replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+
+class SimError(RuntimeError):
+    """Raised for invalid simulator usage (e.g. firing an event twice)."""
+
+
+@dataclass
+class SimEvent:
+    """A one-shot event carrying an optional value.
+
+    Waiters are plain callbacks ``fn(value)``; they are scheduled (not
+    invoked inline) when the event fires, preserving heap ordering.
+    """
+
+    sim: "Simulation"
+    name: str = ""
+    fired: bool = False
+    value: Any = None
+    _waiters: list[Callable[[Any], None]] = field(default_factory=list, repr=False)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event now, scheduling every waiter at the current time."""
+        if self.fired:
+            raise SimError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        for callback in self._waiters:
+            self.sim.call_later(0.0, callback, value)
+        self._waiters.clear()
+
+    def fire_at(self, delay: float, value: Any = None) -> None:
+        """Fire the event after *delay* simulated seconds."""
+        self.sim.call_later(delay, self.fire, value)
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(value)`` when the event fires (immediately
+        scheduled if it already has)."""
+        if self.fired:
+            self.sim.call_later(0.0, callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+
+@dataclass
+class AllOf:
+    """Barrier over several events; a waiting process resumes with the list
+    of their values in the order given (regardless of completion order)."""
+
+    events: list[SimEvent]
+
+    def __post_init__(self) -> None:
+        self.events = list(self.events)
+        if not self.events:
+            raise SimError("AllOf requires at least one event")
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Simulation:
+    """Event-heap simulator with generator processes."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._counter = itertools.count()
+        self.events_processed: int = 0
+
+    # -- low-level scheduling -------------------------------------------------
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Invoke ``fn(*args)`` after *delay* simulated seconds."""
+        if delay < 0:
+            raise SimError(f"delay must be non-negative, got {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), fn, args))
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh unfired event."""
+        return SimEvent(sim=self, name=name)
+
+    # -- processes ----------------------------------------------------------------
+
+    def spawn(self, generator: ProcessGen, name: str = "") -> SimEvent:
+        """Start a generator process; returns an event that fires with the
+        process's return value when it finishes."""
+        done = self.event(f"done:{name}")
+        self.call_later(0.0, self._step, generator, None, done, name)
+        return done
+
+    def _step(self, gen: ProcessGen, send_value: Any, done: SimEvent, name: str) -> None:
+        try:
+            yielded = gen.send(send_value)
+        except StopIteration as stop:
+            done.fire(stop.value)
+            return
+        self._dispatch(gen, yielded, done, name)
+
+    def _dispatch(self, gen: ProcessGen, yielded: Any, done: SimEvent, name: str) -> None:
+        resume = lambda value: self._step(gen, value, done, name)  # noqa: E731
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimError(f"process {name!r} yielded negative delay {yielded}")
+            self.call_later(float(yielded), resume, None)
+        elif isinstance(yielded, SimEvent):
+            yielded.subscribe(resume)
+        elif isinstance(yielded, AllOf):
+            self._wait_all(yielded.events, resume)
+        else:
+            raise SimError(
+                f"process {name!r} yielded unsupported {type(yielded)!r}; "
+                "yield a delay, SimEvent, or AllOf"
+            )
+
+    def _wait_all(
+        self, events: Iterable[SimEvent], resume: Callable[[Any], None]
+    ) -> None:
+        events = list(events)
+        state = {"remaining": sum(1 for e in events if not e.fired)}
+        if state["remaining"] == 0:
+            self.call_later(0.0, resume, [e.value for e in events])
+            return
+
+        def on_fire(_value: Any) -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                resume([e.value for e in events])
+
+        for event in events:
+            if not event.fired:
+                event.subscribe(on_fire)
+
+    # -- running ----------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event heap (optionally stopping at time *until*);
+        returns the final simulated time."""
+        while self._heap:
+            when, _, fn, args = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            self.events_processed += 1
+            fn(*args)
+        return self.now

@@ -1,0 +1,119 @@
+"""Simulated LAN model.
+
+The paper's testbed is a single-switch LAN of commodity servers; its
+dominant network costs are per-message latency and serialisation at the NIC.
+:class:`Network` models a message send as
+
+``delay = base_latency + size_bytes / bandwidth (+ jitter)``
+
+and accumulates per-link traffic statistics so benchmarks can report message
+and byte counts alongside turnaround times.  Loopback (``src == dst``) is
+free apart from a small local dispatch cost, matching a zero-hop DHT where a
+node can answer its own requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.engine import Simulation
+from repro.util.rng import RandomSource, as_generator
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    loopback_messages: int = 0
+
+    def merge(self, other: "NetworkStats") -> "NetworkStats":
+        return NetworkStats(
+            messages=self.messages + other.messages,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            loopback_messages=self.loopback_messages + other.loopback_messages,
+        )
+
+
+@dataclass
+class Network:
+    """Latency/bandwidth network attached to a :class:`Simulation`.
+
+    Parameters
+    ----------
+    sim:
+        The simulation clock messages are scheduled on.
+    base_latency:
+        Fixed per-message one-way latency in seconds (default 200 us — a
+        typical gigabit-LAN RPC floor).
+    bandwidth:
+        Effective per-flow bandwidth in bytes/second (default 10^8, i.e.
+        ~1 Gb/s with protocol overhead).
+    jitter:
+        Fractional uniform jitter applied to each delay (0 disables; keeps
+        the simulation deterministic by default).
+    local_dispatch:
+        Cost of a loopback delivery in seconds.
+    """
+
+    sim: Simulation
+    base_latency: float = 200e-6
+    bandwidth: float = 1e8
+    jitter: float = 0.0
+    local_dispatch: float = 5e-6
+    rng: RandomSource = None
+    stats: NetworkStats = field(default_factory=NetworkStats)
+
+    def __post_init__(self) -> None:
+        check_non_negative("base_latency", self.base_latency)
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("jitter", self.jitter)
+        check_non_negative("local_dispatch", self.local_dispatch)
+        self._gen = as_generator(self.rng)
+
+    def delay_for(self, src: str, dst: str, size_bytes: int) -> float:
+        """Modelled one-way delivery delay for a *size_bytes* message."""
+        check_non_negative("size_bytes", size_bytes)
+        if src == dst:
+            return self.local_dispatch
+        delay = self.base_latency + size_bytes / self.bandwidth
+        if self.jitter > 0:
+            delay *= 1.0 + float(self._gen.uniform(-self.jitter, self.jitter))
+        return delay
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        handler: Callable[..., Any],
+        *args: Any,
+    ) -> float:
+        """Deliver a message: schedule ``handler(*args)`` after the modelled
+        delay.  Returns the delay charged."""
+        delay = self.delay_for(src, dst, size_bytes)
+        self.stats.messages += 1
+        if src == dst:
+            self.stats.loopback_messages += 1
+        else:
+            self.stats.bytes_sent += size_bytes
+        self.sim.call_later(delay, handler, *args)
+        return delay
+
+    def transfer(self, src: str, dst: str, size_bytes: int) -> float:
+        """Charge a message without scheduling a callback; returns the delay
+        for a generator process to ``yield``.  Preferred inside process-style
+        code where control flow already lives in the generator."""
+        delay = self.delay_for(src, dst, size_bytes)
+        self.stats.messages += 1
+        if src == dst:
+            self.stats.loopback_messages += 1
+        else:
+            self.stats.bytes_sent += size_bytes
+        return delay
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()

@@ -1,0 +1,20 @@
+"""Vantage-point tree substrate: static bucketed trees, k-NN / radius
+search, dynamic rebalancing insertion, and the vp-prefix LSH."""
+
+from repro.vptree.dynamic import DynamicVPTree
+from repro.vptree.metric import BatchedMetric, MetricAdapter
+from repro.vptree.prefix import PrefixHash, VPPrefixTree
+from repro.vptree.search import knn_search, radius_search
+from repro.vptree.tree import VPNode, VPTree
+
+__all__ = [
+    "DynamicVPTree",
+    "BatchedMetric",
+    "MetricAdapter",
+    "PrefixHash",
+    "VPPrefixTree",
+    "knn_search",
+    "radius_search",
+    "VPNode",
+    "VPTree",
+]

@@ -1,0 +1,179 @@
+"""Vantage-point prefix tree: the vp-tree as an LSH function (III-E/III-F).
+
+Each vertex of a vp-tree is annotated with a binary *prefix*: the root has
+prefix ``1``; a child left-shifts its parent's prefix and adds ``1`` when it
+is the right child.  The prefix is therefore an integral encoding of the
+root-to-vertex path, and nearby prefixes correspond (coarsely) to nearby
+regions of the metric space.
+
+Used as a hash, the full traversal would be too fine (and too expensive), so
+a **cutoff depth threshold** stops the walk early: every element routed to
+the same depth-``t`` vertex receives the same hash value — a deliberate
+collision that groups similar elements.  The paper sets the threshold to
+half the tree's depth (a trade-off ablated in
+``benchmarks/test_ablation_prefix_depth.py``).
+
+Two traversal modes exist:
+
+* :meth:`VPPrefixTree.hash_one` — single-path descent used when *indexing*
+  (``d <= mu`` goes left, else right);
+* :meth:`VPPrefixTree.hash_query` — tolerance descent used when *querying*:
+  when the query lies within ``tolerance`` of a vertex boundary the walk
+  branches into both children and the subquery is replicated to every
+  resulting group (section V-B: "multiple groups can be selected from the
+  vp-hash tree if the path branches").
+
+The tree itself is built once over a *sample* of the dataset (it is a shared
+cluster-wide hash function, not a per-node index) and is immutable
+afterwards, so every node computes identical hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.rng import RandomSource
+from repro.vptree.tree import VPNode, VPTree
+
+
+@dataclass(frozen=True)
+class PrefixHash:
+    """Result of hashing one element: the prefix value and the depth at
+    which the traversal stopped (cutoff or leaf, whichever came first)."""
+
+    prefix: int
+    depth: int
+
+
+class VPPrefixTree:
+    """A frozen vp-tree over a data sample, used as an LSH function.
+
+    Parameters
+    ----------
+    sample:
+        ``(n, L)`` matrix of representative elements used to shape the tree.
+    metric:
+        Segment metric (pair callable, optionally batched).
+    depth_threshold:
+        Cutoff depth.  ``None`` applies the paper's default of half the
+        built tree's depth.
+    bucket_capacity:
+        Leaf bucket size of the underlying tree (shapes achievable depth).
+    """
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        metric: Callable[[np.ndarray, np.ndarray], float],
+        depth_threshold: int | None = None,
+        bucket_capacity: int = 4,
+        rng: RandomSource = None,
+    ) -> None:
+        sample = np.asarray(sample, dtype=np.uint8)
+        if sample.ndim != 2 or sample.shape[0] < 2:
+            raise ValueError(
+                "prefix tree needs a 2-D sample with at least 2 elements, "
+                f"got shape {sample.shape}"
+            )
+        self._tree = VPTree(
+            points=sample,
+            metric=metric,
+            bucket_capacity=bucket_capacity,
+            rng=rng,
+        )
+        built_depth = self._tree.depth
+        if depth_threshold is None:
+            # Paper default: half the tree's depth, at least 1.
+            depth_threshold = max(1, built_depth // 2)
+        if depth_threshold < 1:
+            raise ValueError(f"depth_threshold must be >= 1, got {depth_threshold}")
+        self.depth_threshold = int(depth_threshold)
+        self.segment_length = int(sample.shape[1])
+
+    @property
+    def tree_depth(self) -> int:
+        return self._tree.depth
+
+    # -- hashing ------------------------------------------------------------
+
+    def hash_one(self, point: np.ndarray) -> PrefixHash:
+        """Single-path prefix hash used for data dispersion."""
+        point = self._check(point)
+        node = self._tree.root
+        depth = 0
+        while not node.is_leaf and depth < self.depth_threshold:
+            dist = self._tree.adapter.pair(point, self._tree.points[node.vantage_index])
+            node = node.left if dist <= node.mu else node.right
+            depth += 1
+        return PrefixHash(prefix=node.prefix, depth=depth)
+
+    def hash_query(self, point: np.ndarray, tolerance: float = 0.0) -> list[PrefixHash]:
+        """Tolerance prefix hash used for query routing.
+
+        Branches into both children whenever ``|d - mu| <= tolerance``, so a
+        query near a partition boundary reaches every group that may hold
+        neighbours.  ``tolerance=0`` reduces to :meth:`hash_one`.
+        """
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+        point = self._check(point)
+        results: list[PrefixHash] = []
+        self._branch_visit(self._tree.root, point, tolerance, 0, results)
+        # Deduplicate while preserving traversal order.
+        seen: set[int] = set()
+        unique = []
+        for item in results:
+            if item.prefix not in seen:
+                seen.add(item.prefix)
+                unique.append(item)
+        return unique
+
+    def _branch_visit(
+        self,
+        node: VPNode,
+        point: np.ndarray,
+        tolerance: float,
+        depth: int,
+        out: list[PrefixHash],
+    ) -> None:
+        if node.is_leaf or depth >= self.depth_threshold:
+            out.append(PrefixHash(prefix=node.prefix, depth=depth))
+            return
+        dist = self._tree.adapter.pair(point, self._tree.points[node.vantage_index])
+        go_left = dist <= node.mu + tolerance
+        go_right = dist > node.mu - tolerance
+        if go_left:
+            self._branch_visit(node.left, point, tolerance, depth + 1, out)
+        if go_right:
+            self._branch_visit(node.right, point, tolerance, depth + 1, out)
+
+    # -- prefix enumeration ----------------------------------------------------
+
+    def all_prefixes(self) -> list[int]:
+        """Every prefix reachable at the cutoff depth, in tree (in-order)
+        order — adjacent values correspond to adjacent metric regions.
+
+        Used to build the prefix -> group assignment table.
+        """
+        out: list[int] = []
+        self._enumerate(self._tree.root, 0, out)
+        return out
+
+    def _enumerate(self, node: VPNode, depth: int, out: list[int]) -> None:
+        if node.is_leaf or depth >= self.depth_threshold:
+            out.append(node.prefix)
+            return
+        self._enumerate(node.left, depth + 1, out)
+        self._enumerate(node.right, depth + 1, out)
+
+    def _check(self, point: np.ndarray) -> np.ndarray:
+        point = np.asarray(point, dtype=np.uint8)
+        if point.shape != (self.segment_length,):
+            raise ValueError(
+                f"point shape {point.shape} does not match segment length "
+                f"{self.segment_length}"
+            )
+        return point

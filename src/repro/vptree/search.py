@@ -1,0 +1,174 @@
+"""Nearest-neighbour and radius search over vp-trees (paper section III-C).
+
+Both searches are a single traversal with a shrinking ``tau`` radius.  At an
+internal vertex with vantage point ``p`` and radius ``mu`` three cases arise
+for the query ball ``B(q, tau)``:
+
+1. entirely inside ``B(p, mu)``   -> right subtree pruned;
+2. entirely outside ``B(p, mu)``  -> left subtree pruned;
+3. intersecting the boundary      -> both subtrees visited.
+
+The stored lower/upper bounds (``node.low``/``node.high``) tighten case
+detection beyond the plain ``mu`` test.  Leaf buckets are scored with one
+vectorised batch call.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vptree.tree import VPNode, VPTree
+
+
+class _KBest:
+    """Bounded max-heap of the best (smallest-distance) k candidates.
+
+    ``max_radius`` caps the pruning radius from the start: candidates beyond
+    it are never collected and subtrees beyond it are never visited.  Mendel
+    passes the largest distance its identity filter could ever accept, so
+    bounding is lossless for the query pipeline.
+    """
+
+    def __init__(self, k: int, max_radius: float = float("inf")) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.max_radius = float(max_radius)
+        self._heap: list[tuple[float, int, int]] = []  # (-dist, tiebreak, index)
+        self._counter = itertools.count()
+
+    @property
+    def tau(self) -> float:
+        """Current pruning radius: the k-th best distance (or the cap)."""
+        if len(self._heap) < self.k:
+            return self.max_radius
+        return min(-self._heap[0][0], self.max_radius)
+
+    def offer(self, dist: float, index: int) -> None:
+        if dist > self.max_radius:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-dist, next(self._counter), index))
+        elif dist < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-dist, next(self._counter), index))
+
+    def offer_batch(self, dists: np.ndarray, indices: np.ndarray) -> None:
+        # Only candidates beating the current tau can matter; pre-filter to
+        # keep heap churn low on big buckets.
+        tau = self.tau
+        if np.isfinite(tau):
+            # <= so boundary candidates still enter while the heap is short.
+            mask = dists <= tau
+            dists, indices = dists[mask], indices[mask]
+        order = np.argsort(dists, kind="stable")
+        for pos in order:
+            self.offer(float(dists[pos]), int(indices[pos]))
+
+    def sorted_items(self) -> list[tuple[float, int]]:
+        return sorted((-neg, idx) for neg, _, idx in self._heap)
+
+
+def knn_search(
+    tree: "VPTree",
+    query: np.ndarray,
+    k: int,
+    max_radius: float = float("inf"),
+) -> list[tuple[float, object]]:
+    """The k nearest elements of *tree* to *query* as ``(distance, payload)``
+    pairs, ascending by distance.
+
+    ``max_radius`` restricts results (and the search) to a ball around the
+    query — see :class:`_KBest`.
+    """
+    query = np.asarray(query, dtype=np.uint8)
+    if tree.root is None:
+        return []
+    if query.shape != (tree.points.shape[1],):
+        raise ValueError(
+            f"query length {query.shape} does not match indexed "
+            f"segment length {tree.points.shape[1]}"
+        )
+    best = _KBest(k, max_radius=max_radius)
+    _knn_visit(tree, tree.root, query, best)
+    return [(dist, tree.payloads[idx]) for dist, idx in best.sorted_items()]
+
+
+def _knn_visit(tree: "VPTree", node: "VPNode", query: np.ndarray, best: _KBest) -> None:
+    if node.is_leaf:
+        if node.bucket.shape[0]:
+            dists = tree.adapter.batch(query, tree.points[node.bucket])
+            best.offer_batch(dists, node.bucket)
+        return
+
+    dist = tree.adapter.pair(query, tree.points[node.vantage_index])
+    best.offer(dist, node.vantage_index)
+
+    # Subtree-level reject via the stored bounds: every element beneath this
+    # vertex lies at distance within [low, high] of its vantage point, so if
+    # the tau-ball around the query cannot reach that annulus, skip it all.
+    if dist - best.tau > node.high or dist + best.tau < node.low:
+        return
+
+    # Descend the side the query falls on first so tau shrinks early, then
+    # re-test the far side against the (possibly smaller) tau.  The left
+    # subtree holds distances <= mu, the right holds > mu (section III-C's
+    # three cases: both tests pass only when the tau-ball straddles mu).
+    if dist <= node.mu:
+        if node.left is not None and dist - best.tau <= node.mu:
+            _knn_visit(tree, node.left, query, best)
+        if node.right is not None and dist + best.tau > node.mu:
+            _knn_visit(tree, node.right, query, best)
+    else:
+        if node.right is not None and dist + best.tau > node.mu:
+            _knn_visit(tree, node.right, query, best)
+        if node.left is not None and dist - best.tau <= node.mu:
+            _knn_visit(tree, node.left, query, best)
+
+
+def radius_search(
+    tree: "VPTree", query: np.ndarray, radius: float
+) -> list[tuple[float, object]]:
+    """All elements within *radius* of *query*, ascending by distance."""
+    query = np.asarray(query, dtype=np.uint8)
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if tree.root is None:
+        return []
+    hits: list[tuple[float, int]] = []
+    _radius_visit(tree, tree.root, query, float(radius), hits)
+    hits.sort()
+    return [(dist, tree.payloads[idx]) for dist, idx in hits]
+
+
+def _radius_visit(
+    tree: "VPTree",
+    node: "VPNode",
+    query: np.ndarray,
+    radius: float,
+    hits: list[tuple[float, int]],
+) -> None:
+    if node.is_leaf:
+        if node.bucket.shape[0]:
+            dists = tree.adapter.batch(query, tree.points[node.bucket])
+            mask = dists <= radius
+            hits.extend(
+                (float(d), int(i)) for d, i in zip(dists[mask], node.bucket[mask])
+            )
+        return
+
+    dist = tree.adapter.pair(query, tree.points[node.vantage_index])
+    if dist <= radius:
+        hits.append((dist, int(node.vantage_index)))
+    # Subtree-level prune via stored bounds (children's vantage points are
+    # included in [low, high], so rejecting here cannot lose hits).
+    if dist - radius > node.high or dist + radius < node.low:
+        return
+    if node.left is not None and dist - radius <= node.mu:
+        _radius_visit(tree, node.left, query, radius, hits)
+    if node.right is not None and dist + radius > node.mu:
+        _radius_visit(tree, node.right, query, radius, hits)

@@ -1,0 +1,103 @@
+"""Tests for the banded gapped extension (repro.align.gapped)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.gapped import banded_extend
+from repro.align.smith_waterman import smith_waterman_score
+from repro.seq.alphabet import PROTEIN
+from repro.seq.matrices import BLOSUM62
+
+M = BLOSUM62.astype(np.float64)
+
+
+class TestIdenticalSequences:
+    def test_full_span_and_sw_score(self, rng):
+        q = rng.integers(0, 20, 150).astype(np.uint8)
+        ext = banded_extend(q, q, M, 75, 75, bandwidth=8)
+        sw = smith_waterman_score(q, q, M)
+        assert ext.score == sw.score
+        assert (ext.query_start, ext.query_end) == (0, 150)
+        assert (ext.subject_start, ext.subject_end) == (0, 150)
+
+    def test_seed_at_edges(self, rng):
+        q = rng.integers(0, 20, 60).astype(np.uint8)
+        first = banded_extend(q, q, M, 0, 0, bandwidth=4)
+        last = banded_extend(q, q, M, 59, 59, bandwidth=4)
+        assert first.query_end == 60
+        assert last.query_start == 0
+
+
+class TestIndels:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), gap_len=st.integers(1, 4))
+    def test_matches_sw_within_band(self, seed, gap_len):
+        rng = np.random.default_rng(seed)
+        q = rng.integers(0, 20, 120).astype(np.uint8)
+        insert_at = int(rng.integers(30, 90))
+        s = np.concatenate(
+            [
+                q[:insert_at],
+                rng.integers(0, 20, gap_len).astype(np.uint8),
+                q[insert_at:],
+            ]
+        )
+        ext = banded_extend(q, s, M, 10, 10, bandwidth=8)
+        sw = smith_waterman_score(q, s, M)
+        # The gap (<= 4) fits well inside the band, so the banded score must
+        # equal the unrestricted optimum.
+        assert ext.score == pytest.approx(sw.score)
+
+    def test_gap_wider_than_band_clipped(self, rng):
+        q = rng.integers(0, 20, 100).astype(np.uint8)
+        s = np.concatenate(
+            [q[:50], rng.integers(0, 20, 30).astype(np.uint8), q[50:]]
+        )
+        narrow = banded_extend(q, s, M, 10, 10, bandwidth=2)
+        wide = banded_extend(q, s, M, 10, 10, bandwidth=40)
+        assert wide.score >= narrow.score
+
+
+class TestXDrop:
+    def test_junk_extension_stays_local(self, rng):
+        q = rng.integers(0, 10, 200).astype(np.uint8)
+        s = rng.integers(10, 20, 200).astype(np.uint8)
+        # Plant a tiny island of agreement at the seed.
+        s[100:108] = q[100:108]
+        ext = banded_extend(q, s, M, 100, 100, bandwidth=6, x_drop=15.0)
+        assert ext.query_end - ext.query_start < 60
+
+    def test_larger_xdrop_extends_at_least_as_far(self, rng):
+        q = rng.integers(0, 20, 150).astype(np.uint8)
+        s = q.copy()
+        mask = rng.random(150) < 0.3
+        s[mask] = rng.integers(0, 20, int(mask.sum()))
+        small = banded_extend(q, s, M, 75, 75, bandwidth=6, x_drop=5.0)
+        large = banded_extend(q, s, M, 75, 75, bandwidth=6, x_drop=60.0)
+        assert large.score >= small.score
+
+
+class TestValidation:
+    def test_seed_bounds(self):
+        q = PROTEIN.encode("MKVL")
+        with pytest.raises(ValueError, match="seed_query"):
+            banded_extend(q, q, M, 9, 0)
+        with pytest.raises(ValueError, match="seed_subject"):
+            banded_extend(q, q, M, 0, 9)
+
+    def test_param_validation(self):
+        q = PROTEIN.encode("MKVL")
+        with pytest.raises(ValueError):
+            banded_extend(q, q, M, 0, 0, bandwidth=-1)
+        with pytest.raises(ValueError):
+            banded_extend(q, q, M, 0, 0, gap_open=0)
+        with pytest.raises(ValueError):
+            banded_extend(q, q, M, 0, 0, x_drop=-1)
+
+    def test_bandwidth_zero_is_ungapped_diagonal(self, rng):
+        q = rng.integers(0, 20, 40).astype(np.uint8)
+        ext = banded_extend(q, q, M, 20, 20, bandwidth=0)
+        assert ext.query_end - ext.query_start == ext.subject_end - ext.subject_start
+        assert ext.score == float(M[q, q].sum())

@@ -1,0 +1,135 @@
+"""Tests for global alignment and pairwise rendering
+(repro.align.global_align)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.global_align import format_pairwise, needleman_wunsch
+from repro.seq.alphabet import PROTEIN
+from repro.seq.matrices import BLOSUM62
+
+M = BLOSUM62.astype(np.float64)
+
+
+def reference_nw_score(q, s, matrix, go, ge):
+    """Brute-force affine global alignment score."""
+    n, m = len(q), len(s)
+    NEG = -1e18
+    h = np.full((n + 1, m + 1), NEG)
+    e = np.full((n + 1, m + 1), NEG)
+    f = np.full((n + 1, m + 1), NEG)
+    h[0, 0] = 0.0
+    for j in range(1, m + 1):
+        e[0, j] = -go - ge * (j - 1)
+        h[0, j] = e[0, j]
+    for i in range(1, n + 1):
+        f[i, 0] = -go - ge * (i - 1)
+        h[i, 0] = f[i, 0]
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            e[i, j] = max(h[i, j - 1] - go, e[i, j - 1] - ge)
+            f[i, j] = max(h[i - 1, j] - go, f[i - 1, j] - ge)
+            h[i, j] = max(h[i - 1, j - 1] + matrix[q[i - 1], s[j - 1]],
+                          e[i, j], f[i, j])
+    return float(h[n, m])
+
+
+class TestNeedlemanWunsch:
+    def test_identical(self):
+        q = PROTEIN.encode("MKVLAWFW")
+        result = needleman_wunsch(q, q, M, alphabet_letters=PROTEIN.letters)
+        assert result.score == float(M[q, q].sum())
+        assert result.identity == 1.0
+        assert result.gaps == 0
+
+    def test_single_deletion(self):
+        q = PROTEIN.encode("MKVLAWFWAHKL")
+        s = PROTEIN.encode("MKVLAWWAHKL")
+        result = needleman_wunsch(q, s, M, alphabet_letters=PROTEIN.letters)
+        assert result.gaps == 1
+        assert "-" in result.aligned_subject
+
+    def test_global_spans_cover_everything(self):
+        q = PROTEIN.encode("MKV")
+        s = PROTEIN.encode("MKVLAWFW")
+        result = needleman_wunsch(q, s, M)
+        assert result.query_end == 3
+        assert result.subject_end == 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_reference_score(self, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.integers(0, 20, int(rng.integers(1, 20))).astype(np.uint8)
+        s = rng.integers(0, 20, int(rng.integers(1, 20))).astype(np.uint8)
+        got = needleman_wunsch(q, s, M).score
+        assert got == pytest.approx(reference_nw_score(q, s, M, 11.0, 1.0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_traceback_rescored(self, seed):
+        """The gapped strings must rescore exactly to the DP score."""
+        rng = np.random.default_rng(seed)
+        q = rng.integers(0, 20, int(rng.integers(1, 25))).astype(np.uint8)
+        s = rng.integers(0, 20, int(rng.integers(1, 25))).astype(np.uint8)
+        result = needleman_wunsch(
+            q, s, M, gap_open=11.0, gap_extend=1.0,
+            alphabet_letters=PROTEIN.letters,
+        )
+        score = 0.0
+        gap_state = None
+        for qc, sc in zip(result.aligned_query, result.aligned_subject):
+            if qc == "-" or sc == "-":
+                side = "q" if qc == "-" else "s"
+                score -= 11.0 if gap_state != side else 1.0
+                gap_state = side
+            else:
+                score += M[PROTEIN.index_of(qc), PROTEIN.index_of(sc)]
+                gap_state = None
+        assert score == pytest.approx(result.score)
+
+    def test_gap_params_validated(self):
+        q = PROTEIN.encode("MK")
+        with pytest.raises(ValueError):
+            needleman_wunsch(q, q, M, gap_open=0)
+
+
+class TestFormatPairwise:
+    def test_renders_lines(self):
+        q = PROTEIN.encode("MKVLAWFWAHKL")
+        s = PROTEIN.encode("MKVLAWWAHKL")
+        result = needleman_wunsch(q, s, M, alphabet_letters=PROTEIN.letters)
+        out = format_pairwise(result)
+        lines = out.splitlines()
+        assert lines[0].startswith("Query")
+        assert lines[2].startswith("Sbjct")
+        assert "|" in lines[1]
+
+    def test_wrapping(self):
+        q = np.random.default_rng(1).integers(0, 20, 150).astype(np.uint8)
+        result = needleman_wunsch(q, q, M, alphabet_letters=PROTEIN.letters)
+        out = format_pairwise(result, width=60)
+        query_lines = [l for l in out.splitlines() if l.startswith("Query")]
+        assert len(query_lines) == 3  # 150/60 -> 3 chunks
+
+    def test_coordinates_advance(self):
+        q = np.random.default_rng(2).integers(0, 20, 80).astype(np.uint8)
+        result = needleman_wunsch(q, q, M, alphabet_letters=PROTEIN.letters)
+        out = format_pairwise(result, width=40)
+        first, second = [l for l in out.splitlines() if l.startswith("Query")]
+        assert first.split()[1] == "1"
+        assert second.split()[1] == "41"
+
+    def test_no_traceback(self):
+        from repro.align.smith_waterman import LocalAlignmentResult
+
+        empty = LocalAlignmentResult(0.0, 0, 0, 0, 0)
+        assert "no traceback" in format_pairwise(empty)
+
+    def test_width_validated(self):
+        q = PROTEIN.encode("MKVL")
+        result = needleman_wunsch(q, q, M, alphabet_letters=PROTEIN.letters)
+        with pytest.raises(ValueError, match="width"):
+            format_pairwise(result, width=5)

@@ -1,0 +1,99 @@
+"""Tests for anchors and alignments (repro.align.result)."""
+
+import pytest
+
+from repro.align.result import Alignment, Anchor
+
+
+def anchor(qs=0, qe=10, ss=5, se=15, seq="s1", score=20.0):
+    return Anchor(
+        seq_id=seq, query_start=qs, query_end=qe,
+        subject_start=ss, subject_end=se, score=score,
+    )
+
+
+class TestAnchor:
+    def test_diagonal(self):
+        assert anchor(qs=3, qe=8, ss=10, se=15).diagonal == 7
+
+    def test_length(self):
+        assert anchor(qs=2, qe=9, ss=2, se=9).length == 7
+
+    def test_span_validation(self):
+        with pytest.raises(ValueError, match="query_end"):
+            anchor(qs=5, qe=3, ss=5, se=3)
+        with pytest.raises(ValueError, match="equal length"):
+            Anchor("s", 0, 5, 0, 7, 1.0)
+
+    def test_overlap_same_diagonal(self):
+        a = anchor(qs=0, qe=10, ss=5, se=15)
+        b = anchor(qs=8, qe=18, ss=13, se=23)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_touching_counts_as_overlap(self):
+        a = anchor(qs=0, qe=10, ss=5, se=15)
+        b = anchor(qs=10, qe=20, ss=15, se=25)
+        assert a.overlaps(b)
+
+    def test_different_diagonal_no_overlap(self):
+        a = anchor(qs=0, qe=10, ss=5, se=15)
+        b = anchor(qs=0, qe=10, ss=6, se=16)
+        assert not a.overlaps(b)
+
+    def test_different_sequence_no_overlap(self):
+        a = anchor(seq="s1")
+        b = anchor(seq="s2")
+        assert not a.overlaps(b)
+
+    def test_disjoint_no_overlap(self):
+        a = anchor(qs=0, qe=5, ss=0, se=5)
+        b = anchor(qs=9, qe=12, ss=9, se=12)
+        assert not a.overlaps(b)
+
+    def test_merge_unions_span(self):
+        a = anchor(qs=0, qe=10, ss=5, se=15, score=20)
+        b = anchor(qs=8, qe=18, ss=13, se=23, score=30)
+        merged = a.merge(b)
+        assert merged.query_start == 0
+        assert merged.query_end == 18
+        assert merged.subject_start == 5
+        assert merged.subject_end == 23
+        assert merged.score == 30  # max of the two
+
+    def test_merge_requires_overlap(self):
+        a = anchor(qs=0, qe=5, ss=0, se=5)
+        b = anchor(qs=9, qe=12, ss=9, se=12)
+        with pytest.raises(ValueError, match="non-overlapping"):
+            a.merge(b)
+
+    def test_merge_preserves_diagonal(self):
+        a = anchor(qs=0, qe=10, ss=5, se=15)
+        b = anchor(qs=5, qe=14, ss=10, se=19)
+        assert a.merge(b).diagonal == a.diagonal
+
+
+class TestAlignment:
+    def make(self, **kw):
+        defaults = dict(
+            query_id="q", subject_id="s", query_start=0, query_end=50,
+            subject_start=10, subject_end=60, score=100.0, bit_score=40.0,
+            evalue=1e-10, identity=0.8,
+        )
+        defaults.update(kw)
+        return Alignment(**defaults)
+
+    def test_spans(self):
+        a = self.make()
+        assert a.query_span == 50
+        assert a.subject_span == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="evalue"):
+            self.make(evalue=-1)
+        with pytest.raises(ValueError, match="identity"):
+            self.make(identity=1.2)
+
+    def test_brief_contains_key_fields(self):
+        text = self.make().brief()
+        assert "q" in text and "s" in text
+        assert "E=" in text and "id=0.80" in text

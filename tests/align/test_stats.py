@@ -1,0 +1,100 @@
+"""Tests for Karlin–Altschul statistics (repro.align.stats)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.align.stats import karlin_altschul, uniform_background
+from repro.seq.generate import protein_background
+from repro.seq.matrices import BLOSUM62, dna_matrix
+
+
+class TestLambda:
+    def test_blosum62_matches_published_value(self):
+        # NCBI's published ungapped lambda for BLOSUM62 with standard
+        # composition is ~0.318.
+        ka = karlin_altschul(BLOSUM62[:20, :20], protein_background()[:20])
+        assert ka.lam == pytest.approx(0.318, abs=0.01)
+
+    def test_root_property(self):
+        # lambda satisfies sum p_i p_j exp(lambda s_ij) == 1.
+        matrix = BLOSUM62[:20, :20].astype(float)
+        p = protein_background()[:20]
+        p = p / p.sum()
+        ka = karlin_altschul(matrix, p)
+        total = float((np.outer(p, p) * np.exp(ka.lam * matrix)).sum())
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_dna_matrix(self):
+        ka = karlin_altschul(dna_matrix(), uniform_background(4))
+        assert ka.lam > 0
+        assert 0 < ka.k <= 1
+
+    def test_entropy_positive(self):
+        ka = karlin_altschul(BLOSUM62[:20, :20], protein_background()[:20])
+        assert ka.h > 0
+
+    def test_background_padded(self):
+        # Background shorter than the matrix gets zero-padded.
+        ka = karlin_altschul(BLOSUM62, protein_background()[:20])
+        assert ka.lam > 0
+
+
+class TestInvalidSystems:
+    def test_positive_expected_score_rejected(self):
+        matrix = np.ones((4, 4))
+        with pytest.raises(ValueError, match="negative"):
+            karlin_altschul(matrix, uniform_background(4))
+
+    def test_all_negative_rejected(self):
+        matrix = -np.ones((4, 4))
+        with pytest.raises(ValueError, match="positive score"):
+            karlin_altschul(matrix, uniform_background(4))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            karlin_altschul(np.zeros((2, 3)), uniform_background(2))
+
+    def test_zero_background_rejected(self):
+        with pytest.raises(ValueError, match="positive mass"):
+            karlin_altschul(dna_matrix(), np.zeros(5))
+
+
+class TestEvalues:
+    @pytest.fixture(scope="class")
+    def ka(self):
+        return karlin_altschul(BLOSUM62[:20, :20], protein_background()[:20])
+
+    def test_monotone_in_score(self, ka):
+        assert ka.evalue(100, 500, 10**6) < ka.evalue(50, 500, 10**6)
+
+    def test_scales_with_search_space(self, ka):
+        assert ka.evalue(50, 500, 10**7) > ka.evalue(50, 500, 10**6)
+
+    def test_bit_score(self, ka):
+        bits = ka.bit_score(100)
+        assert bits == pytest.approx(
+            (ka.lam * 100 - math.log(ka.k)) / math.log(2), abs=1e-9
+        )
+
+    def test_evalue_from_bits_consistent(self, ka):
+        # E = m*n*2^-bits must match the raw formula.
+        raw = ka.evalue(80, 100, 10**6)
+        via_bits = 100 * 10**6 * 2 ** (-ka.bit_score(80))
+        assert raw == pytest.approx(via_bits, rel=1e-9)
+
+    def test_invalid_lengths(self, ka):
+        with pytest.raises(ValueError):
+            ka.evalue(10, 0, 100)
+        with pytest.raises(ValueError):
+            ka.evalue(10, 100, 0)
+
+
+class TestUniformBackground:
+    def test_sums_to_one(self):
+        assert uniform_background(7).sum() == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_background(0)

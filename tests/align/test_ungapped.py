@@ -1,0 +1,160 @@
+"""Tests for repro.align.ungapped."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.ungapped import (
+    _chunked_extent,
+    _directional_extent,
+    batch_extent,
+    extend_ungapped,
+)
+from repro.seq.alphabet import PROTEIN
+from repro.seq.matrices import BLOSUM62
+
+M = BLOSUM62.astype(np.float64)
+
+
+class TestDirectionalExtent:
+    def test_empty(self):
+        assert _directional_extent(np.array([]), 10.0) == (0, 0.0)
+
+    def test_all_positive(self):
+        keep, gain = _directional_extent(np.array([2.0, 3.0, 1.0]), 5.0)
+        assert (keep, gain) == (3, 6.0)
+
+    def test_stops_at_xdrop(self):
+        # +5 then a deep dip: the dip exceeds x_drop so extension stops,
+        # keeping the prefix ending at the max.
+        scores = np.array([5.0, -10.0, 20.0])
+        keep, gain = _directional_extent(scores, 7.0)
+        assert (keep, gain) == (1, 5.0)
+
+    def test_recovers_within_tolerance(self):
+        scores = np.array([5.0, -3.0, 20.0])
+        keep, gain = _directional_extent(scores, 7.0)
+        assert (keep, gain) == (3, 22.0)
+
+    def test_initial_dip_measured_from_zero(self):
+        # BLAST semantics: drop is measured from max(0, best so far).
+        scores = np.array([-8.0, 20.0])
+        keep, gain = _directional_extent(scores, 7.0)
+        assert (keep, gain) == (0, 0.0)
+
+    def test_negative_total_returns_zero(self):
+        assert _directional_extent(np.array([-1.0, -2.0]), 50.0) == (0, 0.0)
+
+
+class TestChunkedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000), xd=st.sampled_from([3.0, 7.0, 25.0]))
+    def test_chunked_equals_full(self, seed, xd):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 200))
+        q = rng.integers(0, 20, n).astype(np.uint8)
+        s = q.copy()
+        mask = rng.random(n) < rng.uniform(0.0, 0.6)
+        s[mask] = rng.integers(0, 20, int(mask.sum()))
+        full = _directional_extent(M[q, s].astype(np.float64), xd)
+        chunk = _chunked_extent(q, s, M, xd)
+        assert full == chunk
+
+    def test_unequal_lengths_use_min(self):
+        q = PROTEIN.encode("WWWW")
+        s = PROTEIN.encode("WW")
+        keep, gain = _chunked_extent(q, s, M, 10.0)
+        assert keep == 2
+        assert gain == 2 * M[PROTEIN.index_of("W"), PROTEIN.index_of("W")]
+
+
+class TestBatchExtent:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_matches_scalar_per_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        query = rng.integers(0, 20, 120).astype(np.uint8)
+        subject = rng.integers(0, 20, 300).astype(np.uint8)
+        n_seeds = int(rng.integers(1, 12))
+        q_starts = rng.integers(0, 120, n_seeds).astype(np.int64)
+        s_starts = rng.integers(0, 300, n_seeds).astype(np.int64)
+        limits = np.minimum(120 - q_starts, 300 - s_starts)
+        keeps, gains = batch_extent(
+            query, subject, q_starts, s_starts, limits, M, 7.0, step=1
+        )
+        for i in range(n_seeds):
+            expected = _chunked_extent(
+                query[q_starts[i] : q_starts[i] + limits[i]],
+                subject[s_starts[i] : s_starts[i] + limits[i]],
+                M,
+                7.0,
+            )
+            assert (keeps[i], gains[i]) == expected
+
+    def test_leftward_step(self, rng):
+        query = rng.integers(0, 20, 60).astype(np.uint8)
+        subject = query.copy()
+        q_starts = np.array([29], dtype=np.int64)
+        s_starts = np.array([29], dtype=np.int64)
+        limits = np.array([30], dtype=np.int64)
+        keeps, gains = batch_extent(
+            query, subject, q_starts, s_starts, limits, M, 7.0, step=-1
+        )
+        assert keeps[0] == 30  # identical sequences extend fully leftward
+
+    def test_zero_limits(self):
+        q = np.zeros(5, dtype=np.uint8)
+        keeps, gains = batch_extent(
+            q, q, np.array([0]), np.array([0]), np.array([0]), M, 7.0, step=1
+        )
+        assert keeps[0] == 0 and gains[0] == 0.0
+
+    def test_bad_step(self):
+        q = np.zeros(5, dtype=np.uint8)
+        with pytest.raises(ValueError, match="step"):
+            batch_extent(q, q, np.array([0]), np.array([0]), np.array([1]), M, 7.0, 2)
+
+    def test_length_mismatch(self):
+        q = np.zeros(5, dtype=np.uint8)
+        with pytest.raises(ValueError, match="same length"):
+            batch_extent(q, q, np.array([0, 1]), np.array([0]), np.array([1]), M, 7.0, 1)
+
+
+class TestExtendUngapped:
+    def test_identical_full_extension(self):
+        q = PROTEIN.encode("MKVLAWFWAHKL")
+        result = extend_ungapped(q, q, M, 4, 8, 4)
+        assert result.query_start == 0
+        assert result.query_end == 12
+        assert result.score == float(M[q, q].sum())
+
+    def test_mismatch_stops_extension(self):
+        left = PROTEIN.encode("WWWW")
+        core = PROTEIN.encode("MKVL")
+        q = np.concatenate([left, core, left])
+        s = np.concatenate([PROTEIN.encode("PPPP"), core, PROTEIN.encode("PPPP")])
+        result = extend_ungapped(q, s, M, 4, 8, 4, x_drop=5.0)
+        assert result.query_start == 4
+        assert result.query_end == 8
+
+    def test_diagonal_preserved(self, rng):
+        q = rng.integers(0, 20, 50).astype(np.uint8)
+        s = np.concatenate([rng.integers(0, 20, 7).astype(np.uint8), q])
+        result = extend_ungapped(q, s, M, 10, 18, 17)
+        assert (result.subject_start - result.query_start) == 7
+        assert (result.subject_end - result.query_end) == 7
+
+    def test_bounds_validation(self):
+        q = PROTEIN.encode("MKVL")
+        with pytest.raises(ValueError, match="query"):
+            extend_ungapped(q, q, M, 2, 9, 0)
+        with pytest.raises(ValueError, match="subject"):
+            extend_ungapped(q, q, M, 0, 2, 3)
+        with pytest.raises(ValueError, match="x_drop"):
+            extend_ungapped(q, q, M, 0, 2, 0, x_drop=-1)
+
+    def test_empty_seed_allowed(self):
+        q = PROTEIN.encode("MKVL")
+        result = extend_ungapped(q, q, M, 2, 2, 2)
+        assert result.score >= 0

@@ -1,0 +1,85 @@
+"""Tiny-scale smoke tests of every figure runner.
+
+These confirm the experiment plumbing end-to-end with laptop-trivial sizes;
+the real reproductions (with shape assertions) live under ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    run_fig5_load_balance,
+    run_fig6a_query_length,
+    run_fig6b_db_size,
+    run_fig6c_scalability,
+    run_fig6d_sensitivity,
+)
+from repro.bench.workloads import FamilySpec
+from repro.core.params import MendelConfig, QueryParams
+
+TINY_SPEC = FamilySpec(families=6, members_per_family=2, length=80)
+TINY_CONFIG = MendelConfig(group_count=2, group_size=2, sample_size=128, seed=1)
+TINY_PARAMS = QueryParams(k=8, n=4, i=0.9)
+
+
+def test_fig5_smoke():
+    result = run_fig5_load_balance(spec=TINY_SPEC, config=TINY_CONFIG)
+    assert len(result.rows) == 4
+    assert result.meta["blocks"] > 0
+    total = sum(r["mendel_pct"] for r in result.rows)
+    assert total == pytest.approx(100.0)
+
+
+def test_fig6a_smoke():
+    result = run_fig6a_query_length(
+        lengths=(100, 200),
+        queries_per_length=1,
+        spec=TINY_SPEC,
+        config=TINY_CONFIG,
+        params=TINY_PARAMS,
+    )
+    assert [r["query_length"] for r in result.rows] == [100, 200]
+    assert all(r["mendel_ms"] > 0 and r["blast_ms"] > 0 for r in result.rows)
+
+
+def test_fig6b_smoke():
+    result = run_fig6b_db_size(
+        family_counts=(4, 8),
+        queries=1,
+        query_length=120,
+        members_per_family=2,
+        seq_length=80,
+        config=TINY_CONFIG,
+        params=TINY_PARAMS,
+        blast_memory_residues=None,
+    )
+    sizes = [r["db_residues"] for r in result.rows]
+    assert sizes == sorted(sizes)
+
+
+def test_fig6c_smoke():
+    result = run_fig6c_scalability(
+        group_counts=(1, 2),
+        group_size=2,
+        spec=TINY_SPEC,
+        queries=1,
+        query_length=120,
+        params=TINY_PARAMS,
+    )
+    assert [r["nodes"] for r in result.rows] == [2, 4]
+
+
+def test_fig6d_smoke():
+    result = run_fig6d_sensitivity(
+        levels=(0.9, 0.5),
+        group_size=2,
+        target_length=150,
+        background_families=2,
+        config=TINY_CONFIG,
+        params=QueryParams(k=8, n=4, i=0.3, c=0.3),
+    )
+    assert [r["identity_pct"] for r in result.rows] == [90.0, 50.0]
+    for row in result.rows:
+        assert 0.0 <= row["mendel_found_pct"] <= 100.0
+        assert 0.0 <= row["blast_found_pct"] <= 100.0
+    # At 90% identity both systems must find essentially everything.
+    assert result.rows[0]["mendel_found_pct"] == 100.0

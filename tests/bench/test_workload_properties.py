@@ -1,0 +1,83 @@
+"""Property-based tests of the workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import (
+    FamilySpec,
+    generate_family_database,
+    generate_read_queries,
+    sensitivity_groups,
+)
+from repro.seq.distance import percent_identity
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    families=st.integers(1, 6),
+    members=st.integers(1, 4),
+    length=st.integers(30, 120),
+    seed=st.integers(0, 500),
+)
+def test_family_database_shape(families, members, length, seed):
+    spec = FamilySpec(
+        families=families, members_per_family=members, length=length,
+        length_jitter=0.0,
+    )
+    db = generate_family_database(spec, rng=seed)
+    assert len(db) == families * members
+    # Ids are unique and family-structured.
+    ids = [r.seq_id for r in db]
+    assert len(set(ids)) == len(ids)
+    # Members stay within the declared identity band of their ancestor.
+    for family in range(families):
+        ancestor = db[f"nr-f{family:04d}-m000"]
+        for member in range(1, members):
+            mutant = db[f"nr-f{family:04d}-m{member:03d}"]
+            identity = percent_identity(ancestor.codes, mutant.codes)
+            # Rounding to whole mutation counts can nudge past the ends.
+            assert spec.min_identity - 0.05 <= identity <= spec.max_identity + 0.05
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    count=st.integers(1, 5),
+    length=st.integers(10, 400),
+    seed=st.integers(0, 500),
+)
+def test_read_queries_exact_length(count, length, seed):
+    db = generate_family_database(
+        FamilySpec(families=3, members_per_family=2, length=80), rng=7
+    )
+    reads = generate_read_queries(db, count, length, rng=seed)
+    assert len(reads) == count
+    assert all(len(r) == length for r in reads)
+    assert all(r.alphabet is db.alphabet for r in reads)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    level=st.sampled_from([0.2, 0.5, 0.8]),
+    group_size=st.integers(1, 4),
+    seed=st.integers(0, 500),
+)
+def test_sensitivity_groups_identity_exact(level, group_size, seed):
+    target, groups = sensitivity_groups(
+        levels=(level,), group_size=group_size, target_length=300, rng=seed
+    )
+    assert len(groups[level]) == group_size
+    for mutant in groups[level]:
+        assert percent_identity(target.codes, mutant.codes) == pytest.approx(
+            level, abs=0.01
+        )
+
+
+def test_family_database_deterministic_per_seed():
+    spec = FamilySpec(families=2, members_per_family=3, length=60)
+    a = generate_family_database(spec, rng=77)
+    b = generate_family_database(spec, rng=77)
+    c = generate_family_database(spec, rng=78)
+    assert [r.text for r in a] == [r.text for r in b]
+    assert [r.text for r in a] != [r.text for r in c]

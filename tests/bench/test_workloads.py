@@ -1,0 +1,127 @@
+"""Tests for the workload generators (repro.bench.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    FamilySpec,
+    generate_family_database,
+    generate_read_queries,
+    sensitivity_groups,
+)
+from repro.seq.alphabet import DNA
+from repro.seq.distance import percent_identity
+
+
+class TestFamilySpec:
+    def test_totals(self):
+        spec = FamilySpec(families=4, members_per_family=3)
+        assert spec.total_sequences == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FamilySpec(families=0)
+        with pytest.raises(ValueError):
+            FamilySpec(min_identity=0.9, max_identity=0.5)
+        with pytest.raises(ValueError):
+            FamilySpec(length_jitter=2.0)
+
+
+class TestFamilyDatabase:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_family_database(
+            FamilySpec(families=5, members_per_family=4, length=120,
+                       length_jitter=0.0),
+            rng=3,
+        )
+
+    def test_size(self, db):
+        assert len(db) == 20
+
+    def test_family_ids_structured(self, db):
+        assert "nr-f0000-m000" in db
+        assert "nr-f0004-m003" in db
+
+    def test_members_similar_to_ancestor(self, db):
+        ancestor = db["nr-f0002-m000"]
+        for member in range(1, 4):
+            mutant = db[f"nr-f0002-m{member:03d}"]
+            identity = percent_identity(ancestor.codes, mutant.codes)
+            assert 0.5 <= identity <= 0.96
+
+    def test_families_unrelated(self, db):
+        a = db["nr-f0000-m000"]
+        b = db["nr-f0001-m000"]
+        identity = percent_identity(a.codes, b.codes)
+        assert identity < 0.3  # random background
+
+    def test_reproducible(self):
+        spec = FamilySpec(families=2, members_per_family=2, length=50)
+        a = generate_family_database(spec, rng=9)
+        b = generate_family_database(spec, rng=9)
+        assert [r.text for r in a] == [r.text for r in b]
+
+    def test_dna_rejected(self):
+        with pytest.raises(ValueError, match="protein"):
+            generate_family_database(FamilySpec(), alphabet=DNA)
+
+    def test_length_jitter(self):
+        db = generate_family_database(
+            FamilySpec(families=8, members_per_family=1, length=100,
+                       length_jitter=0.2),
+            rng=4,
+        )
+        assert len({len(r) for r in db}) > 1
+
+
+class TestReadQueries:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_family_database(
+            FamilySpec(families=3, members_per_family=2, length=100), rng=5
+        )
+
+    def test_count_and_length(self, db):
+        reads = generate_read_queries(db, count=4, length=250, rng=6)
+        assert len(reads) == 4
+        assert all(len(r) == 250 for r in reads)
+
+    def test_long_reads_stitched(self, db):
+        reads = generate_read_queries(db, count=1, length=1000, rng=7)
+        assert len(reads.records[0]) == 1000
+
+    def test_zero_error_reads_contain_db_segments(self, db):
+        reads = generate_read_queries(db, count=1, length=40, rng=8,
+                                      error_rate=0.0)
+        read_text = reads.records[0].text
+        assert any(read_text in r.text for r in db)
+
+    def test_validation(self, db):
+        with pytest.raises(ValueError):
+            generate_read_queries(db, count=0, length=10)
+        with pytest.raises(ValueError):
+            generate_read_queries(db, count=1, length=10, error_rate=2.0)
+
+
+class TestSensitivityGroups:
+    def test_protocol_shape(self):
+        target, groups = sensitivity_groups(
+            levels=(0.9, 0.5), group_size=3, target_length=200, rng=9
+        )
+        assert len(target) == 200
+        assert set(groups) == {0.9, 0.5}
+        assert all(len(g) == 3 for g in groups.values())
+
+    def test_mutants_at_level(self):
+        target, groups = sensitivity_groups(
+            levels=(0.7,), group_size=2, target_length=300, rng=10
+        )
+        for mutant in groups[0.7]:
+            assert percent_identity(target.codes, mutant.codes) == pytest.approx(
+                0.7, abs=0.01
+            )
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            sensitivity_groups(levels=(1.5,), rng=1)

@@ -1,0 +1,124 @@
+"""Tests for the mpiBLAST-style distributed baseline
+(repro.blast.distributed)."""
+
+import pytest
+
+from repro.blast.distributed import DistributedBlast, partition_database
+from repro.blast.engine import BlastConfig, BlastEngine
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+from repro.seq.records import SequenceSet
+
+
+@pytest.fixture(scope="module")
+def db():
+    return random_set(count=30, length=150, alphabet=PROTEIN, rng=701,
+                      id_prefix="d", length_jitter=0.3)
+
+
+class TestPartition:
+    def test_covers_everything_once(self, db):
+        segments = partition_database(db, 4)
+        assert len(segments) == 4
+        ids = [r.seq_id for s in segments for r in s]
+        assert sorted(ids) == sorted(r.seq_id for r in db)
+
+    def test_size_balanced(self, db):
+        segments = partition_database(db, 4)
+        loads = [s.total_residues for s in segments]
+        assert max(loads) - min(loads) < 0.3 * max(loads)
+
+    def test_more_workers_than_sequences(self, db):
+        segments = partition_database(db, 100)
+        assert len(segments) == len(db)
+
+    def test_one_worker(self, db):
+        segments = partition_database(db, 1)
+        assert len(segments) == 1
+        assert segments[0].total_residues == db.total_residues
+
+    def test_invalid_workers(self, db):
+        with pytest.raises(ValueError):
+            partition_database(db, 0)
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def probe(self, db):
+        return mutate_to_identity(db.records[7], 0.88, rng=5, seq_id="probe")
+
+    def test_same_top_hit_as_monolithic(self, db, probe):
+        single = BlastEngine(db)
+        dist = DistributedBlast(db, workers=5)
+        assert (
+            single.search(probe).alignments[0].subject_id
+            == dist.search(probe).alignments[0].subject_id
+            == db.records[7].seq_id
+        )
+
+    def test_evalues_corrected_to_full_db(self, db, probe):
+        single = BlastEngine(db)
+        dist = DistributedBlast(db, workers=5)
+        s = single.search(probe).alignments[0]
+        d = dist.search(probe).alignments[0]
+        # Same score and (up to the K/lambda fit of the segment) comparable
+        # E-value against the full database size.
+        assert d.score == pytest.approx(s.score)
+        assert d.evalue == pytest.approx(s.evalue, rel=2.0)
+
+    def test_worker_turnarounds_recorded(self, db, probe):
+        dist = DistributedBlast(db, workers=4)
+        report = dist.search(probe)
+        assert len(report.worker_turnarounds) == 4
+        assert report.turnaround >= max(report.worker_turnarounds)
+        assert 0 <= report.makespan_worker < 4
+
+    def test_parallelism_reduces_turnaround(self, db, probe):
+        single = BlastEngine(db)
+        dist = DistributedBlast(db, workers=6, heterogeneous=False)
+        assert dist.search(probe).turnaround < single.search(probe).turnaround
+
+    def test_superlinear_past_memory_wall(self, db, probe):
+        """mpiBLAST's documented effect: when the monolithic database pages
+        but segments are memory-resident, speedup exceeds the worker count."""
+        config = BlastConfig(memory_capacity_residues=db.total_residues // 3)
+        single = BlastEngine(db, config)
+        dist = DistributedBlast(db, workers=6, config=config,
+                                heterogeneous=False)
+        speedup = single.search(probe).turnaround / dist.search(probe).turnaround
+        assert speedup > 6.0
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            DistributedBlast(SequenceSet(alphabet=PROTEIN))
+
+    def test_evalue_threshold_applied_after_correction(self, db, probe):
+        dist = DistributedBlast(db, workers=5)
+        report = dist.search(probe)
+        assert all(
+            a.evalue <= dist.config.evalue_threshold for a in report.alignments
+        )
+
+
+class TestReportEdgeCases:
+    def test_makespan_worker_empty_rejected(self):
+        from repro.blast.distributed import DistributedBlastReport
+        from repro.blast.engine import BlastStats
+
+        report = DistributedBlastReport(
+            query_id="q", alignments=[], stats=BlastStats(), turnaround=0.0,
+            worker_turnarounds=(),
+        )
+        with pytest.raises(ValueError, match="no workers"):
+            report.makespan_worker
+
+    def test_makespan_worker_picks_straggler(self):
+        from repro.blast.distributed import DistributedBlastReport
+        from repro.blast.engine import BlastStats
+
+        report = DistributedBlastReport(
+            query_id="q", alignments=[], stats=BlastStats(), turnaround=3.0,
+            worker_turnarounds=(1.0, 3.0, 2.0),
+        )
+        assert report.makespan_worker == 1

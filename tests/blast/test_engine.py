@@ -1,0 +1,128 @@
+"""Tests for the BLAST baseline engine (repro.blast.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.blast.engine import BlastConfig, BlastEngine
+from repro.cluster.node import SUNFIRE_X4100
+from repro.seq.alphabet import DNA, PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity, sample_read
+from repro.seq.records import SequenceRecord, SequenceSet
+
+
+class TestConfig:
+    def test_word_length_defaults(self):
+        cfg = BlastConfig()
+        assert cfg.resolved_word_length(PROTEIN) == 3
+        assert cfg.resolved_word_length(DNA) == 11
+
+    def test_explicit_word_length(self):
+        assert BlastConfig(word_length=5).resolved_word_length(PROTEIN) == 5
+
+
+class TestProteinSearch:
+    def test_finds_planted_homolog(self, blast, planted_probe):
+        probe, target_id = planted_probe
+        report = blast.search(probe)
+        assert report.alignments
+        assert report.alignments[0].subject_id == target_id
+
+    def test_exact_match_full_span(self, blast, protein_db):
+        target = protein_db.records[0]
+        probe = SequenceRecord("exact", target.codes.copy(), PROTEIN)
+        report = blast.search(probe)
+        best = report.alignments[0]
+        assert best.subject_id == target.seq_id
+        assert best.identity == 1.0
+        assert best.query_span == len(target)
+
+    def test_ranked_by_evalue(self, blast, planted_probe):
+        probe, _ = planted_probe
+        evalues = [a.evalue for a in blast.search(probe).alignments]
+        assert evalues == sorted(evalues)
+
+    def test_stats_populated(self, blast, planted_probe):
+        probe, _ = planted_probe
+        report = blast.search(probe)
+        stats = report.stats
+        assert stats.query_words == len(probe) - 2
+        assert stats.neighborhood_words > stats.query_words
+        assert stats.seed_hits > 0
+        assert stats.work_units > 0
+        assert report.turnaround > 0
+
+    def test_report_helpers(self, blast, planted_probe):
+        probe, target_id = planted_probe
+        report = blast.search(probe)
+        assert report.best() is report.alignments[0]
+        assert target_id in report.subject_ids()
+
+    def test_alphabet_mismatch_rejected(self, blast):
+        with pytest.raises(ValueError, match="alphabet"):
+            blast.search(SequenceRecord.from_text("q", "ACGT" * 5, DNA))
+
+    def test_deterministic(self, blast, planted_probe):
+        probe, _ = planted_probe
+        assert blast.search(probe).alignments == blast.search(probe).alignments
+
+
+class TestDnaSearch:
+    @pytest.fixture(scope="class")
+    def dna_engine(self, dna_db):
+        return BlastEngine(dna_db)
+
+    def test_read_mapping(self, dna_engine, dna_db):
+        read = sample_read(dna_db.records[4], 80, rng=3, error_rate=0.0,
+                           seq_id="read")
+        report = dna_engine.search(read)
+        assert report.alignments
+        assert report.alignments[0].subject_id == dna_db.records[4].seq_id
+        assert report.alignments[0].identity == 1.0
+
+    def test_uses_dna_matrix(self, dna_engine):
+        assert dna_engine.matrix.shape == (5, 5)
+        assert dna_engine.k == 11
+
+
+class TestSensitivityBehaviour:
+    def test_exact_word_index_misses_what_nns_catches(self):
+        # The architectural point of the paper: BLAST's word seeding loses
+        # hits as identity drops while higher identity keeps them.
+        db = random_set(count=25, length=250, alphabet=PROTEIN, rng=55,
+                        id_prefix="bg")
+        engine = BlastEngine(db)
+        target = db.records[3]
+        high = mutate_to_identity(target, 0.9, rng=1, seq_id="high")
+        assert any(
+            a.subject_id == target.seq_id for a in engine.search(high).alignments
+        )
+
+
+class TestTimeModel:
+    def test_slower_profile_longer_turnaround(self, blast, planted_probe):
+        probe, _ = planted_probe
+        fast = blast.search(probe).turnaround
+        slow = blast.search(probe, profile=SUNFIRE_X4100).turnaround
+        assert slow > fast
+
+    def test_memory_wall(self, protein_db, planted_probe):
+        probe, _ = planted_probe
+        resident = BlastEngine(protein_db, BlastConfig(
+            memory_capacity_residues=10**9))
+        paged = BlastEngine(protein_db, BlastConfig(
+            memory_capacity_residues=100))
+        assert paged.search(probe).turnaround > 5 * resident.search(probe).turnaround
+
+    def test_two_hit_reduces_extensions(self, protein_db, planted_probe):
+        probe, _ = planted_probe
+        two = BlastEngine(protein_db, BlastConfig(two_hit=True))
+        one = BlastEngine(protein_db, BlastConfig(two_hit=False))
+        assert (
+            two.search(probe).stats.extensions
+            <= one.search(probe).stats.extensions
+        )
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            BlastEngine(SequenceSet(alphabet=PROTEIN))

@@ -1,0 +1,71 @@
+"""Tests for the database word table (repro.blast.lookup)."""
+
+import numpy as np
+import pytest
+
+from repro.blast.lookup import WordLookup
+from repro.blast.words import word_code
+from repro.seq.alphabet import DNA
+from repro.seq.records import SequenceRecord, SequenceSet
+
+
+def make_db(*texts: str) -> SequenceSet:
+    s = SequenceSet(alphabet=DNA)
+    for i, text in enumerate(texts):
+        s.add(SequenceRecord.from_text(f"s{i}", text, "dna"))
+    return s
+
+
+class TestBuild:
+    def test_occurrences_match_naive_scan(self):
+        db = make_db("ACGTACGT", "TTACGTT")
+        lut = WordLookup(db, k=3)
+        target = DNA.encode("ACG")
+        code = word_code(target, 4)
+        hits = lut.lookup(np.array([code]))
+        expected = set()
+        for seq_index, record in enumerate(db):
+            text = record.text
+            for pos in range(len(text) - 2):
+                if text[pos : pos + 3] == "ACG":
+                    expected.add((seq_index, pos))
+        assert {(int(a), int(b)) for a, b in hits} == expected
+
+    def test_total_words(self):
+        db = make_db("ACGTA", "GG")
+        lut = WordLookup(db, k=3)
+        assert lut.total_words == 3  # 3 from s0, none from s1 (too short)
+
+    def test_ambiguous_words_excluded(self):
+        db = make_db("ACNGT")
+        lut = WordLookup(db, k=3)
+        # Every 3-word overlaps the N.
+        assert lut.total_words == 0
+        assert len(lut) == 0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            WordLookup(make_db("ACGT"), k=0)
+
+
+class TestLookup:
+    def test_multiple_words_concatenated(self):
+        db = make_db("ACGTACG")
+        lut = WordLookup(db, k=3)
+        codes = np.array(
+            [word_code(DNA.encode("ACG"), 4), word_code(DNA.encode("CGT"), 4)]
+        )
+        hits = lut.lookup(codes)
+        assert hits.shape == (3, 2)  # ACG x2 + CGT x1
+
+    def test_missing_word_empty(self):
+        db = make_db("AAAA")
+        lut = WordLookup(db, k=3)
+        hits = lut.lookup(np.array([word_code(DNA.encode("GGG"), 4)]))
+        assert hits.shape == (0, 2)
+
+    def test_occurrence_count(self):
+        db = make_db("ACGACGACG")
+        lut = WordLookup(db, k=3)
+        code = word_code(DNA.encode("ACG"), 4)
+        assert lut.occurrence_count(np.array([code])) == 3

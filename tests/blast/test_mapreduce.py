@@ -1,0 +1,115 @@
+"""Tests for the CloudBLAST / Biodoop MapReduce baselines
+(repro.blast.mapreduce)."""
+
+import pytest
+
+from repro.blast.engine import BlastEngine
+from repro.blast.mapreduce import Biodoop, CloudBlast, MapReduceCosts
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = random_set(count=20, length=120, alphabet=PROTEIN, rng=971,
+                    id_prefix="mr")
+    queries = [
+        mutate_to_identity(db.records[i], 0.88, rng=i, seq_id=f"q{i}")
+        for i in range(6)
+    ]
+    return db, queries
+
+
+class TestMapReduceCosts:
+    def test_defaults_valid(self):
+        MapReduceCosts()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapReduceCosts(job_startup=-1)
+
+
+class TestCloudBlast:
+    def test_results_match_monolithic(self, setup):
+        db, queries = setup
+        single = BlastEngine(db)
+        job = CloudBlast(db, mappers=3).search_set(queries)
+        assert len(job.reports) == len(queries)
+        for query in queries:
+            expected = single.search(query).alignments
+            assert job.report_for(query.seq_id).alignments == expected
+
+    def test_job_overheads_charged(self, setup):
+        db, queries = setup
+        costs = MapReduceCosts(job_startup=5.0)
+        job = CloudBlast(db, mappers=3, costs=costs).search_set(queries)
+        assert job.turnaround > 5.0
+
+    def test_map_task_count(self, setup):
+        db, queries = setup
+        job = CloudBlast(db, mappers=4).search_set(queries)
+        assert job.map_tasks == 4  # 6 queries round-robin over 4 mappers
+        job2 = CloudBlast(db, mappers=10).search_set(queries[:2])
+        assert job2.map_tasks == 2  # empty mappers spawn no tasks
+
+    def test_empty_query_set_rejected(self, setup):
+        db, _ = setup
+        with pytest.raises(ValueError, match="non-empty"):
+            CloudBlast(db, mappers=2).search_set([])
+
+    def test_missing_report_lookup(self, setup):
+        db, queries = setup
+        job = CloudBlast(db, mappers=2).search_set(queries)
+        with pytest.raises(KeyError):
+            job.report_for("nope")
+
+
+class TestBiodoop:
+    def test_top_hits_match_monolithic(self, setup):
+        db, queries = setup
+        single = BlastEngine(db)
+        job = Biodoop(db, mappers=3).search_set(queries)
+        for query in queries:
+            expected = single.search(query).alignments[0]
+            got = job.report_for(query.seq_id).alignments[0]
+            assert got.subject_id == expected.subject_id
+            assert got.score == pytest.approx(expected.score)
+
+    def test_every_segment_visited(self, setup):
+        db, queries = setup
+        job = Biodoop(db, mappers=4).search_set(queries)
+        assert job.map_tasks == 4
+
+    def test_alignments_ranked(self, setup):
+        db, queries = setup
+        job = Biodoop(db, mappers=3).search_set(queries)
+        for report in job.reports:
+            evalues = [a.evalue for a in report.alignments]
+            assert evalues == sorted(evalues)
+
+
+class TestSublinearScaling:
+    def test_paper_claim_sublinear_speedup(self, setup):
+        """'both methods see sublinear speedup as the number of compute
+        resources grow' — speedup rises with mappers but stays below the
+        ideal (worker-count) line because job overheads do not parallelise."""
+        db, _ = setup
+        queries = [
+            mutate_to_identity(db.records[i % 20], 0.85, rng=100 + i,
+                               seq_id=f"w{i}")
+            for i in range(24)
+        ]
+        for framework in (CloudBlast, Biodoop):
+            base = framework(db, mappers=1, heterogeneous=False).search_set(
+                queries
+            ).turnaround
+            speedups = []
+            for workers in (2, 4, 8):
+                t = framework(
+                    db, mappers=workers, heterogeneous=False
+                ).search_set(queries).turnaround
+                speedups.append(base / t)
+            assert speedups == sorted(speedups), framework.__name__
+            for workers, speedup in zip((2, 4, 8), speedups):
+                assert speedup < workers, (framework.__name__, workers, speedup)

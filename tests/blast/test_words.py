@@ -1,0 +1,100 @@
+"""Tests for BLAST word tokenisation and neighbourhoods (repro.blast.words)."""
+
+import numpy as np
+import pytest
+
+from repro.blast.words import (
+    neighborhood_words,
+    query_neighborhoods,
+    word_code,
+    words_of,
+)
+from repro.seq.alphabet import DNA, PROTEIN
+from repro.seq.matrices import BLOSUM62
+
+M = BLOSUM62.astype(np.float64)
+
+
+class TestWordCode:
+    def test_base_expansion(self):
+        assert word_code(np.array([1, 2, 3]), base=10) == 123
+        assert word_code(np.array([0, 0, 1]), base=4) == 1
+
+    def test_roundtrip_with_words_of(self):
+        codes = DNA.encode("ACGTA")
+        words = words_of(codes, k=3, base=4)
+        assert words[0] == word_code(codes[:3], 4)
+        assert words[-1] == word_code(codes[2:5], 4)
+
+    def test_words_of_count(self):
+        codes = np.zeros(10, dtype=np.uint8)
+        assert words_of(codes, 3, 4).shape == (8,)
+
+    def test_words_of_short_sequence(self):
+        assert words_of(np.zeros(2, dtype=np.uint8), 3, 4).shape == (0,)
+
+
+class TestNeighborhoodWords:
+    def test_contains_self_for_high_scoring_word(self):
+        word = PROTEIN.encode("WWW")  # W-W scores 11: self-score 33
+        hood = neighborhood_words(word, M, threshold=11.0, canonical_size=20)
+        assert word_code(word, 20) in hood
+
+    def test_threshold_monotone(self):
+        word = PROTEIN.encode("MKV")
+        low = neighborhood_words(word, M, threshold=9.0, canonical_size=20)
+        high = neighborhood_words(word, M, threshold=13.0, canonical_size=20)
+        assert len(high) <= len(low)
+        assert set(high).issubset(set(low))
+
+    def test_scores_actually_meet_threshold(self):
+        word = PROTEIN.encode("MKV")
+        hood = neighborhood_words(word, M, threshold=11.0, canonical_size=20)
+        for code in hood[:50]:
+            # Decode base-20 digits.
+            digits = []
+            value = int(code)
+            for _ in range(3):
+                digits.append(value % 20)
+                value //= 20
+            digits.reverse()
+            score = sum(M[word[p], digits[p]] for p in range(3))
+            assert score >= 11.0
+
+    def test_infeasible_enumeration_rejected(self):
+        word = np.zeros(11, dtype=np.uint8)
+        with pytest.raises(ValueError, match="infeasible"):
+            neighborhood_words(word, M, 11.0, canonical_size=20)
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            neighborhood_words(np.zeros(0, dtype=np.uint8), M, 11.0, 20)
+
+
+class TestQueryNeighborhoods:
+    def test_one_per_position(self):
+        query = PROTEIN.encode("MKVLAW")
+        out = query_neighborhoods(query, 3, M, 11.0, PROTEIN)
+        assert [n.position for n in out] == [0, 1, 2, 3]
+
+    def test_exact_only_mode(self):
+        query = DNA.encode("ACGTACG")
+        out = query_neighborhoods(query, 11, None, 0.0, DNA, exact_only=True)
+        assert out == []  # query shorter than word
+        out = query_neighborhoods(DNA.encode("ACGTACGTACGT"), 11, None, 0.0,
+                                  DNA, exact_only=True)
+        assert all(n.word_codes.shape == (1,) for n in out)
+
+    def test_ambiguous_words_skipped(self):
+        query = PROTEIN.encode("MKXLAW")  # X at position 2
+        out = query_neighborhoods(query, 3, M, 11.0, PROTEIN)
+        positions = [n.position for n in out]
+        assert 0 not in positions and 1 not in positions and 2 not in positions
+        assert 3 in positions
+
+    def test_cache_shared_for_repeated_words(self):
+        query = PROTEIN.encode("MKVMKV")
+        out = query_neighborhoods(query, 3, M, 11.0, PROTEIN)
+        first = next(n for n in out if n.position == 0)
+        repeat = next(n for n in out if n.position == 3)
+        assert first.word_codes is repeat.word_codes

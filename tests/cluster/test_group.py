@@ -1,0 +1,73 @@
+"""Tests for repro.cluster.group."""
+
+import pytest
+
+from repro.cluster.group import StorageGroup
+from repro.cluster.node import StorageNode
+from repro.seq.alphabet import PROTEIN
+from repro.seq.distance import default_distance
+
+
+def make_node(node_id, group_id="g00"):
+    return StorageNode(
+        node_id=node_id,
+        group_id=group_id,
+        metric_factory=lambda: default_distance(PROTEIN),
+        segment_length=8,
+        rng_seed=1,
+    )
+
+
+def make_group(n=3):
+    nodes = [make_node(f"g00.n{i}") for i in range(n)]
+    return StorageGroup(group_id="g00", nodes=nodes)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            StorageGroup(group_id="g00", nodes=[])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            StorageGroup(group_id="g00", nodes=[make_node("a"), make_node("a")])
+
+    def test_wrong_group_id_rejected(self):
+        with pytest.raises(ValueError, match="belongs to group"):
+            StorageGroup(group_id="g01", nodes=[make_node("a", group_id="g00")])
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        group = make_group()
+        assert group.place(b"key").node_id == group.place(b"key").node_id
+
+    def test_all_members_reachable(self):
+        group = make_group(4)
+        owners = {group.place(str(i).encode()).node_id for i in range(200)}
+        assert len(owners) == 4
+
+    def test_node_lookup(self):
+        group = make_group()
+        assert group.node("g00.n1").node_id == "g00.n1"
+        with pytest.raises(KeyError):
+            group.node("missing")
+
+
+class TestIntrospection:
+    def test_len_and_iter(self):
+        group = make_group(3)
+        assert len(group) == 3
+        assert [n.node_id for n in group] == ["g00.n0", "g00.n1", "g00.n2"]
+
+    def test_entry_point_deterministic(self):
+        group = make_group()
+        assert group.entry_point() is group.nodes[0]
+
+    def test_block_count_sums(self):
+        import numpy as np
+
+        group = make_group(2)
+        data = np.zeros((4, 8), dtype=np.uint8)
+        group.nodes[0].store_blocks(data, [0, 1, 2, 3])
+        assert group.block_count == 4

@@ -1,0 +1,49 @@
+"""Tests for repro.cluster.messages."""
+
+import numpy as np
+
+from repro.cluster.messages import (
+    AnchorReport,
+    GroupReport,
+    Message,
+    QueryResult,
+    StoreBlocks,
+    SubQuery,
+    codes_nbytes,
+)
+
+
+class TestWireSizes:
+    def test_base_message(self):
+        m = Message(src="a", dst="b")
+        assert m.payload_bytes() == 0
+        assert m.wire_bytes() == 64
+
+    def test_store_blocks(self):
+        m = StoreBlocks(src="a", dst="b", block_ids=(1, 2, 3), codes_bytes=24)
+        assert m.payload_bytes() == 24 + 24
+        assert m.wire_bytes() > m.payload_bytes()
+
+    def test_subquery(self):
+        m = SubQuery(src="a", dst="b", query_id=1, window_index=0, codes_bytes=8)
+        assert m.payload_bytes() == 24
+
+    def test_anchor_and_group_reports_scale(self):
+        small = AnchorReport(src="a", dst="b", anchor_count=1)
+        big = AnchorReport(src="a", dst="b", anchor_count=100)
+        assert big.payload_bytes() == 100 * small.payload_bytes()
+        g = GroupReport(src="a", dst="b", anchor_count=2)
+        assert g.payload_bytes() == 96
+
+    def test_query_result(self):
+        m = QueryResult(src="a", dst="b", alignment_count=3)
+        assert m.payload_bytes() == 360
+
+
+class TestCodesNbytes:
+    def test_single_array(self):
+        assert codes_nbytes(np.zeros(10, dtype=np.uint8)) == 10
+
+    def test_sequence(self):
+        arrays = [np.zeros(4, dtype=np.uint8), np.zeros(6, dtype=np.uint8)]
+        assert codes_nbytes(arrays) == 10

@@ -1,0 +1,133 @@
+"""Tests for repro.cluster.node."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import HP_DL160, SUNFIRE_X4100, NodeProfile, StorageNode
+from repro.seq.alphabet import PROTEIN
+from repro.seq.distance import default_distance
+
+
+def make_node(profile=HP_DL160, bucket=8, seg=8):
+    return StorageNode(
+        node_id="g00.n0",
+        group_id="g00",
+        metric_factory=lambda: default_distance(PROTEIN),
+        segment_length=seg,
+        profile=profile,
+        bucket_capacity=bucket,
+        rng_seed=1,
+    )
+
+
+def blocks(n, seg=8, seed=0):
+    return np.random.default_rng(seed).integers(0, 20, (n, seg)).astype(np.uint8)
+
+
+class TestNodeProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeProfile(speed_factor=0)
+        with pytest.raises(ValueError):
+            NodeProfile(seconds_per_eval=-1)
+
+    def test_testbed_classes(self):
+        assert HP_DL160.speed_factor > SUNFIRE_X4100.speed_factor
+
+
+class TestStorage:
+    def test_store_and_count(self):
+        node = make_node()
+        node.store_blocks(blocks(20), list(range(20)))
+        assert node.block_count == 20
+        assert node.stats.blocks_stored == 20
+
+    def test_store_shape_mismatch(self):
+        node = make_node()
+        with pytest.raises(ValueError, match="block ids"):
+            node.store_blocks(blocks(5), [1, 2])
+
+    def test_store_single_row(self):
+        node = make_node()
+        node.store_blocks(blocks(1)[0], [0])
+        assert node.block_count == 1
+
+
+class TestLocalKnn:
+    def test_returns_block_ids(self):
+        node = make_node()
+        data = blocks(30)
+        node.store_blocks(data, list(range(100, 130)))
+        hits, seconds = node.local_knn(data[3], 2)
+        assert hits[0][1] == 103
+        assert hits[0][0] == 0.0
+        assert seconds > 0
+
+    def test_empty_node(self):
+        node = make_node()
+        hits, seconds = node.local_knn(blocks(1)[0], 3)
+        assert hits == []
+        assert seconds > 0  # still charges request overhead
+
+    def test_stats_accumulate(self):
+        node = make_node()
+        node.store_blocks(blocks(30), list(range(30)))
+        node.local_knn(blocks(1, seed=5)[0], 2)
+        node.local_knn(blocks(1, seed=6)[0], 2)
+        assert node.stats.queries_served == 2
+        assert node.stats.evals_charged > 0
+        assert node.stats.busy_seconds > 0
+
+    def test_max_radius_passthrough(self):
+        node = make_node()
+        data = blocks(30)
+        node.store_blocks(data, list(range(30)))
+        hits, _ = node.local_knn(data[0], 10, max_radius=0.0)
+        assert all(d == 0.0 for d, _ in hits)
+
+
+class TestLifecycle:
+    def test_fail_and_recover(self):
+        node = make_node()
+        assert node.alive
+        node.fail()
+        assert not node.alive
+        node.recover()
+        assert node.alive
+
+    def test_failed_node_keeps_its_data(self):
+        node = make_node()
+        node.store_blocks(blocks(10), list(range(10)))
+        node.fail()
+        assert node.block_count == 10
+        node.recover()
+        hits, _ = node.local_knn(blocks(10)[3], 1)
+        assert hits[0][0] == 0.0
+
+    def test_reset_storage_empties_index(self):
+        node = make_node()
+        node.store_blocks(blocks(10), list(range(10)))
+        node.reset_storage()
+        assert node.block_count == 0
+        assert len(node.tree) == 0
+        # And the node is immediately usable again.
+        node.store_blocks(blocks(4, seed=9), [100, 101, 102, 103])
+        assert node.block_count == 4
+
+
+class TestServiceTime:
+    def test_scales_with_evals(self):
+        node = make_node()
+        assert node.service_time(2000) > node.service_time(100)
+
+    def test_slower_hardware_takes_longer(self):
+        fast = make_node(HP_DL160)
+        slow = make_node(SUNFIRE_X4100)
+        assert slow.service_time(1000) > fast.service_time(1000)
+
+    def test_ops_scaled_by_segment_length(self):
+        node = make_node(seg=8)
+        # One segment eval == segment_length residue ops.
+        assert node.service_time_ops(8) == pytest.approx(
+            node.service_time(1, overhead_evals=0)
+        )

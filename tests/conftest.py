@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic databases and built engines.
+
+Session-scoped where construction is expensive (index builds) — tests must
+not mutate these; tests that need mutation build their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blast import BlastEngine
+from repro.core import Mendel, MendelConfig
+from repro.seq import DNA, PROTEIN, SequenceRecord, SequenceSet, random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+@pytest.fixture(scope="session")
+def protein_db() -> SequenceSet:
+    """40 random protein sequences of length ~200 (seeded)."""
+    return random_set(count=40, length=200, alphabet=PROTEIN, rng=101, id_prefix="p")
+
+
+@pytest.fixture(scope="session")
+def dna_db() -> SequenceSet:
+    """20 random DNA sequences of length 300 (seeded)."""
+    return random_set(count=20, length=300, alphabet=DNA, rng=103, id_prefix="d")
+
+
+@pytest.fixture(scope="session")
+def mendel(protein_db) -> Mendel:
+    """A small built Mendel deployment over :func:`protein_db` (read-only)."""
+    return Mendel.build(
+        protein_db,
+        MendelConfig(group_count=3, group_size=2, sample_size=256, seed=7),
+    )
+
+
+@pytest.fixture(scope="session")
+def blast(protein_db) -> BlastEngine:
+    """A BLAST engine over the same database (read-only)."""
+    return BlastEngine(protein_db)
+
+
+@pytest.fixture(scope="session")
+def planted_probe(protein_db) -> tuple[SequenceRecord, str]:
+    """A query at 85% identity to one database sequence; returns
+    ``(probe, target_seq_id)``."""
+    target = protein_db.records[5]
+    probe = mutate_to_identity(target, 0.85, rng=11, seq_id="probe85")
+    return probe, target.seq_id
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,138 @@
+"""Tests for candidate scoring and anchor extension (repro.core.anchors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anchors import (
+    consecutivity_score,
+    evaluate_candidate,
+    extend_anchor,
+    match_mask,
+)
+from repro.seq.alphabet import PROTEIN
+from repro.seq.matrices import BLOSUM62
+
+M = BLOSUM62.astype(np.float64)
+
+
+def codes(text: str) -> np.ndarray:
+    return PROTEIN.encode(text)
+
+
+class TestMatchMask:
+    def test_exact_only(self):
+        mask = match_mask(codes("MKVL"), codes("MKAL"))
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_positive_substitution_counts_with_matrix(self):
+        # L->I scores +2 in BLOSUM62: counts as successive-eligible.
+        mask = match_mask(codes("L"), codes("I"), M)
+        assert mask.tolist() == [True]
+
+    def test_negative_substitution_excluded(self):
+        # W->G scores -2.
+        mask = match_mask(codes("W"), codes("G"), M)
+        assert mask.tolist() == [False]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            match_mask(codes("MK"), codes("MKV"))
+
+
+class TestConsecutivityScore:
+    def test_all_consecutive(self):
+        assert consecutivity_score(np.array([1, 1, 1, 1], bool)) == 1.0
+
+    def test_no_matches(self):
+        assert consecutivity_score(np.zeros(5, bool)) == 0.0
+
+    def test_isolated_matches_score_zero(self):
+        assert consecutivity_score(np.array([1, 0, 1, 0, 1], bool)) == 0.0
+
+    def test_mixed(self):
+        # Matches at 0,1 (run) and 3 (isolated): 2 of 3 in succession.
+        mask = np.array([1, 1, 0, 1], bool)
+        assert consecutivity_score(mask) == pytest.approx(2 / 3)
+
+    def test_run_at_end(self):
+        mask = np.array([0, 1, 1], bool)
+        assert consecutivity_score(mask) == 1.0
+
+    def test_single_position(self):
+        assert consecutivity_score(np.array([1], bool)) == 0.0
+
+
+class TestEvaluateCandidate:
+    def test_identical(self):
+        score = evaluate_candidate(codes("MKVLWWAA"), codes("MKVLWWAA"))
+        assert score.identity == 1.0
+        assert score.c_score == 1.0
+
+    def test_identity_counts_exact_only(self):
+        # L vs I is a positive substitution: c-score counts it, identity not.
+        score = evaluate_candidate(codes("LLLL"), codes("LLLI"), M)
+        assert score.identity == 0.75
+        assert score.c_score == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            evaluate_candidate(codes(""), codes(""))
+
+
+class TestExtendAnchor:
+    def test_identical_extends_fully(self):
+        q = codes("MKVLAWFWAHKLMKVL")
+        anchor = extend_anchor(q, q, "s", 6, 10, 6, identity_threshold=0.8, matrix=M)
+        assert (anchor.query_start, anchor.query_end) == (0, 16)
+        assert anchor.score == float(M[q, q].sum())
+        assert anchor.diagonal == 0
+
+    def test_stops_at_first_identity_violation(self):
+        core = "MKVLWRAH"
+        q = codes("PPPP" + core + "PPPP")
+        s = codes("GGGG" + core + "GGGG")  # flanks never match
+        anchor = extend_anchor(
+            q, s, "s", 4, 12, 4, identity_threshold=0.8, matrix=M
+        )
+        # Extension is sequential (right side first): rightward the running
+        # identity stays >= 0.8 for two residues (8/9, 8/10) and violates at
+        # the third (8/11), so the right absorbs the full slack; afterwards
+        # any leftward step starts at 8/11 < 0.8, so the left absorbs none.
+        assert anchor.query_end == 12 + 2
+        assert anchor.query_start == 4
+
+    def test_off_diagonal_anchor(self):
+        q = codes("AAAAMKVLWWAA")
+        s = codes("MKVLWWAA")
+        anchor = extend_anchor(q, s, "s", 4, 8, 0, identity_threshold=0.9, matrix=M)
+        assert anchor.diagonal == -4
+        assert anchor.query_end == 12
+        assert anchor.subject_end == 8
+
+    def test_respects_sequence_bounds(self):
+        q = codes("MKVL")
+        s = codes("MKVLAAAA")
+        anchor = extend_anchor(q, s, "s", 0, 4, 0, identity_threshold=0.5, matrix=M)
+        assert anchor.query_start >= 0
+        assert anchor.query_end <= 4
+
+    def test_empty_window_rejected(self):
+        q = codes("MKVL")
+        with pytest.raises(ValueError, match="non-empty"):
+            extend_anchor(q, q, "s", 2, 2, 2, 0.5, M)
+
+    def test_out_of_bounds_rejected(self):
+        q = codes("MKVL")
+        with pytest.raises(ValueError, match="out of bounds"):
+            extend_anchor(q, q, "s", 2, 6, 2, 0.5, M)
+
+    def test_low_threshold_extends_more(self):
+        rng = np.random.default_rng(4)
+        q = rng.integers(0, 20, 60).astype(np.uint8)
+        s = q.copy()
+        mask = rng.random(60) < 0.3
+        s[mask] = rng.integers(0, 20, int(mask.sum()))
+        s[25:33] = q[25:33]
+        strict = extend_anchor(q, s, "s", 25, 33, 25, 0.95, M)
+        loose = extend_anchor(q, s, "s", 25, 33, 25, 0.4, M)
+        assert loose.length >= strict.length

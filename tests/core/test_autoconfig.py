@@ -1,0 +1,59 @@
+"""Tests for automatic configuration (repro.core.autoconfig)."""
+
+import pytest
+
+from repro.core import Mendel, QueryParams, suggest_config
+from repro.seq.alphabet import DNA, PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+from repro.seq.records import SequenceSet
+
+
+class TestSuggestConfig:
+    def test_protein_defaults(self):
+        db = random_set(count=10, length=100, alphabet=PROTEIN, rng=1)
+        config = suggest_config(db, node_budget=50)
+        assert config.segment_length == 8
+        assert config.group_size == 5
+        assert config.group_count == 10
+        assert config.replication == 1
+
+    def test_dna_longer_segments(self):
+        db = random_set(count=5, length=200, alphabet=DNA, rng=2)
+        config = suggest_config(db, node_budget=10)
+        assert config.segment_length == 16
+
+    def test_small_budget(self):
+        db = random_set(count=5, length=100, alphabet=PROTEIN, rng=3)
+        config = suggest_config(db, node_budget=3)
+        assert config.group_size == 3
+        assert config.group_count == 1
+
+    def test_fault_tolerant_enables_replication(self):
+        db = random_set(count=5, length=100, alphabet=PROTEIN, rng=4)
+        config = suggest_config(db, node_budget=10, fault_tolerant=True)
+        assert config.replication == 2
+
+    def test_sample_bounded_by_blocks(self):
+        db = random_set(count=2, length=20, alphabet=PROTEIN, rng=5)
+        config = suggest_config(db, node_budget=4)
+        blocks = sum(len(r) - config.segment_length + 1 for r in db)
+        assert config.sample_size <= blocks
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            suggest_config(SequenceSet(alphabet=PROTEIN))
+
+    def test_invalid_budget(self):
+        db = random_set(count=2, length=50, alphabet=PROTEIN, rng=6)
+        with pytest.raises(ValueError):
+            suggest_config(db, node_budget=0)
+
+    def test_suggested_config_actually_builds_and_serves(self):
+        db = random_set(count=10, length=80, alphabet=PROTEIN, rng=7,
+                        id_prefix="ac")
+        config = suggest_config(db, node_budget=6)
+        mendel = Mendel.build(db, config)
+        probe = mutate_to_identity(db.records[3], 0.9, rng=8, seq_id="p")
+        report = mendel.query(probe, QueryParams(k=4, n=4, i=0.7))
+        assert report.alignments[0].subject_id == "ac-000003"

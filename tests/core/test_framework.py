@@ -1,0 +1,57 @@
+"""Tests for the Mendel facade (repro.core.framework)."""
+
+import pytest
+
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+class TestBuild:
+    def test_build_properties(self, mendel, protein_db):
+        assert mendel.node_count == 6
+        w = mendel.index.segment_length
+        assert mendel.block_count == sum(len(r) - w + 1 for r in protein_db)
+        assert mendel.stats.block_count == mendel.block_count
+
+    def test_default_config(self):
+        db = random_set(count=6, length=60, alphabet=PROTEIN, rng=3)
+        m = Mendel.build(db)
+        assert m.node_count == MendelConfig().group_count * MendelConfig().group_size
+
+
+class TestQueries:
+    def test_query_text(self, mendel, protein_db):
+        target = protein_db.records[0]
+        report = mendel.query_text(target.text, QueryParams(k=4, n=4, i=0.9))
+        assert report.alignments[0].subject_id == target.seq_id
+        assert report.query_id == "query"
+
+    def test_query_many(self, mendel, protein_db):
+        probes = [
+            mutate_to_identity(protein_db.records[i], 0.9, rng=i, seq_id=f"m{i}")
+            for i in (0, 1)
+        ]
+        reports = mendel.query_many(probes, QueryParams(k=4, n=4))
+        assert len(reports) == 2
+        assert [r.query_id for r in reports] == ["m0", "m1"]
+
+    def test_load_fractions_exposed(self, mendel):
+        fractions = mendel.load_fractions()
+        assert len(fractions) == mendel.node_count
+
+
+class TestInsert:
+    def test_insert_then_query_finds_new_sequence(self):
+        db = random_set(count=8, length=80, alphabet=PROTEIN, rng=21)
+        m = Mendel.build(
+            db, MendelConfig(group_count=2, group_size=2, sample_size=64, seed=3)
+        )
+        extra = random_set(count=1, length=80, alphabet=PROTEIN, rng=99,
+                           id_prefix="late")
+        m.insert(extra)
+        probe = mutate_to_identity(extra.records[0], 0.95, rng=7, seq_id="lp")
+        report = m.query(probe, QueryParams(k=4, n=4, i=0.7))
+        assert report.alignments
+        assert report.alignments[0].subject_id == "late-000000"

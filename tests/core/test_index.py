@@ -1,0 +1,106 @@
+"""Tests for index construction (repro.core.index)."""
+
+import pytest
+
+from repro.core.index import MendelIndex
+from repro.core.params import MendelConfig
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.records import SequenceSet
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    return random_set(count=12, length=80, alphabet=PROTEIN, rng=31, id_prefix="x")
+
+
+@pytest.fixture(scope="module")
+def index(small_db):
+    return MendelIndex(
+        small_db,
+        MendelConfig(group_count=3, group_size=2, sample_size=128, seed=9),
+    )
+
+
+class TestConstruction:
+    def test_block_count(self, index, small_db):
+        w = index.segment_length
+        expected = sum(len(r) - w + 1 for r in small_db)
+        assert len(index.store) == expected
+        assert index.stats.block_count == expected
+
+    def test_every_block_placed_exactly_once(self, index):
+        assert set(index.node_of_block) == {
+            b.block_id for b in index.store.blocks
+        }
+        per_node_total = sum(index.stats.per_node_blocks.values())
+        assert per_node_total == len(index.store)
+
+    def test_node_trees_hold_their_blocks(self, index):
+        for node in index.topology.nodes:
+            assert node.block_count == index.stats.per_node_blocks[node.node_id]
+            assert len(node.tree) == node.block_count
+
+    def test_placement_respects_two_tiers(self, index):
+        # Each block must live on the node the topology assigns it to.
+        for block in index.store.blocks[:200]:
+            codes = index.store.codes_of(block.block_id)
+            expected = index.topology.place_block(
+                codes, index.store.block_key(block.block_id)
+            )
+            assert index.node_of_block[block.block_id] == expected.node_id
+
+    def test_stats_populated(self, index):
+        assert index.stats.hash_evals > 0
+        assert index.stats.insert_evals > 0
+        assert index.stats.simulated_makespan > 0
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            MendelIndex(SequenceSet(alphabet=PROTEIN), MendelConfig())
+
+    def test_too_short_sequences_rejected(self):
+        db = random_set(count=3, length=4, alphabet=PROTEIN, rng=1)
+        with pytest.raises(ValueError, match="fewer than 2 index blocks"):
+            MendelIndex(db, MendelConfig(segment_length=16))
+
+    def test_node_lookup(self, index):
+        node = index.topology.nodes[3]
+        assert index.node(node.node_id) is node
+        with pytest.raises(KeyError):
+            index.node("missing")
+
+    def test_load_fractions(self, index):
+        fractions = index.load_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestIncrementalInsert:
+    def test_insert_sequences(self, small_db):
+        index = MendelIndex(
+            small_db,
+            MendelConfig(group_count=2, group_size=2, sample_size=128, seed=10),
+        )
+        before = len(index.store)
+        extra = random_set(count=3, length=60, alphabet=PROTEIN, rng=77, id_prefix="new")
+        index.insert_sequences(extra)
+        assert len(index.store) > before
+        assert index.stats.block_count == len(index.store)
+        # New blocks must be searchable.
+        new_block = next(index.store.blocks_of_sequence("new-000000"))
+        codes = index.store.codes_of(new_block.block_id)
+        node_id = index.node_of_block[new_block.block_id]
+        node = index.node(node_id)
+        hits, _ = node.local_knn(codes, 1)
+        assert hits[0][0] == 0.0
+
+    def test_alphabet_mismatch_rejected(self, small_db):
+        from repro.seq.alphabet import DNA
+
+        index = MendelIndex(
+            small_db,
+            MendelConfig(group_count=2, group_size=2, sample_size=64, seed=11),
+        )
+        dna = random_set(count=2, length=40, alphabet=DNA, rng=5)
+        with pytest.raises(ValueError, match="alphabet mismatch"):
+            index.insert_sequences(dna)

@@ -1,0 +1,108 @@
+"""Tests for Table I parameters and framework config (repro.core.params)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import MendelConfig, QueryParams
+from repro.seq.matrices import BLOSUM62
+
+
+class TestQueryParamsTableI:
+    def test_defaults_valid(self):
+        QueryParams()
+
+    def test_k_type_and_range(self):
+        with pytest.raises(ValueError, match="k must be int"):
+            QueryParams(k=0)
+        with pytest.raises(ValueError, match="k must be int"):
+            QueryParams(k=2.5)
+
+    def test_n_type_and_range(self):
+        with pytest.raises(ValueError, match="n must be int"):
+            QueryParams(n=0)
+
+    def test_i_fraction(self):
+        with pytest.raises(ValueError, match="i"):
+            QueryParams(i=1.5)
+        QueryParams(i=0.0)
+        QueryParams(i=1.0)
+
+    def test_c_fraction(self):
+        with pytest.raises(ValueError, match="c"):
+            QueryParams(c=-0.1)
+
+    def test_m_resolves(self):
+        assert np.array_equal(QueryParams(M="BLOSUM62").scoring_matrix(), BLOSUM62)
+        with pytest.raises(ValueError, match="unknown scoring matrix"):
+            QueryParams(M="NOPE")
+        with pytest.raises(ValueError, match="M must be"):
+            QueryParams(M="")
+
+    def test_s_non_negative(self):
+        with pytest.raises(ValueError, match="S"):
+            QueryParams(S=-1.0)
+
+    def test_l_int_non_negative(self):
+        QueryParams(l=0)
+        with pytest.raises(ValueError, match="l must be int"):
+            QueryParams(l=-1)
+
+    def test_e_non_negative(self):
+        with pytest.raises(ValueError, match="E"):
+            QueryParams(E=-0.5)
+
+    def test_engine_extensions_validated(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            QueryParams(tolerance=-1)
+        with pytest.raises(ValueError, match="gap_open"):
+            QueryParams(gap_open=0.5, gap_extend=1.0)
+        with pytest.raises(ValueError, match="max_gapped_per_subject"):
+            QueryParams(max_gapped_per_subject=0)
+        with pytest.raises(ValueError, match="search_radius_scale"):
+            QueryParams(search_radius_scale=0.0)
+
+    def test_frozen(self):
+        params = QueryParams()
+        with pytest.raises(AttributeError):
+            params.k = 9
+
+    def test_table_rows_match_paper(self):
+        rows = QueryParams.table_rows()
+        names = [r[0] for r in rows]
+        assert names == ["k", "n", "i", "c", "M", "S", "l", "E"]
+        types = dict((r[0], r[2]) for r in rows)
+        assert types["i"] == "float(0..1)"
+        assert types["M"] == "string"
+        # Every Table I row corresponds to an actual field.
+        params = QueryParams()
+        for name in names:
+            assert hasattr(params, name)
+
+
+class TestMendelConfig:
+    def test_defaults_valid(self):
+        MendelConfig()
+
+    def test_segment_length(self):
+        with pytest.raises(ValueError, match="segment_length"):
+            MendelConfig(segment_length=1)
+
+    def test_group_shape(self):
+        with pytest.raises(ValueError, match="group_count"):
+            MendelConfig(group_count=0)
+
+    def test_prefix_depth(self):
+        MendelConfig(prefix_depth=None)
+        MendelConfig(prefix_depth=3)
+        with pytest.raises(ValueError, match="prefix_depth"):
+            MendelConfig(prefix_depth=0)
+
+    def test_sample_size(self):
+        with pytest.raises(ValueError, match="sample_size"):
+            MendelConfig(sample_size=1)
+
+    def test_bucket_capacities(self):
+        with pytest.raises(ValueError, match="bucket"):
+            MendelConfig(bucket_capacity=0)
+        with pytest.raises(ValueError, match="bucket"):
+            MendelConfig(prefix_bucket_capacity=0)

@@ -1,0 +1,87 @@
+"""Tests for index persistence (repro.core.persist)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.core.index import MendelIndex
+from repro.core.persist import load_index, save_index
+from repro.core.query import QueryEngine
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+@pytest.fixture(scope="module")
+def built():
+    db = random_set(count=10, length=90, alphabet=PROTEIN, rng=81, id_prefix="s")
+    index = MendelIndex(
+        db, MendelConfig(group_count=2, group_size=2, sample_size=128, seed=13)
+    )
+    return index
+
+
+class TestRoundtrip:
+    def test_placement_identical(self, built, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built, path)
+        loaded = load_index(path)
+        assert len(loaded.store) == len(built.store)
+        assert loaded.node_of_block == built.node_of_block
+        assert loaded.stats.per_node_blocks == built.stats.per_node_blocks
+
+    def test_database_identical(self, built, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built, path)
+        loaded = load_index(path)
+        for original in built.database:
+            copy = loaded.database[original.seq_id]
+            assert np.array_equal(copy.codes, original.codes)
+            assert copy.description == original.description
+
+    def test_queries_identical(self, built, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built, path)
+        loaded = load_index(path)
+        target = built.database.records[4]
+        probe = mutate_to_identity(target, 0.85, rng=2, seq_id="probe")
+        params = QueryParams(k=4, n=4, i=0.6)
+        original = QueryEngine(built).run(probe, params)
+        reloaded = QueryEngine(loaded).run(probe, params)
+        assert original.alignments == reloaded.alignments
+
+    def test_loaded_index_accepts_growth(self, built, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built, path)
+        loaded = load_index(path)
+        extra = random_set(count=2, length=90, alphabet=PROTEIN, rng=91,
+                           id_prefix="late")
+        loaded.insert_sequences(extra)
+        probe = mutate_to_identity(extra.records[0], 0.9, rng=3, seq_id="p")
+        report = QueryEngine(loaded).run(probe, QueryParams(k=4, n=4, i=0.7))
+        assert report.alignments[0].subject_id == "late-000000"
+
+    def test_replicated_index_roundtrip(self, tmp_path):
+        db = random_set(count=6, length=80, alphabet=PROTEIN, rng=83)
+        index = MendelIndex(
+            db,
+            MendelConfig(group_count=2, group_size=3, replication=2,
+                         sample_size=64, seed=7),
+        )
+        path = tmp_path / "replicated.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.stats.per_node_blocks == index.stats.per_node_blocks
+
+
+class TestFacadeIntegration:
+    def test_mendel_save_load(self, tmp_path):
+        db = random_set(count=8, length=80, alphabet=PROTEIN, rng=85)
+        mendel = Mendel.build(
+            db, MendelConfig(group_count=2, group_size=2, sample_size=64, seed=3)
+        )
+        path = tmp_path / "m.npz"
+        save_index(mendel.index, path)
+        restored = Mendel(index=load_index(path), engine=None)
+        restored.engine = QueryEngine(restored.index)
+        assert restored.block_count == mendel.block_count

@@ -1,0 +1,79 @@
+"""Error-path tests for index persistence (repro.core.persist)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import MendelConfig
+from repro.core.index import MendelIndex
+from repro.core.persist import FORMAT_VERSION, load_index, save_index
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    db = random_set(count=6, length=60, alphabet=PROTEIN, rng=901)
+    index = MendelIndex(
+        db, MendelConfig(group_count=2, group_size=2, sample_size=64, seed=5)
+    )
+    path = tmp_path / "ok.npz"
+    save_index(index, path)
+    return index, path, tmp_path
+
+
+def _repack(path, out, **overrides):
+    """Rewrite an archive with selected arrays replaced."""
+    with np.load(path, allow_pickle=False) as archive:
+        payload = {key: archive[key] for key in archive.files}
+    payload.update(overrides)
+    np.savez_compressed(out, **payload)
+
+
+class TestLoadErrors:
+    def test_wrong_version_rejected(self, saved):
+        _, path, tmp = saved
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(bytes(archive["header"]).decode())
+        header["version"] = FORMAT_VERSION + 1
+        bad = tmp / "bad-version.npz"
+        _repack(
+            path, bad,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_index(bad)
+
+    def test_placement_length_mismatch_rejected(self, saved):
+        _, path, tmp = saved
+        bad = tmp / "bad-placement.npz"
+        _repack(path, bad, placement=np.zeros(3, dtype=np.int32))
+        with pytest.raises(ValueError, match="placement length"):
+            load_index(bad)
+
+    def test_cluster_shape_mismatch_rejected(self, saved):
+        _, path, tmp = saved
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(bytes(archive["header"]).decode())
+        header["node_ids"] = ["x0", "x1"]
+        bad = tmp / "bad-shape.npz"
+        _repack(
+            path, bad,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="cluster shape"):
+            load_index(bad)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "nope.npz")
+
+    def test_npz_suffix_added_automatically(self, saved):
+        index, path, tmp = saved
+        # numpy appends .npz on save when missing; loading with the bare
+        # name must still work.
+        bare = tmp / "noext"
+        save_index(index, bare)
+        loaded = load_index(bare)
+        assert len(loaded.store) == len(index.store)

@@ -1,0 +1,159 @@
+"""Tests for the query pipeline (repro.core.query)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import QueryParams
+from repro.core.query import QueryEngine, resolve_matrix
+from repro.seq.alphabet import DNA, PROTEIN
+from repro.seq.matrices import BLOSUM62, PAM250
+from repro.seq.mutate import mutate_to_identity
+from repro.seq.records import SequenceRecord
+
+
+class TestResolveMatrix:
+    def test_protein_default(self):
+        assert np.array_equal(resolve_matrix(QueryParams(), PROTEIN), BLOSUM62)
+
+    def test_dna_gets_dna_default(self):
+        matrix = resolve_matrix(QueryParams(), DNA)
+        assert matrix.shape == (5, 5)
+
+    def test_explicit_choice_respected(self):
+        assert np.array_equal(
+            resolve_matrix(QueryParams(M="PAM250"), PROTEIN), PAM250
+        )
+
+
+class TestWindows:
+    def test_stride_and_tail(self, mendel):
+        record = SequenceRecord.from_text("q", "A" * 30, PROTEIN)
+        windows = mendel.engine.windows_for(record, QueryParams(k=8))
+        w = mendel.index.segment_length
+        starts = [win.query_start for win in windows]
+        assert starts[0] == 0
+        assert starts[-1] == 30 - w  # tail always covered
+        assert all(b - a == 8 for a, b in zip(starts, starts[1:-1]))
+
+    def test_stride_one(self, mendel):
+        record = SequenceRecord.from_text("q", "A" * 20, PROTEIN)
+        windows = mendel.engine.windows_for(record, QueryParams(k=1))
+        assert len(windows) == 20 - mendel.index.segment_length + 1
+
+    def test_query_shorter_than_segment_rejected(self, mendel):
+        short = SequenceRecord.from_text("q", "MKV", PROTEIN)
+        with pytest.raises(ValueError, match="shorter than"):
+            mendel.engine.windows_for(short, QueryParams())
+
+    def test_window_codes_match_query(self, mendel):
+        record = SequenceRecord.from_text("q", "MKVLAWFWAHKLMKVL", PROTEIN)
+        for win in mendel.engine.windows_for(record, QueryParams(k=4)):
+            expected = record.codes[win.query_start : win.query_start + 8]
+            assert np.array_equal(win.codes, expected)
+
+
+class TestSearchRadius:
+    def test_protein_radius_scales_with_threshold(self, mendel):
+        low = mendel.engine.search_radius(QueryParams(i=0.5))
+        high = mendel.engine.search_radius(QueryParams(i=0.9))
+        assert high < low
+
+    def test_exact_identity_gives_zero_radius(self, mendel):
+        # i close to 1 on an 8-residue window allows zero mismatches.
+        assert mendel.engine.search_radius(QueryParams(i=0.99)) == 0.0
+
+    def test_scale_applies(self, mendel):
+        full = mendel.engine.search_radius(QueryParams(i=0.5))
+        half = mendel.engine.search_radius(
+            QueryParams(i=0.5, search_radius_scale=0.5)
+        )
+        assert half == pytest.approx(full / 2)
+
+
+class TestEndToEnd:
+    def test_finds_planted_homolog_first(self, mendel, planted_probe):
+        probe, target_id = planted_probe
+        report = mendel.query(probe, QueryParams(k=4, n=8, i=0.6))
+        assert report.alignments
+        assert report.alignments[0].subject_id == target_id
+        assert report.alignments[0].identity == pytest.approx(0.85, abs=0.05)
+
+    def test_exact_query_is_perfect_hit(self, mendel, protein_db):
+        target = protein_db.records[2]
+        probe = SequenceRecord(
+            seq_id="exact", codes=target.codes.copy(), alphabet=PROTEIN
+        )
+        report = mendel.query(probe, QueryParams(k=4, n=4, i=0.9))
+        best = report.alignments[0]
+        assert best.subject_id == target.seq_id
+        assert best.identity == 1.0
+        assert best.query_span == len(target)
+
+    def test_ranking_by_evalue(self, mendel, planted_probe):
+        probe, _ = planted_probe
+        report = mendel.query(probe, QueryParams(k=4, n=8, i=0.5))
+        evalues = [a.evalue for a in report.alignments]
+        assert evalues == sorted(evalues)
+
+    def test_stats_consistency(self, mendel, planted_probe):
+        probe, _ = planted_probe
+        report = mendel.query(probe, QueryParams(k=4, n=6))
+        stats = report.stats
+        assert stats.turnaround > 0
+        assert stats.windows > 0
+        assert stats.subqueries_routed >= stats.windows
+        assert stats.groups_contacted >= 1
+        assert stats.messages > 0
+        assert stats.alignments_reported == len(report.alignments)
+
+    def test_deterministic(self, mendel, planted_probe):
+        probe, _ = planted_probe
+        a = mendel.query(probe, QueryParams(k=4, n=6))
+        b = mendel.query(probe, QueryParams(k=4, n=6))
+        assert a.alignments == b.alignments
+        assert a.stats.turnaround == pytest.approx(b.stats.turnaround)
+
+    def test_alphabet_mismatch_rejected(self, mendel):
+        dna_query = SequenceRecord.from_text("q", "ACGT" * 5, DNA)
+        with pytest.raises(ValueError, match="alphabet"):
+            mendel.query(dna_query)
+
+    def test_strict_evalue_filters_everything(self, mendel, rng):
+        junk = SequenceRecord(
+            seq_id="junk",
+            codes=rng.integers(0, 20, 50).astype(np.uint8),
+            alphabet=PROTEIN,
+        )
+        report = mendel.query(junk, QueryParams(k=4, n=4, E=1e-30))
+        assert all(a.evalue <= 1e-30 for a in report.alignments)
+
+    def test_report_helpers(self, mendel, planted_probe):
+        probe, target_id = planted_probe
+        report = mendel.query(probe, QueryParams(k=4, n=8))
+        assert report.best() is report.alignments[0]
+        assert target_id in report.subject_ids()
+        assert all(a.subject_id == target_id for a in report.hits(target_id))
+
+    def test_alignment_coordinates_in_bounds(self, mendel, planted_probe):
+        probe, _ = planted_probe
+        report = mendel.query(probe, QueryParams(k=4, n=8, i=0.5))
+        for a in report.alignments:
+            subject = mendel.index.database[a.subject_id]
+            assert 0 <= a.query_start <= a.query_end <= len(probe)
+            assert 0 <= a.subject_start <= a.subject_end <= len(subject)
+
+    def test_gapped_disabled_with_l_zero(self, mendel, planted_probe):
+        probe, target_id = planted_probe
+        report = mendel.query(probe, QueryParams(k=4, n=8, l=0))
+        assert report.alignments
+        assert report.alignments[0].subject_id == target_id
+
+
+class TestKaCache:
+    def test_cached_per_matrix(self, mendel):
+        engine = mendel.engine
+        a = engine.ka_params(QueryParams(M="BLOSUM62"))
+        b = engine.ka_params(QueryParams(M="BLOSUM62"))
+        assert a is b
+        c = engine.ka_params(QueryParams(M="PAM250"))
+        assert c is not a

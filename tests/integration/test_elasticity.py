@@ -1,0 +1,103 @@
+"""Integration tests for elastic cluster growth and query tracing."""
+
+import pytest
+
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+@pytest.fixture()
+def deployment():
+    db = random_set(count=12, length=100, alphabet=PROTEIN, rng=501,
+                    id_prefix="e")
+    mendel = Mendel.build(
+        db, MendelConfig(group_count=2, group_size=2, sample_size=128, seed=41)
+    )
+    return mendel, db
+
+
+class TestAddNode:
+    def test_group_grows_and_serves(self, deployment):
+        mendel, db = deployment
+        params = QueryParams(k=4, n=6, i=0.7)
+        probe = mutate_to_identity(db.records[4], 0.9, rng=1, seq_id="p")
+        expected = mendel.query(probe, params).best().subject_id
+
+        node = mendel.add_node("g00")
+        assert node.node_id == "g00.n2"
+        assert len(mendel.index.topology.group("g00")) == 3
+        assert mendel.query(probe, params).best().subject_id == expected
+
+    def test_blocks_conserved_and_rebalanced(self, deployment):
+        mendel, _ = deployment
+        group = mendel.index.topology.group("g00")
+        before = {b for n in group.nodes for b in n.block_ids}
+        mendel.add_node("g00")
+        after = {b for n in group.nodes for b in n.block_ids}
+        assert after == before  # no block lost or invented
+        # The new node actually holds a fair share.
+        counts = [n.block_count for n in group.nodes]
+        assert min(counts) > 0.15 * max(counts)
+
+    def test_only_target_group_touched(self, deployment):
+        mendel, _ = deployment
+        other = mendel.index.topology.group("g01")
+        snapshot = {n.node_id: list(n.block_ids) for n in other.nodes}
+        mendel.add_node("g00")
+        assert {n.node_id: list(n.block_ids) for n in other.nodes} == snapshot
+
+    def test_placement_map_consistent(self, deployment):
+        mendel, _ = deployment
+        mendel.add_node("g00")
+        group = mendel.index.topology.group("g00")
+        holders = {b for n in group.nodes for b in n.block_ids}
+        for block_id in holders:
+            primary = mendel.index.node_of_block[block_id]
+            assert primary in {n.node_id for n in group.nodes}
+            assert block_id in group.node(primary).block_ids
+
+    def test_unknown_group_rejected(self, deployment):
+        mendel, _ = deployment
+        with pytest.raises(KeyError):
+            mendel.add_node("g99")
+
+    def test_repeated_growth(self, deployment):
+        mendel, db = deployment
+        for _ in range(3):
+            mendel.add_node("g01")
+        assert len(mendel.index.topology.group("g01")) == 5
+        probe = mutate_to_identity(db.records[9], 0.9, rng=2, seq_id="q")
+        report = mendel.query(probe, QueryParams(k=4, n=6, i=0.7))
+        assert report.best().subject_id == db.records[9].seq_id
+
+
+class TestTracing:
+    def test_trace_timeline(self, deployment):
+        mendel, db = deployment
+        probe = mutate_to_identity(db.records[2], 0.9, rng=3, seq_id="t")
+        report = mendel.engine.run(probe, QueryParams(k=4, n=4, i=0.7),
+                                   trace=True)
+        assert report.trace
+        assert report.trace[0].event == "query received"
+        assert report.trace[-1].event == "result received"
+        times = [event.time for event in report.trace]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(report.stats.turnaround)
+        # Every contacted group aggregated exactly once.
+        group_events = [e for e in report.trace if e.event == "group aggregation"]
+        assert len(group_events) == report.stats.groups_contacted
+
+    def test_trace_off_by_default(self, deployment):
+        mendel, db = deployment
+        probe = mutate_to_identity(db.records[2], 0.9, rng=3, seq_id="t")
+        assert mendel.query(probe, QueryParams(k=4, n=4)).trace == []
+
+    def test_trace_str_render(self, deployment):
+        mendel, db = deployment
+        probe = mutate_to_identity(db.records[2], 0.9, rng=3, seq_id="t")
+        report = mendel.engine.run(probe, QueryParams(k=4, n=4, i=0.7),
+                                   trace=True)
+        text = str(report.trace[0])
+        assert "ms]" in text and "query received" in text

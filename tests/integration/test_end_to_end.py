@@ -1,0 +1,119 @@
+"""Cross-module integration tests: Mendel vs BLAST agreement, indel
+tolerance, DNA pipeline, and incremental growth."""
+
+import numpy as np
+import pytest
+
+from repro.blast import BlastEngine
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.seq import DNA, PROTEIN, SequenceRecord, random_set
+from repro.seq.mutate import MutationModel, mutate, mutate_to_identity, sample_read
+
+
+class TestMendelBlastAgreement:
+    def test_same_top_hit_for_strong_homologs(self, mendel, blast, protein_db):
+        for index in (1, 7, 20):
+            target = protein_db.records[index]
+            probe = mutate_to_identity(
+                target, 0.9, rng=index, seq_id=f"agree-{index}"
+            )
+            mendel_top = mendel.query(
+                probe, QueryParams(k=4, n=6, i=0.7)
+            ).alignments[0]
+            blast_top = blast.search(probe).alignments[0]
+            assert mendel_top.subject_id == blast_top.subject_id == target.seq_id
+
+    def test_comparable_span_for_exact_queries(self, mendel, blast, protein_db):
+        target = protein_db.records[9]
+        probe = SequenceRecord("exact9", target.codes.copy(), PROTEIN)
+        m = mendel.query(probe, QueryParams(k=4, n=4, i=0.9)).alignments[0]
+        b = blast.search(probe).alignments[0]
+        assert m.query_span == b.query_span == len(target)
+        assert m.score == pytest.approx(b.score)
+
+
+class TestIndelTolerance:
+    def test_sliding_windows_absorb_shifts(self, mendel, protein_db):
+        """Section III-B: indels defeat the Hamming-style block distance but
+        the stride-1 sliding window realigns downstream blocks, so a query
+        with a small insertion must still find its source."""
+        target = protein_db.records[12]
+        probe = mutate(
+            target,
+            MutationModel(substitution_rate=0.02, insertion_rate=0.01),
+            rng=5,
+            seq_id="indel-probe",
+        )
+        report = mendel.query(probe, QueryParams(k=4, n=6, i=0.7))
+        assert report.alignments
+        assert report.alignments[0].subject_id == target.seq_id
+
+
+class TestDnaPipeline:
+    @pytest.fixture(scope="class")
+    def dna_mendel(self, dna_db):
+        return Mendel.build(
+            dna_db,
+            MendelConfig(
+                group_count=2,
+                group_size=2,
+                segment_length=16,
+                sample_size=256,
+                seed=17,
+            ),
+        )
+
+    def test_read_mapping(self, dna_mendel, dna_db):
+        source = dna_db.records[6]
+        read = sample_read(source, 120, rng=3, error_rate=0.01, seq_id="read")
+        report = dna_mendel.query(read, QueryParams(k=8, n=4, i=0.85))
+        assert report.alignments
+        assert report.alignments[0].subject_id == source.seq_id
+
+    def test_hamming_metric_in_use(self, dna_mendel):
+        from repro.seq.distance import HammingDistance
+
+        node = dna_mendel.index.topology.nodes[0]
+        assert isinstance(node.tree.adapter.metric, HammingDistance)
+
+    def test_dna_scoring_matrix_resolved(self, dna_mendel, dna_db):
+        read = sample_read(dna_db.records[0], 60, rng=9, seq_id="r")
+        report = dna_mendel.query(read, QueryParams(k=8, n=4, i=0.9))
+        # Exact read: score must equal match-reward * length under the
+        # default +5/-4 DNA matrix.
+        best = report.alignments[0]
+        assert best.score >= 5 * 50  # allows boundary trimming
+
+
+class TestIncrementalGrowth:
+    def test_grown_index_serves_old_and_new(self):
+        db = random_set(count=10, length=100, alphabet=PROTEIN, rng=41,
+                        id_prefix="old")
+        m = Mendel.build(
+            db, MendelConfig(group_count=2, group_size=2, sample_size=128, seed=5)
+        )
+        old_target = db.records[3]
+        extra = random_set(count=4, length=100, alphabet=PROTEIN, rng=43,
+                           id_prefix="new")
+        m.insert(extra)
+
+        old_probe = mutate_to_identity(old_target, 0.9, rng=1, seq_id="op")
+        new_probe = mutate_to_identity(extra.records[2], 0.9, rng=2, seq_id="np")
+        params = QueryParams(k=4, n=6, i=0.7)
+        assert m.query(old_probe, params).alignments[0].subject_id == old_target.seq_id
+        assert m.query(new_probe, params).alignments[0].subject_id == "new-000002"
+
+
+class TestSymmetricEntryPoint:
+    def test_any_entry_point_same_results(self, protein_db):
+        """Section V-B: the architecture is symmetric — results must not
+        depend on which node coordinates (our engine pins node 0, so this
+        checks the stronger property that results are a pure function of the
+        query and index, via rebuild determinism)."""
+        config = MendelConfig(group_count=2, group_size=2, sample_size=128, seed=5)
+        m1 = Mendel.build(protein_db, config)
+        m2 = Mendel.build(protein_db, config)
+        probe = mutate_to_identity(protein_db.records[4], 0.85, rng=9, seq_id="p")
+        r1 = m1.query(probe, QueryParams(k=4, n=6))
+        r2 = m2.query(probe, QueryParams(k=4, n=6))
+        assert r1.alignments == r2.alignments

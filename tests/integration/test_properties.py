@@ -1,0 +1,101 @@
+"""System-level property tests (hypothesis) across module boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueryParams
+from repro.seq import PROTEIN, SequenceRecord
+from repro.seq.mutate import mutate_to_identity
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    index=st.integers(0, 39),
+    identity=st.sampled_from([0.75, 0.85, 0.95]),
+    seed=st.integers(0, 100),
+)
+def test_reported_alignments_are_well_formed(mendel, index, identity, seed):
+    """Every alignment Mendel ever reports satisfies the structural
+    invariants: coordinates in bounds, identity in [0,1], E-values within
+    the requested threshold, ranking sorted."""
+    target = mendel.index.database.records[index]
+    probe = mutate_to_identity(target, identity, rng=seed, seq_id="hprobe")
+    params = QueryParams(k=8, n=4, i=0.6, E=5.0)
+    report = mendel.query(probe, params)
+    evalues = [a.evalue for a in report.alignments]
+    assert evalues == sorted(evalues)
+    for a in report.alignments:
+        subject = mendel.index.database[a.subject_id]
+        assert 0 <= a.query_start <= a.query_end <= len(probe)
+        assert 0 <= a.subject_start <= a.subject_end <= len(subject)
+        assert 0.0 <= a.identity <= 1.0
+        assert a.evalue <= params.E
+        assert a.bit_score == pytest.approx(
+            mendel.engine.ka_params(params).bit_score(a.score)
+        )
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(index=st.integers(0, 39), seed=st.integers(0, 50))
+def test_high_identity_probe_always_found(mendel, index, seed):
+    """Sensitivity floor: a 95%-identity mutant of an indexed sequence is
+    always recovered as the top hit."""
+    target = mendel.index.database.records[index]
+    probe = mutate_to_identity(target, 0.95, rng=seed, seq_id="p95")
+    report = mendel.query(probe, QueryParams(k=8, n=6, i=0.8))
+    assert report.alignments
+    assert report.alignments[0].subject_id == target.seq_id
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    index=st.integers(0, 39),
+    k=st.sampled_from([2, 4, 8]),
+    n=st.sampled_from([2, 6]),
+)
+def test_stats_invariants(mendel, index, k, n):
+    """Query statistics are internally consistent for any parameter choice."""
+    target = mendel.index.database.records[index]
+    probe = mutate_to_identity(target, 0.9, rng=index, seq_id="sp")
+    report = mendel.query(probe, QueryParams(k=k, n=n))
+    s = report.stats
+    assert s.windows >= 1
+    assert s.subqueries_routed >= s.windows  # every window routed somewhere
+    assert s.groups_contacted <= len(mendel.index.topology.groups)
+    assert s.anchors_merged <= max(1, s.anchors_extended)
+    assert s.alignments_reported == len(report.alignments)
+    assert s.turnaround > 0
+    assert s.node_evals >= 0
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(index=st.integers(0, 39), seed=st.integers(0, 30))
+def test_blast_and_mendel_agree_on_obvious_hits(
+    mendel, blast, index, seed
+):
+    """Any 95%-identity probe must yield the same top subject from both
+    systems (the baseline cross-check that makes speed comparisons fair)."""
+    target = mendel.index.database.records[index]
+    probe = mutate_to_identity(target, 0.95, rng=seed, seq_id="xsys")
+    m = mendel.query(probe, QueryParams(k=8, n=6, i=0.8)).alignments
+    b = blast.search(probe).alignments
+    assert m and b
+    assert m[0].subject_id == b[0].subject_id == target.seq_id

@@ -1,0 +1,94 @@
+"""Integration tests for BLASTX-style translated search."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.seq import DNA, PROTEIN, SequenceRecord, SequenceSet
+from repro.seq.generate import random_protein
+from repro.seq.translate import STANDARD_CODE, reverse_complement
+from repro.util.rng import as_generator
+
+
+def back_translate(protein_text: str, rng) -> str:
+    """Pick a random codon for each residue (inverse of translation)."""
+    by_amino: dict[str, list[str]] = {}
+    for codon, amino in STANDARD_CODE.items():
+        by_amino.setdefault(amino, []).append(codon)
+    return "".join(
+        by_amino[ch][int(rng.integers(0, len(by_amino[ch])))]
+        for ch in protein_text
+    )
+
+
+@pytest.fixture(scope="module")
+def protein_index():
+    gen = as_generator(301)
+    db = SequenceSet(alphabet=PROTEIN)
+    for i in range(12):
+        db.add(random_protein(120, rng=gen, seq_id=f"prot-{i:03d}"))
+    mendel = Mendel.build(
+        db, MendelConfig(group_count=2, group_size=2, sample_size=128, seed=11)
+    )
+    return mendel, db
+
+
+class TestQueryTranslated:
+    def test_forward_frame_found(self, protein_index):
+        mendel, db = protein_index
+        gen = as_generator(5)
+        target = db.records[4]
+        dna_text = back_translate(target.text, gen)
+        query = SequenceRecord.from_text("fwd", dna_text, "dna")
+        report = mendel.query_translated(query, QueryParams(k=4, n=4, i=0.8))
+        assert report.alignments
+        assert report.alignments[0].subject_id == target.seq_id
+        assert "frame+0" in report.alignments[0].query_id
+
+    def test_reverse_strand_found(self, protein_index):
+        mendel, db = protein_index
+        gen = as_generator(6)
+        target = db.records[7]
+        dna_codes = DNA.encode(back_translate(target.text, gen))
+        query = SequenceRecord(
+            seq_id="rev",
+            codes=reverse_complement(dna_codes),
+            alphabet=DNA,
+        )
+        report = mendel.query_translated(query, QueryParams(k=4, n=4, i=0.8))
+        assert report.alignments
+        assert report.alignments[0].subject_id == target.seq_id
+        assert "frame-" in report.alignments[0].query_id
+
+    def test_stats_accumulate_over_frames(self, protein_index):
+        mendel, db = protein_index
+        gen = as_generator(7)
+        query = SequenceRecord.from_text(
+            "q", back_translate(db.records[0].text, gen), "dna"
+        )
+        report = mendel.query_translated(query, QueryParams(k=4, n=4, i=0.8))
+        single = mendel.query(
+            db.records[0], QueryParams(k=4, n=4, i=0.8)
+        )
+        assert report.stats.windows > single.stats.windows  # several frames ran
+
+    def test_requires_protein_index(self, dna_db):
+        dna_mendel = Mendel.build(
+            dna_db,
+            MendelConfig(group_count=2, group_size=2, segment_length=16,
+                         sample_size=128, seed=3),
+        )
+        query = SequenceRecord.from_text("q", "ACGT" * 20, "dna")
+        with pytest.raises(ValueError, match="protein index"):
+            dna_mendel.query_translated(query)
+
+    def test_requires_dna_query(self, protein_index):
+        mendel, db = protein_index
+        with pytest.raises(ValueError, match="DNA query"):
+            mendel.query_translated(db.records[0])
+
+    def test_too_short_query_rejected(self, protein_index):
+        mendel, _ = protein_index
+        tiny = SequenceRecord.from_text("t", "ATGAAA", "dna")
+        with pytest.raises(ValueError, match="too short"):
+            mendel.query_translated(tiny, QueryParams(k=4, n=4))

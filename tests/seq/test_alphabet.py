@@ -1,0 +1,111 @@
+"""Tests for repro.seq.alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq.alphabet import DNA, PROTEIN, Alphabet, alphabet_for
+
+
+class TestAlphabetConstruction:
+    def test_dna_letters(self):
+        assert DNA.letters == "ACGTN"
+        assert DNA.canonical_size == 4
+        assert DNA.size == 5
+
+    def test_protein_letters_blosum_order(self):
+        assert PROTEIN.letters.startswith("ARNDCQEGHILKMFPSTWYV")
+        assert PROTEIN.canonical_size == 20
+        assert PROTEIN.size == 24
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alphabet(name="bad", letters="AAC", canonical_size=2)
+
+    def test_canonical_size_bounds(self):
+        with pytest.raises(ValueError):
+            Alphabet(name="bad", letters="AC", canonical_size=0)
+        with pytest.raises(ValueError):
+            Alphabet(name="bad", letters="AC", canonical_size=3)
+
+    def test_len(self):
+        assert len(DNA) == 5
+        assert len(PROTEIN) == 24
+
+
+class TestEncodeDecode:
+    def test_roundtrip_dna(self):
+        text = "ACGTNACGT"
+        assert DNA.decode(DNA.encode(text)) == text
+
+    def test_roundtrip_protein(self):
+        text = "MKVLAWFWAHKL"
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+    def test_lowercase_accepted(self):
+        assert np.array_equal(DNA.encode("acgt"), DNA.encode("ACGT"))
+
+    def test_codes_are_positional(self):
+        codes = DNA.encode("ACGT")
+        assert codes.tolist() == [0, 1, 2, 3]
+
+    def test_invalid_letter_raises_with_position(self):
+        with pytest.raises(ValueError, match="position 2"):
+            DNA.encode("ACXGT")
+
+    def test_empty_string(self):
+        codes = DNA.encode("")
+        assert codes.shape == (0,)
+        assert DNA.decode(codes) == ""
+
+    def test_encode_bytes(self):
+        assert np.array_equal(DNA.encode(b"ACGT"), DNA.encode("ACGT"))
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DNA.decode(np.array([0, 77], dtype=np.uint8))
+
+    def test_dtype_is_uint8(self):
+        assert DNA.encode("ACGT").dtype == np.uint8
+
+    @given(st.text(alphabet="ACGTN", max_size=200))
+    def test_roundtrip_property_dna(self, text):
+        assert DNA.decode(DNA.encode(text)) == text
+
+    @given(st.text(alphabet="ARNDCQEGHILKMFPSTWYVBZX*", max_size=200))
+    def test_roundtrip_property_protein(self, text):
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+
+class TestValidation:
+    def test_is_valid(self):
+        assert DNA.is_valid("ACGT")
+        assert not DNA.is_valid("ACGU")
+
+    def test_is_canonical_mask(self):
+        codes = DNA.encode("ACGN")
+        assert DNA.is_canonical(codes).tolist() == [True, True, True, False]
+
+    def test_index_of(self):
+        assert PROTEIN.index_of("A") == 0
+        assert PROTEIN.index_of("V") == 19
+        assert PROTEIN.index_of("a") == 0
+
+    def test_index_of_invalid(self):
+        with pytest.raises(ValueError, match="not in alphabet"):
+            DNA.index_of("Z")
+
+    def test_index_of_multichar(self):
+        with pytest.raises(ValueError, match="single letter"):
+            DNA.index_of("AC")
+
+
+class TestAlphabetFor:
+    def test_lookup(self):
+        assert alphabet_for("dna") is DNA
+        assert alphabet_for("PROTEIN") is PROTEIN
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown alphabet"):
+            alphabet_for("rna")

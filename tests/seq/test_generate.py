@@ -1,0 +1,104 @@
+"""Tests for repro.seq.generate."""
+
+import numpy as np
+import pytest
+
+from repro.seq.alphabet import DNA, PROTEIN
+from repro.seq.generate import (
+    SWISSPROT_2015_FREQUENCIES,
+    dna_background,
+    protein_background,
+    random_codes,
+    random_dna,
+    random_protein,
+    random_set,
+)
+
+
+class TestBackgrounds:
+    def test_protein_background_normalised(self):
+        freqs = protein_background()
+        assert freqs.shape == (PROTEIN.size,)
+        assert freqs.sum() == pytest.approx(1.0)
+
+    def test_leucine_dominates_tryptophan(self):
+        # The Swiss-Prot statistic the paper cites: Leu ~9x Trp.
+        freqs = protein_background()
+        ratio = freqs[PROTEIN.index_of("L")] / freqs[PROTEIN.index_of("W")]
+        assert 8.0 < ratio < 10.0
+
+    def test_ambiguity_zero(self):
+        freqs = protein_background()
+        assert freqs[PROTEIN.index_of("X")] == 0.0
+
+    def test_frequency_table_complete(self):
+        assert set(SWISSPROT_2015_FREQUENCIES) == set("ARNDCQEGHILKMFPSTWYV")
+
+    def test_dna_background_gc(self):
+        freqs = dna_background(0.6)
+        assert freqs[DNA.index_of("G")] == pytest.approx(0.3)
+        assert freqs[DNA.index_of("A")] == pytest.approx(0.2)
+        assert freqs.sum() == pytest.approx(1.0)
+
+    def test_dna_background_validation(self):
+        with pytest.raises(ValueError):
+            dna_background(1.5)
+
+
+class TestRandomCodes:
+    def test_length_and_dtype(self):
+        codes = random_codes(100, protein_background(), rng=1)
+        assert codes.shape == (100,)
+        assert codes.dtype == np.uint8
+
+    def test_reproducible(self):
+        a = random_codes(50, protein_background(), rng=42)
+        b = random_codes(50, protein_background(), rng=42)
+        assert np.array_equal(a, b)
+
+    def test_respects_zero_probability(self):
+        codes = random_codes(5000, protein_background(), rng=3)
+        assert (codes < 20).all()  # no ambiguity letters ever drawn
+
+    def test_unnormalised_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            random_codes(10, np.array([0.5, 0.2]))
+
+    def test_composition_approximates_background(self):
+        codes = random_codes(50_000, protein_background(), rng=5)
+        freq_l = (codes == PROTEIN.index_of("L")).mean()
+        assert freq_l == pytest.approx(0.0966, abs=0.01)
+
+
+class TestRecordGenerators:
+    def test_random_protein(self):
+        rec = random_protein(80, rng=1, seq_id="x")
+        assert len(rec) == 80
+        assert rec.seq_id == "x"
+        assert rec.alphabet is PROTEIN
+
+    def test_random_dna(self):
+        rec = random_dna(120, rng=2, gc_content=0.5)
+        assert len(rec) == 120
+        assert rec.alphabet is DNA
+
+    def test_random_set_sizes(self):
+        s = random_set(10, 50, PROTEIN, rng=3)
+        assert len(s) == 10
+        assert all(len(r) == 50 for r in s)
+
+    def test_random_set_jitter(self):
+        s = random_set(30, 100, PROTEIN, rng=4, length_jitter=0.2)
+        lengths = {len(r) for r in s}
+        assert len(lengths) > 1
+        assert all(70 <= n <= 130 for n in lengths)
+
+    def test_random_set_ids_unique(self):
+        s = random_set(20, 30, DNA, rng=5, id_prefix="q")
+        ids = [r.seq_id for r in s]
+        assert len(set(ids)) == 20
+        assert ids[0] == "q-000000"
+
+    def test_random_set_dna(self):
+        s = random_set(5, 40, DNA, rng=6)
+        assert s.alphabet is DNA

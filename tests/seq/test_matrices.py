@@ -1,0 +1,185 @@
+"""Tests for repro.seq.matrices."""
+
+import numpy as np
+import pytest
+
+from repro.seq.alphabet import PROTEIN
+from repro.seq.matrices import (
+    BLOSUM62,
+    MATRIX_ORDER,
+    PAM250,
+    column_shift,
+    dna_matrix,
+    mendel_distance_matrix,
+    named_matrix,
+    validate_metric_matrix,
+)
+
+
+def idx(letter: str) -> int:
+    return MATRIX_ORDER.index(letter)
+
+
+class TestBlosum62:
+    def test_shape_and_dtype(self):
+        assert BLOSUM62.shape == (24, 24)
+        assert BLOSUM62.dtype == np.int16
+
+    def test_known_values(self):
+        # Canonical published BLOSUM62 entries.
+        assert BLOSUM62[idx("A"), idx("A")] == 4
+        assert BLOSUM62[idx("W"), idx("W")] == 11
+        assert BLOSUM62[idx("C"), idx("C")] == 9
+        assert BLOSUM62[idx("L"), idx("I")] == 2
+        assert BLOSUM62[idx("W"), idx("G")] == -2
+        assert BLOSUM62[idx("D"), idx("E")] == 2
+        assert BLOSUM62[idx("*"), idx("*")] == 1
+        assert BLOSUM62[idx("A"), idx("*")] == -4
+
+    def test_symmetry(self):
+        assert np.array_equal(BLOSUM62, BLOSUM62.T)
+
+    def test_order_matches_protein_alphabet(self):
+        # Matrix order and alphabet order must agree so codes index directly.
+        assert MATRIX_ORDER == PROTEIN.letters
+
+    def test_diagonal_positive_for_canonical(self):
+        assert (np.diag(BLOSUM62)[:20] > 0).all()
+
+
+class TestPam250:
+    def test_shape(self):
+        assert PAM250.shape == (24, 24)
+
+    def test_symmetry(self):
+        assert np.array_equal(PAM250, PAM250.T)
+
+    def test_known_values(self):
+        assert PAM250[idx("W"), idx("W")] == 17
+        assert PAM250[idx("A"), idx("A")] == 2
+
+    def test_ambiguity_fill(self):
+        assert PAM250[idx("X"), idx("A")] == -8
+
+
+class TestDnaMatrix:
+    def test_defaults(self):
+        m = dna_matrix()
+        assert m[0, 0] == 5
+        assert m[0, 1] == -4
+        assert m[4, 0] == -2  # N vs anything
+
+    def test_custom(self):
+        m = dna_matrix(match=1, mismatch=-3)
+        assert m[2, 2] == 1
+        assert m[2, 3] == -3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="match reward"):
+            dna_matrix(match=0)
+        with pytest.raises(ValueError, match="mismatch penalty"):
+            dna_matrix(mismatch=1)
+
+
+class TestNamedMatrix:
+    def test_lookup(self):
+        assert named_matrix("BLOSUM62") is BLOSUM62
+        assert named_matrix("blosum62") is BLOSUM62
+        assert named_matrix("pam250") is PAM250
+        assert named_matrix("DNA").shape == (5, 5)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown scoring matrix"):
+            named_matrix("BLOSUM999")
+
+
+class TestColumnShift:
+    def test_diagonal_zero(self):
+        shifted = column_shift(BLOSUM62)
+        assert (np.diag(shifted) == 0).all()
+
+    def test_is_paper_formula(self):
+        shifted = column_shift(BLOSUM62)
+        a, w = idx("A"), idx("W")
+        assert shifted[a, w] == BLOSUM62[a, w] - BLOSUM62[a, a]
+
+    def test_asymmetric_in_general(self):
+        # The literal paper transform is not symmetric — the reason the
+        # library symmetrises before using it as a metric.
+        shifted = column_shift(BLOSUM62)
+        assert not np.array_equal(shifted, shifted.T)
+
+
+class TestMendelDistanceMatrix:
+    def test_is_metric(self):
+        dist = mendel_distance_matrix(BLOSUM62)
+        validate_metric_matrix(dist)  # raises on violation
+
+    def test_zero_diagonal(self):
+        dist = mendel_distance_matrix(BLOSUM62)
+        assert (np.diag(dist) == 0).all()
+
+    def test_mismatch_amplitude_ordering(self):
+        # A conservative substitution (L->I, score 2) must be closer than a
+        # radical one (W->G, score -2) relative to their diagonals.
+        dist = mendel_distance_matrix(BLOSUM62)
+        assert dist[idx("L"), idx("I")] < dist[idx("W"), idx("G")]
+
+    def test_rare_residue_strength_preserved(self):
+        # Trp-Trp and Leu-Leu matches are both distance 0 (the paper's
+        # stated trade-off: exact-match strength is not represented).
+        dist = mendel_distance_matrix(BLOSUM62)
+        assert dist[idx("W"), idx("W")] == 0
+        assert dist[idx("L"), idx("L")] == 0
+
+    def test_pam250_also_metricises(self):
+        validate_metric_matrix(mendel_distance_matrix(PAM250))
+
+    def test_dna_matrix_metricises(self):
+        validate_metric_matrix(mendel_distance_matrix(dna_matrix()))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            mendel_distance_matrix(np.zeros((3, 4)))
+
+
+class TestValidateMetricMatrix:
+    def test_rejects_nonzero_diagonal(self):
+        bad = np.array([[1.0, 2.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            validate_metric_matrix(bad)
+
+    def test_rejects_negative(self):
+        bad = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_metric_matrix(bad)
+
+    def test_rejects_asymmetric(self):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_metric_matrix(bad)
+
+    def test_rejects_triangle_violation(self):
+        bad = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        with pytest.raises(ValueError, match="triangle"):
+            validate_metric_matrix(bad)
+
+    def test_accepts_valid(self):
+        good = np.array(
+            [
+                [0.0, 1.0, 2.0],
+                [1.0, 0.0, 1.0],
+                [2.0, 1.0, 0.0],
+            ]
+        )
+        validate_metric_matrix(good)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_metric_matrix(np.zeros((2, 3)))

@@ -1,0 +1,131 @@
+"""Tests for repro.seq.mutate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.distance import percent_identity
+from repro.seq.generate import random_dna, random_protein
+from repro.seq.mutate import MutationModel, mutate, mutate_to_identity, sample_read
+
+
+class TestMutateToIdentity:
+    def test_exact_identity(self):
+        rec = random_protein(200, rng=1)
+        mutant = mutate_to_identity(rec, 0.8, rng=2)
+        assert percent_identity(rec.codes, mutant.codes) == pytest.approx(0.8)
+
+    def test_identity_one_is_copy(self):
+        rec = random_protein(50, rng=3)
+        mutant = mutate_to_identity(rec, 1.0, rng=4)
+        assert np.array_equal(rec.codes, mutant.codes)
+
+    def test_identity_zero_changes_everything(self):
+        rec = random_dna(40, rng=5)
+        mutant = mutate_to_identity(rec, 0.0, rng=6)
+        assert percent_identity(rec.codes, mutant.codes) == 0.0
+
+    def test_length_preserved(self):
+        rec = random_protein(77, rng=7)
+        assert len(mutate_to_identity(rec, 0.5, rng=8)) == 77
+
+    def test_mutations_stay_canonical(self):
+        rec = random_dna(100, rng=9)
+        mutant = mutate_to_identity(rec, 0.3, rng=10)
+        assert (mutant.codes < 4).all()
+
+    def test_custom_id(self):
+        rec = random_protein(30, rng=11)
+        assert mutate_to_identity(rec, 0.9, rng=12, seq_id="m1").seq_id == "m1"
+
+    def test_invalid_identity(self):
+        rec = random_protein(30, rng=13)
+        with pytest.raises(ValueError):
+            mutate_to_identity(rec, 1.5)
+
+    @settings(max_examples=25)
+    @given(
+        identity=st.floats(0.0, 1.0),
+        length=st.integers(10, 150),
+        seed=st.integers(0, 1000),
+    )
+    def test_identity_is_exact_up_to_rounding(self, identity, length, seed):
+        rec = random_protein(length, rng=seed)
+        mutant = mutate_to_identity(rec, identity, rng=seed + 1)
+        expected = 1.0 - round((1.0 - identity) * length) / length
+        assert percent_identity(rec.codes, mutant.codes) == pytest.approx(expected)
+
+
+class TestMutationModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MutationModel(substitution_rate=1.5)
+        with pytest.raises(ValueError):
+            MutationModel(insertion_rate=-0.1)
+
+    def test_no_rates_is_identity(self):
+        rec = random_protein(60, rng=1)
+        out = mutate(rec, MutationModel(), rng=2)
+        assert np.array_equal(out.codes, rec.codes)
+
+    def test_substitutions_only_preserve_length(self):
+        rec = random_protein(100, rng=3)
+        out = mutate(rec, MutationModel(substitution_rate=0.3), rng=4)
+        assert len(out) == 100
+        assert not np.array_equal(out.codes, rec.codes)
+
+    def test_deletions_shrink(self):
+        rec = random_protein(300, rng=5)
+        out = mutate(rec, MutationModel(deletion_rate=0.2), rng=6)
+        assert len(out) < 300
+
+    def test_insertions_grow(self):
+        rec = random_protein(300, rng=7)
+        out = mutate(rec, MutationModel(insertion_rate=0.2), rng=8)
+        assert len(out) > 300
+
+    def test_combined_rates(self):
+        rec = random_protein(500, rng=9)
+        model = MutationModel(0.05, 0.05, 0.05)
+        out = mutate(rec, model, rng=10)
+        # Expected length roughly preserved (ins and del balance).
+        assert 400 < len(out) < 600
+
+    def test_degenerate_total_deletion(self):
+        rec = random_protein(5, rng=11)
+        out = mutate(rec, MutationModel(deletion_rate=1.0), rng=12)
+        assert len(out) >= 1  # never empty
+
+
+class TestSampleRead:
+    def test_exact_subsequence_without_errors(self):
+        rec = random_dna(200, rng=1)
+        read = sample_read(rec, 50, rng=2, error_rate=0.0)
+        text = rec.text
+        assert read.text in text
+
+    def test_length(self):
+        rec = random_dna(200, rng=3)
+        assert len(sample_read(rec, 37, rng=4)) == 37
+
+    def test_error_rate_applies(self):
+        rec = random_dna(1000, rng=5)
+        read = sample_read(rec, 1000, rng=6, error_rate=0.1)
+        identity = percent_identity(rec.codes, read.codes)
+        assert 0.85 < identity < 0.95
+
+    def test_too_long_rejected(self):
+        rec = random_dna(10, rng=7)
+        with pytest.raises(ValueError, match="exceeds"):
+            sample_read(rec, 11)
+
+    def test_zero_length_rejected(self):
+        rec = random_dna(10, rng=8)
+        with pytest.raises(ValueError, match="positive"):
+            sample_read(rec, 0)
+
+    def test_full_length_read(self):
+        rec = random_dna(25, rng=9)
+        read = sample_read(rec, 25, rng=10)
+        assert np.array_equal(read.codes, rec.codes)

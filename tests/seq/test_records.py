@@ -1,0 +1,91 @@
+"""Tests for repro.seq.records."""
+
+import numpy as np
+import pytest
+
+from repro.seq.alphabet import DNA, PROTEIN
+from repro.seq.records import SequenceRecord, SequenceSet
+
+
+class TestSequenceRecord:
+    def test_from_text(self):
+        rec = SequenceRecord.from_text("s1", "ACGT", "dna")
+        assert rec.text == "ACGT"
+        assert len(rec) == 4
+        assert rec.alphabet is DNA
+
+    def test_from_text_with_instance(self):
+        rec = SequenceRecord.from_text("s1", "MKV", PROTEIN)
+        assert rec.text == "MKV"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="seq_id"):
+            SequenceRecord(seq_id="", codes=np.zeros(3, np.uint8), alphabet=DNA)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            SequenceRecord(seq_id="x", codes=np.zeros((2, 2), np.uint8), alphabet=DNA)
+
+    def test_segment_is_view(self):
+        rec = SequenceRecord.from_text("s1", "ACGTACGT", "dna")
+        seg = rec.segment(2, 5)
+        assert seg.base is rec.codes or seg.base is rec.codes.base
+
+    def test_segment_bounds(self):
+        rec = SequenceRecord.from_text("s1", "ACGT", "dna")
+        with pytest.raises(IndexError):
+            rec.segment(2, 9)
+        with pytest.raises(IndexError):
+            rec.segment(-1, 2)
+
+
+class TestSequenceSet:
+    def make(self) -> SequenceSet:
+        s = SequenceSet(alphabet=DNA)
+        s.add(SequenceRecord.from_text("a", "ACGT", "dna"))
+        s.add(SequenceRecord.from_text("b", "GGCC", "dna"))
+        return s
+
+    def test_add_and_lookup(self):
+        s = self.make()
+        assert len(s) == 2
+        assert s["a"].text == "ACGT"
+        assert "b" in s
+        assert "c" not in s
+
+    def test_duplicate_id_rejected(self):
+        s = self.make()
+        with pytest.raises(ValueError, match="duplicate"):
+            s.add(SequenceRecord.from_text("a", "TTTT", "dna"))
+
+    def test_alphabet_mismatch_rejected(self):
+        s = self.make()
+        with pytest.raises(ValueError, match="alphabet"):
+            s.add(SequenceRecord.from_text("p", "MKV", "protein"))
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError, match="no sequence"):
+            self.make()["zzz"]
+
+    def test_total_residues(self):
+        assert self.make().total_residues == 8
+
+    def test_iteration_order(self):
+        assert [r.seq_id for r in self.make()] == ["a", "b"]
+
+    def test_residue_frequencies(self):
+        s = self.make()
+        freqs = s.residue_frequencies()
+        assert freqs.shape == (DNA.size,)
+        assert freqs.sum() == pytest.approx(1.0)
+        # ACGT + GGCC: A=1, C=3, G=3, T=1 of 8
+        assert freqs[DNA.index_of("C")] == pytest.approx(3 / 8)
+
+    def test_empty_frequencies_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SequenceSet(alphabet=DNA).residue_frequencies()
+
+    def test_init_with_records(self):
+        records = [SequenceRecord.from_text("x", "AC", "dna")]
+        s = SequenceSet(alphabet=DNA, records=records)
+        assert s["x"].text == "AC"

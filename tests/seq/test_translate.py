@@ -1,0 +1,137 @@
+"""Tests for genetic-code translation (repro.seq.translate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.alphabet import DNA, PROTEIN
+from repro.seq.records import SequenceRecord
+from repro.seq.translate import (
+    STANDARD_CODE,
+    reverse_complement,
+    six_frame_translations,
+    translate,
+    translate_codes,
+)
+
+
+def dna(text: str) -> SequenceRecord:
+    return SequenceRecord.from_text("d", text, "dna")
+
+
+class TestStandardCode:
+    def test_complete(self):
+        assert len(STANDARD_CODE) == 64
+
+    def test_known_codons(self):
+        assert STANDARD_CODE["ATG"] == "M"
+        assert STANDARD_CODE["TGG"] == "W"
+        assert STANDARD_CODE["TAA"] == "*"
+        assert STANDARD_CODE["TGA"] == "*"
+        assert STANDARD_CODE["TAG"] == "*"
+
+    def test_amino_acid_degeneracy(self):
+        # Leucine has six codons in the standard code.
+        leucines = [c for c, a in STANDARD_CODE.items() if a == "L"]
+        assert len(leucines) == 6
+        # Tryptophan and methionine have exactly one.
+        assert sum(1 for a in STANDARD_CODE.values() if a == "W") == 1
+        assert sum(1 for a in STANDARD_CODE.values() if a == "M") == 1
+
+    def test_stop_count(self):
+        assert sum(1 for a in STANDARD_CODE.values() if a == "*") == 3
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        assert DNA.decode(reverse_complement(DNA.encode("ATGC"))) == "GCAT"
+
+    def test_n_preserved(self):
+        assert DNA.decode(reverse_complement(DNA.encode("ANT"))) == "ANT"
+
+    def test_involution(self):
+        codes = DNA.encode("ACGTNACGT")
+        assert np.array_equal(reverse_complement(reverse_complement(codes)), codes)
+
+    @given(st.text(alphabet="ACGTN", min_size=0, max_size=100))
+    def test_involution_property(self, text):
+        codes = DNA.encode(text)
+        assert np.array_equal(
+            reverse_complement(reverse_complement(codes)), codes
+        )
+
+    def test_rejects_non_dna(self):
+        with pytest.raises(ValueError, match="not valid DNA"):
+            reverse_complement(np.array([9], dtype=np.uint8))
+
+
+class TestTranslateCodes:
+    def test_simple_orf(self):
+        out = translate_codes(DNA.encode("ATGAAAGTT"))
+        assert PROTEIN.decode(out) == "MKV"
+
+    def test_frames(self):
+        seq = DNA.encode("AATGAAA")
+        assert PROTEIN.decode(translate_codes(seq, 1)) == "MK"
+
+    def test_trailing_bases_dropped(self):
+        assert PROTEIN.decode(translate_codes(DNA.encode("ATGAA"))) == "M"
+
+    def test_ambiguity_gives_x(self):
+        assert PROTEIN.decode(translate_codes(DNA.encode("ATGANG"))) == "MX"
+
+    def test_too_short(self):
+        assert translate_codes(DNA.encode("AT")).shape == (0,)
+
+    def test_bad_frame(self):
+        with pytest.raises(ValueError, match="frame"):
+            translate_codes(DNA.encode("ATG"), frame=3)
+
+    @settings(max_examples=30)
+    @given(st.text(alphabet="ACGT", min_size=3, max_size=120))
+    def test_matches_codon_table(self, text):
+        out = PROTEIN.decode(translate_codes(DNA.encode(text)))
+        expected = "".join(
+            STANDARD_CODE[text[i : i + 3]]
+            for i in range(0, len(text) - len(text) % 3, 3)
+        )
+        assert out == expected
+
+
+class TestRecordTranslation:
+    def test_translate_record(self):
+        rec = translate(dna("ATGAAAGTTTTAGCTTGG"))
+        assert rec.text == "MKVLAW"
+        assert rec.alphabet is PROTEIN
+        assert "frame+0" in rec.seq_id
+
+    def test_rejects_protein_input(self):
+        protein = SequenceRecord.from_text("p", "MKV", "protein")
+        with pytest.raises(ValueError, match="translate DNA"):
+            translate(protein)
+
+    def test_six_frames(self):
+        frames = six_frame_translations(dna("ATGAAAGTTTTAGCTTGGTAA"))
+        assert len(frames) == 6
+        ids = {f.seq_id.split("|")[1] for f in frames}
+        assert ids == {
+            "frame+0", "frame+1", "frame+2", "frame-0", "frame-1", "frame-2"
+        }
+
+    def test_forward_frame_zero_matches_translate(self):
+        record = dna("ATGAAAGTTTTAGCT")
+        frames = {f.seq_id.split("|")[1]: f for f in six_frame_translations(record)}
+        assert frames["frame+0"].text == translate(record).text
+
+    def test_reverse_frame_is_translation_of_revcomp(self):
+        record = dna("ATGAAAGTTTTAGCT")
+        frames = {f.seq_id.split("|")[1]: f for f in six_frame_translations(record)}
+        rc = reverse_complement(record.codes)
+        assert frames["frame-1"].text == PROTEIN.decode(translate_codes(rc, 1))
+
+    def test_short_input_drops_empty_frames(self):
+        frames = six_frame_translations(dna("ATGA"))
+        # frames +2/-2 have only 2 bases -> dropped.
+        assert all(len(f) >= 1 for f in frames)
+        assert len(frames) == 4

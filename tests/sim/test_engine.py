@@ -1,0 +1,215 @@
+"""Tests for the discrete-event simulation kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim.engine import AllOf, SimError, Simulation
+
+
+class TestCallLater:
+    def test_ordering(self):
+        sim = Simulation()
+        log = []
+        sim.call_later(2.0, log.append, "b")
+        sim.call_later(1.0, log.append, "a")
+        sim.call_later(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_tie_break_is_fifo(self):
+        sim = Simulation()
+        log = []
+        for name in "abc":
+            sim.call_later(1.0, log.append, name)
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimError, match="non-negative"):
+            sim.call_later(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulation()
+        log = []
+        sim.call_later(1.0, log.append, "early")
+        sim.call_later(10.0, log.append, "late")
+        end = sim.run(until=5.0)
+        assert log == ["early"]
+        assert end == 5.0
+
+    def test_clock_advances(self):
+        sim = Simulation()
+        times = []
+        sim.call_later(1.5, lambda: times.append(sim.now))
+        sim.call_later(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5, 4.0]
+
+
+class TestProcesses:
+    def test_delay_yield(self):
+        sim = Simulation()
+        marks = []
+
+        def proc():
+            yield 2.5
+            marks.append(sim.now)
+            yield 1.5
+            marks.append(sim.now)
+            return "done"
+
+        done = sim.spawn(proc())
+        sim.run()
+        assert marks == [2.5, 4.0]
+        assert done.fired and done.value == "done"
+
+    def test_event_wait(self):
+        sim = Simulation()
+        gate = sim.event("gate")
+        got = []
+
+        def waiter():
+            value = yield gate
+            got.append((sim.now, value))
+
+        sim.spawn(waiter())
+        gate.fire_at(3.0, "payload")
+        sim.run()
+        assert got == [(3.0, "payload")]
+
+    def test_wait_on_already_fired_event(self):
+        sim = Simulation()
+        gate = sim.event()
+        gate.fire("v")
+
+        def waiter():
+            value = yield gate
+            return value
+
+        done = sim.spawn(waiter())
+        sim.run()
+        assert done.value == "v"
+
+    def test_allof_barrier(self):
+        sim = Simulation()
+
+        def worker(duration, result):
+            yield duration
+            return result
+
+        def main():
+            events = [sim.spawn(worker(d, d * 10)) for d in (3.0, 1.0, 2.0)]
+            results = yield AllOf(events)
+            return (sim.now, results)
+
+        done = sim.spawn(main())
+        sim.run()
+        when, results = done.value
+        assert when == 3.0
+        assert results == [30.0, 10.0, 20.0]  # order given, not completion
+
+    def test_allof_with_fired_events(self):
+        sim = Simulation()
+        a = sim.event()
+        a.fire(1)
+        b = sim.event()
+
+        def main():
+            values = yield AllOf([a, b])
+            return values
+
+        done = sim.spawn(main())
+        b.fire_at(2.0, 2)
+        sim.run()
+        assert done.value == [1, 2]
+
+    def test_empty_allof_rejected(self):
+        with pytest.raises(SimError, match="at least one"):
+            AllOf([])
+
+    def test_nested_spawn(self):
+        sim = Simulation()
+
+        def inner():
+            yield 1.0
+            return 7
+
+        def outer():
+            value = yield sim.spawn(inner())
+            return value + 1
+
+        done = sim.spawn(outer())
+        sim.run()
+        assert done.value == 8
+
+    def test_negative_yield_rejected(self):
+        sim = Simulation()
+
+        def bad():
+            yield -3.0
+
+        sim.spawn(bad(), name="bad")
+        with pytest.raises(SimError, match="negative delay"):
+            sim.run()
+
+    def test_bad_yield_type_rejected(self):
+        sim = Simulation()
+
+        def bad():
+            yield "nope"
+
+        sim.spawn(bad(), name="bad")
+        with pytest.raises(SimError, match="unsupported"):
+            sim.run()
+
+
+class TestSimEvent:
+    def test_double_fire_rejected(self):
+        sim = Simulation()
+        e = sim.event("once")
+        e.fire()
+        with pytest.raises(SimError, match="fired twice"):
+            e.fire()
+
+    def test_subscribe_callback(self):
+        sim = Simulation()
+        e = sim.event()
+        got = []
+        e.subscribe(got.append)
+        e.fire_at(1.0, "x")
+        sim.run()
+        assert got == ["x"]
+
+    def test_subscribe_after_fire(self):
+        sim = Simulation()
+        e = sim.event()
+        e.fire("y")
+        got = []
+        e.subscribe(got.append)
+        sim.run()
+        assert got == ["y"]
+
+    def test_events_processed_counter(self):
+        sim = Simulation()
+        sim.call_later(0.0, lambda: None)
+        sim.call_later(0.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestDeterminism:
+    def test_identical_runs_replay(self):
+        def build():
+            sim = Simulation()
+            log = []
+
+            def worker(i):
+                yield 0.5 * (i % 3)
+                log.append(i)
+
+            for i in range(20):
+                sim.spawn(worker(i))
+            sim.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,141 @@
+"""Tests for the FIFO resource (repro.sim.resource)."""
+
+import pytest
+
+from repro.sim.engine import SimError, Simulation
+from repro.sim.resource import Resource
+
+
+class TestResource:
+    def test_immediate_grant_when_free(self):
+        sim = Simulation()
+        res = Resource(sim)
+        grant = res.request()
+        assert grant.fired
+        assert res.in_use == 1
+
+    def test_waiters_queue_fifo(self):
+        sim = Simulation()
+        res = Resource(sim)
+        order = []
+
+        def worker(name, hold):
+            grant = res.request()
+            yield grant
+            order.append(("start", name, sim.now))
+            yield hold
+            res.release()
+            order.append(("end", name, sim.now))
+
+        sim.spawn(worker("a", 2.0))
+        sim.spawn(worker("b", 1.0))
+        sim.spawn(worker("c", 1.0))
+        sim.run()
+        starts = [(n, t) for kind, n, t in order if kind == "start"]
+        assert starts == [("a", 0.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_capacity_two(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def worker(name):
+            yield res.request()
+            yield 1.0
+            res.release()
+            done.append((name, sim.now))
+
+        for name in "abc":
+            sim.spawn(worker(name))
+        sim.run()
+        # a and b run together; c waits for a slot.
+        assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_release_idle_rejected(self):
+        res = Resource(Simulation())
+        with pytest.raises(SimError, match="idle"):
+            res.release()
+
+    def test_queue_length(self):
+        sim = Simulation()
+        res = Resource(sim)
+        res.request()
+        res.request()
+        res.request()
+        assert res.queue_length == 2
+        assert res.in_use == 1
+
+    def test_grants_counted(self):
+        sim = Simulation()
+        res = Resource(sim)
+        res.request()
+        res.request()
+        res.release()
+        sim.run()
+        assert res.grants == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulation(), capacity=0)
+
+
+class TestConcurrentQueries:
+    def test_batch_of_one_equals_run(self, mendel, planted_probe):
+        from repro.core import QueryParams
+
+        probe, _ = planted_probe
+        params = QueryParams(k=8, n=4)
+        single = mendel.query(probe, params)
+        batch = mendel.engine.run_batch([probe], params)[0]
+        assert batch.alignments == single.alignments
+        assert batch.stats.turnaround == pytest.approx(single.stats.turnaround)
+
+    def test_contention_slows_someone_down(self, mendel, protein_db):
+        from repro.core import QueryParams
+        from repro.seq.mutate import mutate_to_identity
+
+        params = QueryParams(k=8, n=4, i=0.7)
+        probes = [
+            mutate_to_identity(protein_db.records[i], 0.9, rng=i, seq_id=f"b{i}")
+            for i in range(4)
+        ]
+        alone = max(
+            mendel.query(p, params).stats.turnaround for p in probes
+        )
+        together = mendel.engine.run_batch(probes, params)
+        assert max(r.stats.turnaround for r in together) > alone
+
+    def test_results_unaffected_by_contention(self, mendel, protein_db):
+        from repro.core import QueryParams
+        from repro.seq.mutate import mutate_to_identity
+
+        params = QueryParams(k=8, n=4, i=0.7)
+        probes = [
+            mutate_to_identity(protein_db.records[i], 0.9, rng=i, seq_id=f"r{i}")
+            for i in range(3)
+        ]
+        sequential = [mendel.query(p, params).alignments for p in probes]
+        concurrent = [
+            r.alignments for r in mendel.engine.run_batch(probes, params)
+        ]
+        assert sequential == concurrent
+
+    def test_arrival_spacing_reduces_contention(self, mendel, protein_db):
+        from repro.core import QueryParams
+        from repro.seq.mutate import mutate_to_identity
+
+        params = QueryParams(k=8, n=4, i=0.7)
+        probes = [
+            mutate_to_identity(protein_db.records[i], 0.9, rng=i, seq_id=f"s{i}")
+            for i in range(4)
+        ]
+        slammed = mendel.engine.run_batch(probes, params)
+        spaced = mendel.engine.run_batch(probes, params, arrival_interval=1.0)
+        assert max(r.stats.turnaround for r in spaced) <= max(
+            r.stats.turnaround for r in slammed
+        )
+
+    def test_negative_interval_rejected(self, mendel, planted_probe):
+        probe, _ = planted_probe
+        with pytest.raises(ValueError, match="arrival_interval"):
+            mendel.engine.run_batch([probe], arrival_interval=-1.0)

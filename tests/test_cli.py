@@ -1,0 +1,85 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.seq import PROTEIN, format_fasta, random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+@pytest.fixture(scope="module")
+def fasta_files(tmp_path_factory):
+    base = tmp_path_factory.mktemp("cli")
+    db = random_set(count=8, length=80, alphabet=PROTEIN, rng=401, id_prefix="r")
+    refs = base / "refs.fasta"
+    refs.write_text(format_fasta(db.records))
+    probe = mutate_to_identity(db.records[2], 0.9, rng=1, seq_id="probe")
+    queries = base / "queries.fasta"
+    queries.write_text(format_fasta([probe]))
+    return base, refs, queries, db
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_index_args(self):
+        args = build_parser().parse_args(
+            ["index", "db.fasta", "--out", "x.npz", "--nodes", "6"]
+        )
+        assert args.command == "index"
+        assert args.nodes == 6
+
+    def test_bench_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestIndexInfoQuery:
+    def test_full_workflow(self, fasta_files):
+        base, refs, queries, db = fasta_files
+        archive = base / "deploy.npz"
+        out = io.StringIO()
+
+        code = main(
+            ["index", str(refs), "--out", str(archive), "--nodes", "4",
+             "--seed", "3"],
+            out=out,
+        )
+        assert code == 0
+        assert "indexed" in out.getvalue()
+        assert archive.exists()
+
+        out = io.StringIO()
+        assert main(["info", str(archive)], out=out) == 0
+        info = out.getvalue()
+        assert "sequences:       8" in info
+        assert "protein" in info
+
+        out = io.StringIO()
+        code = main(
+            ["query", str(archive), str(queries), "--top", "3",
+             "--identity", "0.6"],
+            out=out,
+        )
+        assert code == 0
+        result = out.getvalue()
+        assert "# probe:" in result
+        assert "r-000002" in result  # the probe's source ranks in the top hits
+
+    def test_index_with_explicit_shape(self, fasta_files):
+        base, refs, _, _ = fasta_files
+        archive = base / "shaped.npz"
+        out = io.StringIO()
+        code = main(
+            ["index", str(refs), "--out", str(archive), "--groups", "2",
+             "--group-size", "2", "--replication", "2", "--seed", "5"],
+            out=out,
+        )
+        assert code == 0
+        out = io.StringIO()
+        main(["info", str(archive)], out=out)
+        assert "2 groups x 2 nodes (replication 2)" in out.getvalue()

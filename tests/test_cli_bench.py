@@ -1,0 +1,97 @@
+"""CLI tests for the bench subcommand and translated query routing."""
+
+import io
+
+import pytest
+
+import repro.cli as cli
+from repro.bench.figures import ExperimentResult
+from repro.seq import DNA, PROTEIN, SequenceRecord, SequenceSet, format_fasta
+from repro.seq.generate import random_protein
+from repro.seq.translate import STANDARD_CODE
+from repro.util.rng import as_generator
+
+
+class TestBenchCommand:
+    @pytest.fixture()
+    def stubbed(self, monkeypatch):
+        def runner():
+            return ExperimentResult(
+                name="stub-figure",
+                rows=[{"x": 1, "y": 2.5}],
+                meta={"note": "stubbed"},
+            )
+
+        monkeypatch.setitem(cli._FIGURES, "fig5", runner)
+        return runner
+
+    def test_bench_single_figure(self, stubbed):
+        out = io.StringIO()
+        assert cli.main(["bench", "fig5"], out=out) == 0
+        text = out.getvalue()
+        assert "stub-figure" in text
+        assert "stubbed" in text
+
+    def test_bench_all_writes_report(self, monkeypatch, tmp_path):
+        import repro.bench.report as report_module
+
+        def stub():
+            return ExperimentResult(name="stub", rows=[{"a": 1}])
+
+        monkeypatch.setattr(
+            report_module, "_EXPERIMENTS", [("Stub", "claim", stub)]
+        )
+        out = io.StringIO()
+        target = tmp_path / "report.md"
+        assert cli.main(["bench", "all", "--out", str(target)], out=out) == 0
+        assert "report written" in out.getvalue()
+        assert "Stub" in target.read_text()
+
+    def test_bench_all_to_stdout(self, monkeypatch):
+        import repro.bench.report as report_module
+
+        def stub():
+            return ExperimentResult(name="stub", rows=[{"a": 1}])
+
+        monkeypatch.setattr(
+            report_module, "_EXPERIMENTS", [("Stub", "claim", stub)]
+        )
+        out = io.StringIO()
+        assert cli.main(["bench", "all"], out=out) == 0
+        assert "Stub" in out.getvalue()
+
+
+class TestTranslatedQueryViaCli:
+    def test_dna_query_against_protein_index(self, tmp_path):
+        gen = as_generator(44)
+        db = SequenceSet(alphabet=PROTEIN)
+        for i in range(8):
+            db.add(random_protein(90, rng=gen, seq_id=f"tp-{i:02d}"))
+        refs = tmp_path / "refs.fasta"
+        refs.write_text(format_fasta(db.records))
+
+        by_amino: dict[str, list[str]] = {}
+        for codon, amino in STANDARD_CODE.items():
+            by_amino.setdefault(amino, []).append(codon)
+        dna_text = "".join(by_amino[ch][0] for ch in db.records[3].text)
+        queries = tmp_path / "q.fasta"
+        queries.write_text(
+            format_fasta([SequenceRecord.from_text("gene", dna_text, DNA)])
+        )
+
+        archive = tmp_path / "deploy.npz"
+        out = io.StringIO()
+        assert cli.main(
+            ["index", str(refs), "--out", str(archive), "--nodes", "4",
+             "--seed", "3"],
+            out=out,
+        ) == 0
+        out = io.StringIO()
+        code = cli.main(
+            ["query", str(archive), str(queries), "--alphabet", "dna",
+             "--identity", "0.8"],
+            out=out,
+        )
+        assert code == 0
+        assert "tp-03" in out.getvalue()  # the DNA gene's source protein
+        assert "frame+0" in out.getvalue()
