@@ -14,6 +14,9 @@ Public API highlights:
   comparisons.
 * :mod:`repro.bench` — workload generators and the per-figure experiment
   harness.
+* :mod:`repro.serve` — the concurrent query-serving gateway (thread-pool
+  service with admission control, result cache, micro-batching, and an
+  asyncio TCP JSON-lines front end).
 """
 
 from repro.core.framework import Mendel

@@ -6,11 +6,15 @@
     python -m repro info deploy.npz
     python -m repro query deploy.npz queries.fasta --top 5
     python -m repro bench fig6a
+    python -m repro serve deploy.npz --port 7766
+    python -m repro call query --seq MKV... --port 7766
 
 ``index`` builds a deployment and saves it; ``query`` loads one and
 searches every sequence of a FASTA query set; ``info`` summarises a saved
 deployment; ``bench`` reruns one of the paper's figures and prints its
-table.
+table; ``serve`` exposes a saved deployment through the TCP query gateway
+(:mod:`repro.serve`); ``call`` speaks the gateway's JSON-lines protocol
+(QUERY / STATS / HEALTH) from the command line.
 """
 
 from __future__ import annotations
@@ -78,6 +82,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("figure", choices=sorted(_FIGURES) + ["all"])
     bench.add_argument("--out", default=None,
                        help="with 'all': write the markdown report here")
+
+    serve = sub.add_parser("serve", help="serve a saved deployment over TCP")
+    serve.add_argument("archive", help="saved .npz deployment")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7766)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query execution threads")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission bound before load shedding")
+    serve.add_argument("--batch-window", type=float, default=0.002,
+                       help="micro-batch coalescing window (seconds)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch size cap")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="result-cache capacity (0 disables caching)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="result-cache TTL in seconds (default: no expiry)")
+
+    call = sub.add_parser("call", help="call a running gateway")
+    call.add_argument("op", choices=("query", "stats", "health"))
+    call.add_argument("--host", default="127.0.0.1")
+    call.add_argument("--port", type=int, default=7766)
+    call.add_argument("--seq", default=None,
+                      help="query residues (op=query)")
+    call.add_argument("--fasta", default=None,
+                      help="query every record of this FASTA file (op=query)")
+    call.add_argument("--alphabet", choices=("dna", "protein"),
+                      default="protein", help="alphabet for --fasta parsing")
+    call.add_argument("--deadline", type=float, default=None,
+                      help="per-request deadline in seconds")
+    call.add_argument("--top", type=int, default=5,
+                      help="alignments to return per query")
+    call.add_argument("--timeout", type=float, default=30.0)
+    call.add_argument("--retries", type=int, default=3)
 
     return parser
 
@@ -173,6 +211,87 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.serve.server import QueryServer
+
+    index = load_index(args.archive)
+    mendel = Mendel(index=index, engine=QueryEngine(index))
+    service = mendel.service(
+        max_workers=args.workers,
+        max_pending=args.max_pending,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        cache_capacity=args.cache_size,
+        cache_ttl=args.cache_ttl,
+    )
+
+    async def _run() -> None:
+        server = QueryServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"serving {len(index.database)} sequences "
+            f"({len(index.store)} blocks) on {server.host}:{server.port} "
+            f"[workers={args.workers} max_pending={args.max_pending} "
+            f"cache={args.cache_size}]",
+            file=out,
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+    from repro.serve.errors import ServeError
+
+    client = ServeClient(
+        args.host, args.port, timeout=args.timeout, retries=args.retries
+    )
+    try:
+        if args.op == "query":
+            if (args.seq is None) == (args.fasta is None):
+                print("op=query needs exactly one of --seq / --fasta",
+                      file=sys.stderr)
+                return 2
+            if args.seq is not None:
+                requests = [("query", args.seq)]
+            else:
+                requests = [
+                    (record.seq_id, record.text)
+                    for record in read_fasta(args.fasta, args.alphabet)
+                ]
+            ok = True
+            for query_id, seq in requests:
+                response = client.query(
+                    seq,
+                    query_id=query_id,
+                    deadline=args.deadline,
+                    top=args.top,
+                )
+                print(json.dumps(response, indent=2, sort_keys=True), file=out)
+                ok = ok and bool(response.get("ok"))
+            return 0 if ok else 1
+        response = client.stats() if args.op == "stats" else client.health()
+        print(json.dumps(response, indent=2, sort_keys=True), file=out)
+        return 0 if response.get("ok") else 1
+    except ServeError as exc:
+        print(json.dumps({"ok": False, **exc.to_dict()}, indent=2), file=out)
+        return 1
+    finally:
+        client.close()
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -182,6 +301,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "info": _cmd_info,
         "query": _cmd_query,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "call": _cmd_call,
     }
     return handlers[args.command](args, out)
 

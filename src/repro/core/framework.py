@@ -119,13 +119,33 @@ class Mendel:
     # -- growth & introspection ------------------------------------------------
 
     def insert(self, new_sequences: SequenceSet) -> None:
-        """Incrementally index additional reference sequences."""
+        """Incrementally index additional reference sequences.
+
+        Bumps :attr:`index_version`, so serving caches built over this
+        deployment invalidate their entries (cache coherence)."""
         self.index.insert_sequences(new_sequences)
 
     def add_node(self, group_id: str):
         """Elastically grow *group_id* by one node (data redistributes
         within the group only); returns the new node."""
         return self.index.add_node(group_id)
+
+    @property
+    def index_version(self) -> int:
+        """Monotonic index mutation counter (see
+        :attr:`~repro.core.index.MendelIndex.version`).  Query entry points
+        are pure functions of the index state at one version; the serving
+        layer keys cache validity on it."""
+        return self.index.version
+
+    def service(self, **kwargs) -> "QueryService":
+        """A :class:`~repro.serve.service.QueryService` over this deployment
+        — the concurrent, cached, load-shedding entry point the TCP gateway
+        (``repro serve``) fronts.  Keyword arguments pass through to the
+        service constructor."""
+        from repro.serve.service import QueryService
+
+        return QueryService(self, **kwargs)
 
     @property
     def stats(self) -> IndexStats:

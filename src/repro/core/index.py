@@ -52,6 +52,12 @@ class MendelIndex:
         Deployment shape (:class:`~repro.core.params.MendelConfig`).
     """
 
+    #: Mutation counter: bumped by :meth:`insert_sequences` and
+    #: :meth:`add_node`, so cache layers (:mod:`repro.serve`) can detect that
+    #: previously computed results may be stale.  A class-level default keeps
+    #: instances reconstructed via ``__new__`` (the persistence path) valid.
+    version: int = 0
+
     def __init__(self, database: SequenceSet, config: MendelConfig) -> None:
         if len(database) == 0:
             raise ValueError("cannot index an empty database")
@@ -217,6 +223,7 @@ class MendelIndex:
             if block_ids:
                 member.store_blocks(self.store.codes_matrix(block_ids), block_ids)
             self.stats.per_node_blocks[member.node_id] = len(block_ids)
+        self.version += 1
         return node
 
     def insert_sequences(self, new_sequences: SequenceSet) -> None:
@@ -256,3 +263,4 @@ class MendelIndex:
                 self.stats.per_node_blocks.get(node_id, 0) + len(block_ids)
             )
         self.stats.block_count = len(self.store)
+        self.version += 1

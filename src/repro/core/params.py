@@ -108,6 +108,30 @@ class QueryParams:
         """Resolve ``M`` to its matrix (the user-defined scoring parameter)."""
         return named_matrix(self.M)
 
+    def cache_key(self) -> str:
+        """A stable canonical string: equal searches produce equal keys.
+
+        Normalises representational slack that dataclass equality preserves:
+        matrix names are case-insensitive (``named_matrix`` lowercases), and
+        numeric fields that validate as "number" may arrive as ``int`` or
+        ``float`` (``S=1`` vs ``S=1.0``) — both spell the same search, so
+        both canonicalise to the float repr.  Field order is fixed by the
+        dataclass definition, so the key is stable across processes.
+        """
+        parts = []
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, bool):  # guard: bool is an int subclass
+                canon = repr(value)
+            elif isinstance(value, (int, float)):
+                canon = repr(float(value))
+            elif isinstance(value, str):
+                canon = value.lower() if spec.name == "M" else value
+            else:
+                canon = repr(value)
+            parts.append(f"{spec.name}={canon}")
+        return ";".join(parts)
+
     @classmethod
     def table_rows(cls) -> list[tuple[str, str, str]]:
         """The (parameter, description, type) rows of Table I, for the

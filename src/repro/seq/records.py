@@ -9,9 +9,16 @@ import numpy as np
 from repro.seq.alphabet import Alphabet, alphabet_for
 
 
-@dataclass
+@dataclass(eq=False)
 class SequenceRecord:
     """A named sequence with its encoded representation.
+
+    Equality is defined explicitly (``eq=False``): the dataclass-generated
+    ``__eq__`` would compare the ``codes`` arrays element-wise inside a
+    tuple comparison and raise ``ValueError`` ("truth value of an array
+    ... is ambiguous") for any sequence longer than one residue.  Records
+    compare by id, alphabet, residues, and description; being mutable, they
+    are deliberately unhashable.
 
     Parameters
     ----------
@@ -39,6 +46,18 @@ class SequenceRecord:
 
     def __len__(self) -> int:
         return int(self.codes.shape[0])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SequenceRecord):
+            return NotImplemented
+        return (
+            self.seq_id == other.seq_id
+            and self.alphabet.name == other.alphabet.name
+            and self.description == other.description
+            and np.array_equal(self.codes, other.codes)
+        )
+
+    __hash__ = None  # mutable: identity-free hashing would be unsound
 
     @property
     def text(self) -> str:

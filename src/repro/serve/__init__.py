@@ -1,0 +1,61 @@
+"""repro.serve — the query-serving gateway over a built Mendel deployment.
+
+The layers, bottom-up:
+
+* :mod:`~repro.serve.cache` — LRU + TTL result cache with canonical keys;
+* :mod:`~repro.serve.batcher` — micro-batching of near-simultaneous
+  same-params requests into one ``query_many`` cluster pass;
+* :mod:`~repro.serve.service` — the thread-pool :class:`QueryService` with
+  bounded admission (load shedding) and per-request deadlines;
+* :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — an asyncio TCP
+  JSON-lines front end and a retrying blocking client;
+* :mod:`~repro.serve.stats` — wall-clock latency/queue/cache accounting
+  surfaced through the STATS op.
+
+Quick start::
+
+    from repro.serve import QueryService, BackgroundServer, ServeClient
+
+    service = mendel.service(max_workers=4, max_pending=64)
+    with BackgroundServer(service) as server:
+        with ServeClient(server.host, server.port) as client:
+            print(client.query("MKV...", deadline=2.0))
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.cache import MISS, CacheStats, ResultCache
+from repro.serve.client import ServeClient
+from repro.serve.errors import (
+    ClientTimeout,
+    DeadlineExceeded,
+    InvalidRequest,
+    Overloaded,
+    ServeError,
+    ServiceClosed,
+    Unavailable,
+)
+from repro.serve.server import BackgroundServer, QueryServer
+from repro.serve.service import QueryService, ServeResult
+from repro.serve.stats import LatencyTracker, ServiceStats
+
+__all__ = [
+    "BackgroundServer",
+    "BatcherStats",
+    "CacheStats",
+    "ClientTimeout",
+    "DeadlineExceeded",
+    "InvalidRequest",
+    "LatencyTracker",
+    "MISS",
+    "MicroBatcher",
+    "Overloaded",
+    "QueryServer",
+    "QueryService",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "ServeResult",
+    "ServiceClosed",
+    "ServiceStats",
+    "Unavailable",
+]

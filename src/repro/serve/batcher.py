@@ -1,0 +1,196 @@
+"""Micro-batching: coalesce requests arriving close together in time.
+
+Requests submitted within a small *window* of each other — and sharing a
+group key (for the query service: identical ``QueryParams``) — are executed
+as one batch through a single ``execute(key, items)`` call.  For Mendel
+that means one ``query_many`` pass over the simulated cluster instead of N
+independent passes, which is exactly how a serving tier amortises dispatch
+overhead under concurrent load.
+
+Flush policy: a group flushes when its oldest item has waited *window*
+seconds, or immediately once it reaches *max_batch* items.  Execution is
+dispatched to an executor when one is supplied (concurrent batches), else
+run inline on the flusher thread.
+
+Result convention: ``execute`` returns one result per item, in order; a
+result that is an ``Exception`` instance is delivered by *raising* it from
+that item's future, letting one batch mix successes and per-item failures
+(e.g. deadline-expired requests dropped at execution time).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.serve.errors import ServiceClosed
+
+
+@dataclass
+class BatcherStats:
+    batches: int = 0
+    items: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.items / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "largest_batch": self.largest_batch,
+            "mean_batch": round(self.mean_batch, 3),
+        }
+
+
+@dataclass
+class _Group:
+    key: str
+    flush_at: float
+    items: list = field(default_factory=list)
+    futures: list[Future] = field(default_factory=list)
+
+
+class MicroBatcher:
+    """Coalesces submitted items into keyed batches executed together.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(key, items) -> list[result]`` — one result per item, in
+        order (``Exception`` instances fail that item's future).
+    window:
+        Seconds a group's first item may wait for company before the group
+        flushes.  ``0`` flushes as soon as the flusher wakes (items that
+        race in before the wakeup still coalesce).
+    max_batch:
+        Flush a group immediately once it holds this many items.
+    executor:
+        Optional ``concurrent.futures`` executor for batch execution; when
+        ``None``, batches run inline on the flusher thread (serialised).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        execute,
+        window: float = 0.002,
+        max_batch: int = 8,
+        executor=None,
+        clock=time.monotonic,
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._execute = execute
+        self.window = window
+        self.max_batch = max_batch
+        self._executor = executor
+        self._clock = clock
+        self.stats = BatcherStats()
+        self._groups: dict[str, _Group] = {}
+        self._cond = threading.Condition()
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._run_flusher, name="repro-serve-batcher", daemon=True
+        )
+        self._flusher.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, key: str, item) -> Future:
+        """Queue *item* under *key*; the future resolves with its result."""
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("batcher is closed")
+            group = self._groups.get(key)
+            if group is None:
+                group = _Group(key=key, flush_at=self._clock() + self.window)
+                self._groups[key] = group
+            group.items.append(item)
+            group.futures.append(future)
+            self._cond.notify()
+        return future
+
+    def flush(self) -> None:
+        """Force every pending group to flush on the next flusher wakeup."""
+        with self._cond:
+            for group in self._groups.values():
+                group.flush_at = self._clock()
+            self._cond.notify()
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Stop accepting work; pending groups flush before the thread exits."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for group in self._groups.values():
+                group.flush_at = self._clock()
+            self._cond.notify()
+        self._flusher.join(timeout=timeout)
+
+    # -- flusher ---------------------------------------------------------------
+
+    def _run_flusher(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    if self._groups:
+                        now = self._clock()
+                        due = [
+                            key
+                            for key, group in self._groups.items()
+                            if group.flush_at <= now
+                            or len(group.items) >= self.max_batch
+                        ]
+                        if due:
+                            ready = [self._groups.pop(key) for key in due]
+                            break
+                        wake_in = min(
+                            group.flush_at for group in self._groups.values()
+                        ) - now
+                        self._cond.wait(timeout=max(wake_in, 0.0))
+                    elif self._closed:
+                        return
+                    else:
+                        self._cond.wait()
+            for group in ready:
+                self._dispatch(group)
+
+    def _dispatch(self, group: _Group) -> None:
+        self.stats.batches += 1
+        self.stats.items += len(group.items)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(group.items))
+        if self._executor is not None:
+            self._executor.submit(self._run_batch, group)
+        else:
+            self._run_batch(group)
+
+    def _run_batch(self, group: _Group) -> None:
+        try:
+            results = self._execute(group.key, group.items)
+            if len(results) != len(group.items):
+                raise RuntimeError(
+                    f"execute returned {len(results)} results for "
+                    f"{len(group.items)} items"
+                )
+        except Exception as exc:
+            for future in group.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, result in zip(group.futures, results):
+            if future.done():
+                continue
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+            else:
+                future.set_result(result)

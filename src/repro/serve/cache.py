@@ -1,0 +1,156 @@
+"""LRU + TTL result cache for the query-serving gateway.
+
+Keys are a canonical SHA-256 of ``(alphabet, query residues, QueryParams)``
+— see :func:`ResultCache.make_key` — so two requests that mean the same
+search share one entry regardless of query id or parameter spelling
+(``M="blosum62"`` vs ``"BLOSUM62"``, ``S=1`` vs ``S=1.0``).
+
+The cache is thread-safe, bounded (least-recently-used eviction), and
+optionally time-bounded (per-entry TTL).  ``invalidate()`` drops every
+entry at once; the service calls it whenever the underlying index version
+changes (sequence inserts, node additions), keeping cached reports coherent
+with the data they were computed from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.params import QueryParams
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
+#: legitimate cached value).
+MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Counter block surfaced through the STATS op."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _Entry:
+    value: object
+    expires_at: float = field(default=float("inf"))
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU cache with optional per-entry TTL.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries held; inserting past it evicts the least recently
+        used entry.
+    ttl:
+        Seconds an entry stays fresh; ``None`` means entries never expire.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl: float | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.stats = CacheStats()
+        self._clock = clock
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- keys -----------------------------------------------------------------
+
+    @staticmethod
+    def make_key(alphabet: str, seq_text: str, params: QueryParams) -> str:
+        """Canonical cache key for one search.
+
+        Query id and parameter spelling are deliberately excluded /
+        normalised: the key depends only on what is searched and how.
+        """
+        payload = f"{alphabet}|{seq_text}|{params.cache_key()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- operations -----------------------------------------------------------
+
+    def get(self, key: str):
+        """The cached value for *key*, or the :data:`MISS` sentinel."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return MISS
+            if entry.expires_at <= self._clock():
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.value
+
+    def put(self, key: str, value) -> None:
+        with self._lock:
+            expires = (
+                self._clock() + self.ttl if self.ttl is not None else float("inf")
+            )
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = _Entry(value=value, expires_at=expires)
+            self.stats.puts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (index rebuild / mutation); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += 1
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            out = self.stats.snapshot()
+            out["size"] = len(self._entries)
+            out["capacity"] = self.capacity
+            out["ttl"] = self.ttl
+            return out

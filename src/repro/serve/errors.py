@@ -1,0 +1,56 @@
+"""Structured serving errors.
+
+Every failure the gateway can hand back to a caller is a
+:class:`ServeError` subclass with a stable machine-readable ``code``.  The
+wire protocol maps them to ``{"ok": false, "error": <code>, "message": ...}``
+responses, so clients can branch on the code (shed vs. timed out vs. bad
+request) without parsing prose.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class for structured serving failures."""
+
+    code = "error"
+
+    def to_dict(self) -> dict:
+        """The wire form of this error."""
+        return {"error": self.code, "message": str(self)}
+
+
+class Overloaded(ServeError):
+    """Admission queue full: the request was shed without being executed."""
+
+    code = "overloaded"
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before a result was produced."""
+
+    code = "deadline_exceeded"
+
+
+class InvalidRequest(ServeError):
+    """The request could not be decoded or validated."""
+
+    code = "invalid_request"
+
+
+class ServiceClosed(ServeError):
+    """The service is shutting down and accepts no new work."""
+
+    code = "service_closed"
+
+
+class Unavailable(ServeError):
+    """The client could not reach the server (after retries)."""
+
+    code = "unavailable"
+
+
+class ClientTimeout(ServeError):
+    """The client gave up waiting for a response."""
+
+    code = "client_timeout"

@@ -1,0 +1,99 @@
+"""The JSON-lines wire protocol shared by the server and client.
+
+One request per line, one response per line, UTF-8 JSON objects:
+
+Requests::
+
+    {"op": "query", "id": "q1", "seq": "MKV...", "params": {"n": 8},
+     "deadline": 2.0, "top": 5}
+    {"op": "stats"}
+    {"op": "health"}
+
+Responses::
+
+    {"id": "q1", "ok": true, "cached": false, "query_id": "q1",
+     "alignments": [...], "stats": {...}}
+    {"id": "q1", "ok": false, "error": "overloaded", "message": "..."}
+
+``params`` accepts any :class:`~repro.core.params.QueryParams` field by
+name (Table I knobs plus the documented extensions); unknown names are an
+``invalid_request`` error rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.align.result import Alignment
+from repro.core.params import QueryParams
+from repro.core.query import QueryReport
+from repro.serve.errors import InvalidRequest
+
+#: Longest accepted request/response line (guards the asyncio reader too).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+_PARAM_FIELDS = {field.name for field in dataclasses.fields(QueryParams)}
+
+
+def encode(message: dict) -> bytes:
+    """One wire line for *message* (newline-terminated UTF-8 JSON)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a message dict; structured error on junk."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise InvalidRequest(f"undecodable request line: {exc}") from None
+    if not isinstance(message, dict):
+        raise InvalidRequest(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def params_from_dict(raw: dict | None) -> QueryParams:
+    """Build :class:`QueryParams` from wire knobs, validating strictly."""
+    if raw is None:
+        return QueryParams()
+    if not isinstance(raw, dict):
+        raise InvalidRequest(
+            f"params must be a JSON object, got {type(raw).__name__}"
+        )
+    unknown = sorted(set(raw) - _PARAM_FIELDS)
+    if unknown:
+        raise InvalidRequest(f"unknown query params: {', '.join(unknown)}")
+    try:
+        return QueryParams(**raw)
+    except (TypeError, ValueError) as exc:
+        raise InvalidRequest(f"bad query params: {exc}") from None
+
+
+def alignment_to_dict(alignment: Alignment) -> dict:
+    return {
+        "query_id": alignment.query_id,
+        "subject_id": alignment.subject_id,
+        "query_start": alignment.query_start,
+        "query_end": alignment.query_end,
+        "subject_start": alignment.subject_start,
+        "subject_end": alignment.subject_end,
+        "score": alignment.score,
+        "bit_score": alignment.bit_score,
+        "evalue": alignment.evalue,
+        "identity": alignment.identity,
+    }
+
+
+def report_to_dict(report: QueryReport, top: int | None = None) -> dict:
+    """The wire form of one query report (optionally truncated to *top*)."""
+    alignments = report.alignments
+    if top is not None:
+        alignments = alignments[: max(0, int(top))]
+    return {
+        "query_id": report.query_id,
+        "alignment_count": len(report.alignments),
+        "alignments": [alignment_to_dict(a) for a in alignments],
+        "stats": dataclasses.asdict(report.stats),
+    }

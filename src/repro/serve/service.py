@@ -1,0 +1,379 @@
+"""The concurrent query service: admission control, cache, micro-batching.
+
+:class:`QueryService` fronts one built :class:`~repro.core.framework.Mendel`
+deployment with the serving behaviours a library facade lacks:
+
+* a **thread pool** executes queries concurrently (batches dispatched to
+  workers, so distinct parameter groups overlap);
+* a **bounded admission queue** caps in-flight work — submissions past the
+  bound fast-fail with a structured :class:`~repro.serve.errors.Overloaded`
+  error instead of growing an unbounded backlog (load shedding);
+* **per-request deadlines** — requests that expire while queued are dropped
+  at execution time, and waiters get a structured
+  :class:`~repro.serve.errors.DeadlineExceeded`;
+* a **result cache** (LRU + TTL) short-circuits repeated searches, and is
+  invalidated whenever the index version changes (cache coherence with
+  ``insert`` / ``add_node``);
+* a **micro-batcher** coalesces near-simultaneous same-params requests into
+  one ``query_many`` pass over the simulated cluster.
+
+The service measures *wall-clock* latency (what a caller experiences on
+this process); each report still carries the paper's *simulated* cluster
+turnaround.  DESIGN.md discusses how the two layers compose.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+
+from repro.core.framework import Mendel
+from repro.core.params import QueryParams
+from repro.core.query import QueryReport
+from repro.seq.records import SequenceRecord
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import MISS, ResultCache
+from repro.serve.errors import (
+    DeadlineExceeded,
+    InvalidRequest,
+    Overloaded,
+    ServiceClosed,
+)
+from repro.serve.stats import ServiceStats
+
+
+@dataclass
+class ServeResult:
+    """What the service resolves a request's future with."""
+
+    report: QueryReport
+    cached: bool = False
+    #: wall-clock seconds from submission to completion (0 for cache hits)
+    latency: float = 0.0
+
+
+@dataclass
+class _Request:
+    record: SequenceRecord
+    params: QueryParams
+    cache_key: str
+    deadline_at: float | None
+    submitted_at: float = 0.0
+
+
+class QueryService:
+    """Concurrent, cached, load-shedding front end over one deployment.
+
+    Parameters
+    ----------
+    mendel:
+        The built deployment to serve.
+    max_workers:
+        Thread-pool width for batch execution.
+    max_pending:
+        Admission bound: maximum requests in flight (queued in the batcher
+        plus executing).  Submissions beyond it are shed.
+    batch_window / max_batch:
+        Micro-batching knobs (see :class:`~repro.serve.batcher.MicroBatcher`).
+    cache_capacity / cache_ttl:
+        Result-cache shape; ``cache_capacity=0`` disables caching.
+    default_deadline:
+        Deadline (seconds) applied when a request does not carry one;
+        ``None`` means no implicit deadline.
+    runner:
+        Override for the batch execution callable
+        (``runner(records, params) -> list[QueryReport]``); defaults to
+        ``mendel.query_many``.  A test seam, and the hook for serving
+        alternative backends.
+    """
+
+    def __init__(
+        self,
+        mendel: Mendel,
+        *,
+        max_workers: int = 4,
+        max_pending: int = 64,
+        batch_window: float = 0.002,
+        max_batch: int = 8,
+        cache_capacity: int = 1024,
+        cache_ttl: float | None = None,
+        default_deadline: float | None = None,
+        runner=None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.mendel = mendel
+        self.max_pending = max_pending
+        self.default_deadline = default_deadline
+        self.stats = ServiceStats(clock=clock)
+        self.cache = (
+            ResultCache(capacity=cache_capacity, ttl=cache_ttl, clock=clock)
+            if cache_capacity
+            else None
+        )
+        self._runner = runner or mendel.query_many
+        self._clock = clock
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._batcher = MicroBatcher(
+            self._execute_batch,
+            window=batch_window,
+            max_batch=max_batch,
+            executor=self._pool,
+            clock=clock,
+        )
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._seen_version = mendel.index_version
+        self._closed = False
+
+    # -- submission ------------------------------------------------------------
+
+    def submit_text(
+        self,
+        text: str,
+        params: QueryParams | None = None,
+        query_id: str = "query",
+        deadline: float | None = None,
+    ) -> Future:
+        """Encode *text* under the index alphabet and submit it."""
+        try:
+            record = SequenceRecord.from_text(
+                query_id, text, self.mendel.index.alphabet
+            )
+        except (ValueError, KeyError) as exc:
+            self.stats.inc("received")
+            self.stats.inc("invalid")
+            return _failed(InvalidRequest(str(exc)))
+        return self.submit(record, params, deadline=deadline)
+
+    def submit(
+        self,
+        record: SequenceRecord,
+        params: QueryParams | None = None,
+        deadline: float | None = None,
+    ) -> Future:
+        """Admit one query; returns a future resolving to :class:`ServeResult`.
+
+        Structured failures (:class:`Overloaded`, :class:`DeadlineExceeded`,
+        :class:`InvalidRequest`, :class:`ServiceClosed`) are delivered by
+        raising from the future, never by crashing the service.
+        """
+        self.stats.inc("received")
+        if self._closed:
+            return _failed(ServiceClosed("service is closed"))
+        params = params or QueryParams()
+        problem = self._validate(record)
+        if problem is not None:
+            self.stats.inc("invalid")
+            return _failed(problem)
+
+        self._refresh_cache_epoch()
+        key = ResultCache.make_key(
+            self.mendel.index.alphabet.name, record.text, params
+        )
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not MISS:
+                return _done(
+                    ServeResult(report=_replay(hit, record.seq_id), cached=True)
+                )
+
+        with self._lock:
+            if self._inflight >= self.max_pending:
+                self.stats.inc("shed")
+                return _failed(
+                    Overloaded(
+                        f"admission queue full ({self._inflight} in flight, "
+                        f"bound {self.max_pending})"
+                    )
+                )
+            self._inflight += 1
+
+        deadline = deadline if deadline is not None else self.default_deadline
+        now = self._clock()
+        request = _Request(
+            record=record,
+            params=params,
+            cache_key=key,
+            deadline_at=(now + deadline) if deadline is not None else None,
+            submitted_at=now,
+        )
+        try:
+            future = self._batcher.submit(params.cache_key(), request)
+        except ServiceClosed as exc:
+            with self._lock:
+                self._inflight -= 1
+            return _failed(exc)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def query(
+        self,
+        record: SequenceRecord,
+        params: QueryParams | None = None,
+        deadline: float | None = None,
+    ) -> ServeResult:
+        """Synchronous submit-and-wait; raises structured errors directly."""
+        deadline = deadline if deadline is not None else self.default_deadline
+        future = self.submit(record, params, deadline=deadline)
+        try:
+            return future.result(timeout=deadline)
+        except FutureTimeoutError:
+            self.stats.inc("timeouts")
+            raise DeadlineExceeded(
+                f"no result within the {deadline}s deadline"
+            ) from None
+
+    def query_text(
+        self,
+        text: str,
+        params: QueryParams | None = None,
+        query_id: str = "query",
+        deadline: float | None = None,
+    ) -> ServeResult:
+        deadline = deadline if deadline is not None else self.default_deadline
+        future = self.submit_text(text, params, query_id=query_id, deadline=deadline)
+        try:
+            return future.result(timeout=deadline)
+        except FutureTimeoutError:
+            self.stats.inc("timeouts")
+            raise DeadlineExceeded(
+                f"no result within the {deadline}s deadline"
+            ) from None
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute_batch(self, key: str, requests: list[_Request]) -> list:
+        """Run one coalesced batch; one result (or exception) per request."""
+        now = self._clock()
+        out: list = [None] * len(requests)
+        live: list[tuple[int, _Request]] = []
+        for i, request in enumerate(requests):
+            if request.deadline_at is not None and now > request.deadline_at:
+                self.stats.inc("timeouts")
+                waited = now - request.submitted_at
+                out[i] = DeadlineExceeded(
+                    f"deadline expired after {waited * 1e3:.1f} ms in queue"
+                )
+            else:
+                live.append((i, request))
+        if not live:
+            return out
+        try:
+            reports = self._runner(
+                [request.record for _, request in live], live[0][1].params
+            )
+        except Exception as exc:  # backend failure: fail each live request
+            self.stats.inc("errors", by=len(live))
+            for i, _request in live:
+                out[i] = exc
+            return out
+        done = self._clock()
+        for (i, request), report in zip(live, reports):
+            if self.cache is not None:
+                self.cache.put(request.cache_key, report)
+            latency = done - request.submitted_at
+            self.stats.record_latency(latency)
+            out[i] = ServeResult(report=report, cached=False, latency=latency)
+        return out
+
+    # -- lifecycle & introspection --------------------------------------------
+
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def _validate(self, record: SequenceRecord) -> InvalidRequest | None:
+        index = self.mendel.index
+        if record.alphabet.name != index.alphabet.name:
+            return InvalidRequest(
+                f"query alphabet {record.alphabet.name!r} does not match the "
+                f"indexed alphabet {index.alphabet.name!r}"
+            )
+        if len(record) < index.segment_length:
+            return InvalidRequest(
+                f"query length {len(record)} is shorter than the indexed "
+                f"segment length {index.segment_length}"
+            )
+        return None
+
+    def _refresh_cache_epoch(self) -> None:
+        """Invalidate the cache when the index has mutated since last seen."""
+        if self.cache is None:
+            return
+        version = self.mendel.index_version
+        with self._lock:
+            if version != self._seen_version:
+                self._seen_version = version
+                self.cache.invalidate()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def snapshot(self) -> dict:
+        """Everything the STATS op reports."""
+        out = self.stats.snapshot()
+        out["queue_depth"] = self.queue_depth
+        out["max_pending"] = self.max_pending
+        out["index_version"] = self.mendel.index_version
+        out["cache"] = self.cache.snapshot() if self.cache is not None else None
+        out["batcher"] = self._batcher.stats.snapshot()
+        return out
+
+    def health(self) -> dict:
+        return {
+            "status": "closed" if self._closed else "ok",
+            "queue_depth": self.queue_depth,
+            "max_pending": self.max_pending,
+            "index_version": self.mendel.index_version,
+        }
+
+    def close(self) -> None:
+        """Stop admitting work, flush pending batches, release the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _replay(report: QueryReport, query_id: str) -> QueryReport:
+    """A cache hit re-addressed to the requesting query id.
+
+    Alignments keep the original query's id (they are frozen and shared);
+    only the report envelope is re-labelled.
+    """
+    return QueryReport(
+        query_id=query_id,
+        alignments=report.alignments,
+        stats=report.stats,
+        trace=report.trace,
+    )
+
+
+def _failed(error: Exception) -> Future:
+    future: Future = Future()
+    future.set_exception(error)
+    return future
+
+
+def _done(result: ServeResult) -> Future:
+    future: Future = Future()
+    future.set_result(result)
+    return future

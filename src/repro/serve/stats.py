@@ -1,0 +1,97 @@
+"""Service-level accounting: request counters and latency percentiles.
+
+Everything here measures *wall-clock service behaviour* (queueing, batching,
+cache hits), which is distinct from the *simulated* turnaround carried
+inside each :class:`~repro.core.query.QueryReport` — see DESIGN.md for how
+the two clocks layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+class LatencyTracker:
+    """Streaming latency summary over a bounded reservoir of recent samples.
+
+    Exact count / mean / max over the whole stream; percentiles over the
+    last *reservoir* samples (recent-window percentiles are what you watch
+    on a serving dashboard anyway).
+    """
+
+    def __init__(self, reservoir: int = 1024) -> None:
+        if reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._recent: deque[float] = deque(maxlen=reservoir)
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        self._recent.append(seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (0..100) of the recent window; 0 if empty."""
+        if not self._recent:
+            return 0.0
+        ordered = sorted(self._recent)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1e3, 3),
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p90_ms": round(self.percentile(90) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
+            "max_ms": round(self.max * 1e3, 3),
+        }
+
+
+class ServiceStats:
+    """Thread-safe counters for the gateway, surfaced through STATS."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started_at = clock()
+        self.received = 0
+        self.completed = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.invalid = 0
+        self.errors = 0
+        self.latency = LatencyTracker()
+
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + by)
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self.latency.record(seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_s": round(self._clock() - self.started_at, 3),
+                "received": self.received,
+                "completed": self.completed,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "invalid": self.invalid,
+                "errors": self.errors,
+                "latency": self.latency.snapshot(),
+            }

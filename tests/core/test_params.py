@@ -106,3 +106,42 @@ class TestMendelConfig:
             MendelConfig(bucket_capacity=0)
         with pytest.raises(ValueError, match="bucket"):
             MendelConfig(prefix_bucket_capacity=0)
+
+
+class TestCacheKey:
+    def test_stable_across_equal_instances(self):
+        assert QueryParams(n=6).cache_key() == QueryParams(n=6).cache_key()
+
+    def test_int_float_spelling_canonicalised(self):
+        # S validates as "number": S=1 and S=1.0 spell the same search.
+        assert QueryParams(S=1).cache_key() == QueryParams(S=1.0).cache_key()
+        assert QueryParams(E=10).cache_key() == QueryParams(E=10.0).cache_key()
+
+    def test_matrix_name_case_insensitive(self):
+        assert (
+            QueryParams(M="blosum62").cache_key()
+            == QueryParams(M="BLOSUM62").cache_key()
+        )
+
+    def test_every_field_distinguishes(self):
+        base = QueryParams().cache_key()
+        assert QueryParams(k=2).cache_key() != base
+        assert QueryParams(n=3).cache_key() != base
+        assert QueryParams(i=0.7).cache_key() != base
+        assert QueryParams(c=0.7).cache_key() != base
+        assert QueryParams(M="PAM250").cache_key() != base
+        assert QueryParams(S=2.0).cache_key() != base
+        assert QueryParams(l=4).cache_key() != base
+        assert QueryParams(E=1.0).cache_key() != base
+        assert QueryParams(tolerance=0.5).cache_key() != base
+        assert QueryParams(x_drop=30.0).cache_key() != base
+        assert QueryParams(max_gapped_per_subject=2).cache_key() != base
+        assert QueryParams(search_radius_scale=0.5).cache_key() != base
+
+    def test_covers_every_declared_field(self):
+        # A new QueryParams field must show up in the key automatically.
+        import dataclasses
+
+        key = QueryParams().cache_key()
+        for spec in dataclasses.fields(QueryParams):
+            assert f"{spec.name}=" in key

@@ -89,3 +89,33 @@ class TestSequenceSet:
         records = [SequenceRecord.from_text("x", "AC", "dna")]
         s = SequenceSet(alphabet=DNA, records=records)
         assert s["x"].text == "AC"
+
+
+class TestRecordEquality:
+    """The dataclass-generated __eq__ raised on multi-residue arrays; the
+    explicit __eq__ compares by value (and records stay unhashable)."""
+
+    def test_equal_records(self):
+        a = SequenceRecord.from_text("x", "ACGTACGT", "dna")
+        b = SequenceRecord.from_text("x", "ACGTACGT", "dna")
+        assert a == b
+        assert not (a != b)
+
+    def test_unequal_codes(self):
+        a = SequenceRecord.from_text("x", "ACGTACGT", "dna")
+        b = SequenceRecord.from_text("x", "ACGTACGA", "dna")
+        assert a != b
+
+    def test_unequal_id_or_alphabet(self):
+        a = SequenceRecord.from_text("x", "ACGT", "dna")
+        assert a != SequenceRecord.from_text("y", "ACGT", "dna")
+        assert a != SequenceRecord.from_text("x", "ACGT", "protein")
+
+    def test_other_types(self):
+        a = SequenceRecord.from_text("x", "ACGT", "dna")
+        assert a != "ACGT"
+
+    def test_unhashable(self):
+        a = SequenceRecord.from_text("x", "ACGT", "dna")
+        with pytest.raises(TypeError):
+            hash(a)

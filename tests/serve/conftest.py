@@ -1,0 +1,26 @@
+"""Serving-layer fixtures: a shared service over the session deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryParams
+
+
+@pytest.fixture(scope="module")
+def service(mendel):
+    """A read-only :class:`QueryService` over the session deployment."""
+    svc = mendel.service(max_workers=4, max_pending=64, batch_window=0.002)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="session")
+def probe_texts(protein_db) -> list[str]:
+    """Six valid query strings (slices of database sequences)."""
+    return [record.text[:60] for record in protein_db.records[:6]]
+
+
+@pytest.fixture(scope="session")
+def serve_params() -> QueryParams:
+    return QueryParams(k=4, n=4, i=0.6, c=0.4)

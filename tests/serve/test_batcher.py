@@ -1,0 +1,158 @@
+"""MicroBatcher: coalescing, flush-on-deadline, max-batch, error paths."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.errors import ServiceClosed
+
+
+class Recorder:
+    """An execute fn that records every batch it runs."""
+
+    def __init__(self, result=lambda item: item * 10, delay: float = 0.0):
+        self.batches: list[tuple[str, list]] = []
+        self._result = result
+        self._delay = delay
+        self.lock = threading.Lock()
+
+    def __call__(self, key, items):
+        if self._delay:
+            time.sleep(self._delay)
+        with self.lock:
+            self.batches.append((key, list(items)))
+        return [self._result(item) for item in items]
+
+
+class TestCoalescing:
+    def test_burst_coalesces_into_one_batch(self):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, window=0.1, max_batch=16)
+        try:
+            futures = [batcher.submit("p", i) for i in range(5)]
+            assert [f.result(timeout=5) for f in futures] == [0, 10, 20, 30, 40]
+            assert len(recorder.batches) == 1
+            assert recorder.batches[0] == ("p", [0, 1, 2, 3, 4])
+            assert batcher.stats.batches == 1
+            assert batcher.stats.items == 5
+            assert batcher.stats.largest_batch == 5
+        finally:
+            batcher.close()
+
+    def test_distinct_keys_do_not_mix(self):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, window=0.05, max_batch=16)
+        try:
+            fa = batcher.submit("a", 1)
+            fb = batcher.submit("b", 2)
+            assert fa.result(timeout=5) == 10
+            assert fb.result(timeout=5) == 20
+            keys = sorted(key for key, _ in recorder.batches)
+            assert keys == ["a", "b"]
+        finally:
+            batcher.close()
+
+    def test_flush_on_deadline_single_item(self):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, window=0.03, max_batch=16)
+        try:
+            start = time.monotonic()
+            future = batcher.submit("p", 7)
+            assert future.result(timeout=5) == 70
+            elapsed = time.monotonic() - start
+            # The lone item waited for the window, then flushed as a
+            # batch of one (it never reached max_batch).
+            assert recorder.batches == [("p", [7])]
+            assert elapsed >= 0.02
+        finally:
+            batcher.close()
+
+    def test_max_batch_flushes_early(self):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, window=30.0, max_batch=3)
+        try:
+            futures = [batcher.submit("p", i) for i in range(3)]
+            # window is far away; only the size trigger can flush this.
+            assert [f.result(timeout=5) for f in futures] == [0, 10, 20]
+            assert recorder.batches == [("p", [0, 1, 2])]
+        finally:
+            batcher.close()
+
+    def test_explicit_flush(self):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, window=30.0, max_batch=16)
+        try:
+            future = batcher.submit("p", 1)
+            batcher.flush()
+            assert future.result(timeout=5) == 10
+        finally:
+            batcher.close()
+
+
+class TestErrors:
+    def test_execute_exception_fails_all_futures(self):
+        def boom(key, items):
+            raise RuntimeError("backend down")
+
+        batcher = MicroBatcher(boom, window=0.0, max_batch=4)
+        try:
+            futures = [batcher.submit("p", i) for i in range(2)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="backend down"):
+                    future.result(timeout=5)
+        finally:
+            batcher.close()
+
+    def test_exception_instance_result_fails_that_item_only(self):
+        def mixed(key, items):
+            return [
+                ValueError(f"bad {item}") if item % 2 else item * 10
+                for item in items
+            ]
+
+        batcher = MicroBatcher(mixed, window=0.05, max_batch=16)
+        try:
+            futures = [batcher.submit("p", i) for i in range(4)]
+            assert futures[0].result(timeout=5) == 0
+            assert futures[2].result(timeout=5) == 20
+            with pytest.raises(ValueError, match="bad 1"):
+                futures[1].result(timeout=5)
+            with pytest.raises(ValueError, match="bad 3"):
+                futures[3].result(timeout=5)
+        finally:
+            batcher.close()
+
+    def test_result_length_mismatch_fails_batch(self):
+        batcher = MicroBatcher(lambda key, items: [], window=0.0, max_batch=4)
+        try:
+            future = batcher.submit("p", 1)
+            with pytest.raises(RuntimeError, match="returned 0 results"):
+                future.result(timeout=5)
+        finally:
+            batcher.close()
+
+
+class TestLifecycle:
+    def test_close_flushes_pending_then_rejects(self):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, window=30.0, max_batch=16)
+        future = batcher.submit("p", 3)
+        batcher.close()
+        assert future.result(timeout=5) == 30
+        with pytest.raises(ServiceClosed):
+            batcher.submit("p", 4)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(Recorder(), window=0.0, max_batch=4)
+        batcher.close()
+        batcher.close()
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(Recorder(), window=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(Recorder(), max_batch=0)

@@ -1,0 +1,136 @@
+"""ResultCache: hit/miss accounting, TTL expiry, LRU eviction, keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryParams
+from repro.serve.cache import MISS, ResultCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is MISS
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.puts == 1
+        assert len(cache) == 1
+
+    def test_none_is_a_cacheable_value(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", None)
+        assert cache.get("a") is None
+
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(capacity=4, ttl=0)
+
+
+class TestTTL:
+    def test_entry_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is MISS
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=None, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is MISS
+        assert cache.get("b") == 2
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now least recent
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+
+    def test_overwrite_same_key_does_not_evict(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 9)
+        assert cache.get("a") == 9
+        assert cache.get("b") == 2
+        assert cache.stats.evictions == 0
+
+
+class TestInvalidate:
+    def test_invalidate_drops_everything(self):
+        cache = ResultCache(capacity=8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.get("a") is MISS
+        assert cache.stats.invalidations == 1
+
+    def test_snapshot_fields(self):
+        cache = ResultCache(capacity=8, ttl=5.0)
+        cache.put("a", 1)
+        snap = cache.snapshot()
+        assert snap["size"] == 1
+        assert snap["capacity"] == 8
+        assert snap["ttl"] == 5.0
+        assert set(snap) >= {"hits", "misses", "evictions", "expirations"}
+
+
+class TestKeys:
+    def test_same_search_same_key(self):
+        k1 = ResultCache.make_key("protein", "MKVA", QueryParams(S=1))
+        k2 = ResultCache.make_key("protein", "MKVA", QueryParams(S=1.0))
+        assert k1 == k2
+
+    def test_matrix_name_case_insensitive(self):
+        k1 = ResultCache.make_key("protein", "MKVA", QueryParams(M="BLOSUM62"))
+        k2 = ResultCache.make_key("protein", "MKVA", QueryParams(M="blosum62"))
+        assert k1 == k2
+
+    def test_different_search_different_key(self):
+        base = ResultCache.make_key("protein", "MKVA", QueryParams())
+        assert ResultCache.make_key("protein", "MKVL", QueryParams()) != base
+        assert ResultCache.make_key("protein", "MKVA", QueryParams(n=4)) != base
+        assert ResultCache.make_key("dna", "MKVA", QueryParams()) != base

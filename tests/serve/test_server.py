@@ -1,0 +1,264 @@
+"""End-to-end: asyncio TCP server + blocking clients over one deployment.
+
+The acceptance scenario: >= 8 concurrent clients through the gateway
+against one ``Mendel`` deployment, asserting identical results to direct
+``Mendel.query()``, a non-zero cache hit rate on repeated queries, and
+structured (non-crash) errors for shed and timed-out requests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import QueryParams
+from repro.serve.client import ServeClient
+from repro.serve.errors import Unavailable
+from repro.serve.server import BackgroundServer
+
+
+@pytest.fixture(scope="module")
+def server(service):
+    with BackgroundServer(service) as running:
+        yield running
+
+
+def wire_params(params: QueryParams) -> dict:
+    return {"k": params.k, "n": params.n, "i": params.i, "c": params.c}
+
+
+class TestEndToEnd:
+    def test_eight_concurrent_clients(self, server, service, mendel,
+                                      probe_texts, serve_params):
+        """The headline scenario: 8 clients, 3 requests each, shared hot set."""
+        n_clients = 8
+        params = wire_params(serve_params)
+        responses: dict[int, list[dict]] = {}
+        failures: list[BaseException] = []
+
+        def client_run(client_id: int) -> None:
+            try:
+                out = []
+                with ServeClient(server.host, server.port, timeout=120) as c:
+                    for j in range(3):
+                        text = probe_texts[(client_id + j) % len(probe_texts)]
+                        out.append(
+                            c.query(text, params=params,
+                                    query_id=f"c{client_id}.{j}")
+                        )
+                responses[client_id] = out
+            except BaseException as exc:  # surfaced in the main thread
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=client_run, args=(i,))
+            for i in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not failures, failures
+        assert len(responses) == n_clients
+
+        # Every request succeeded with a well-formed report.
+        flat = [r for out in responses.values() for r in out]
+        assert len(flat) == n_clients * 3
+        assert all(r["ok"] for r in flat)
+
+        # Identical results to direct Mendel.query() for every probe text.
+        for idx, text in enumerate(probe_texts):
+            direct = mendel.query_text(text, serve_params, f"direct{idx}")
+            expected = [
+                (a.subject_id, a.query_start, a.query_end,
+                 pytest.approx(a.score))
+                for a in direct.alignments
+            ]
+            served = [
+                r for cid, out in responses.items() for j, r in enumerate(out)
+                if probe_texts[(cid + j) % len(probe_texts)] == text
+            ]
+            assert served, f"no client exercised probe {idx}"
+            for response in served:
+                got = [
+                    (a["subject_id"], a["query_start"], a["query_end"],
+                     a["score"])
+                    for a in response["alignments"]
+                ]
+                assert got == expected
+
+        # 24 requests over 6 distinct searches: repeats must hit the cache.
+        assert sum(r["cached"] for r in flat) > 0
+        stats = ServeClient(server.host, server.port).stats()
+        assert stats["ok"]
+        assert stats["stats"]["cache"]["hit_rate"] > 0
+        assert stats["stats"]["cache"]["hits"] > 0
+
+    def test_stats_and_health_ops(self, server):
+        with ServeClient(server.host, server.port) as client:
+            health = client.health()
+            assert health["ok"] and health["status"] == "ok"
+            stats = client.stats()
+            assert stats["ok"]
+            assert {"received", "completed", "latency", "cache",
+                    "batcher"} <= set(stats["stats"])
+
+    def test_cached_repeat_same_connection(self, server, probe_texts,
+                                           serve_params):
+        params = wire_params(serve_params)
+        with ServeClient(server.host, server.port, timeout=120) as client:
+            first = client.query(probe_texts[0], params=params, query_id="r1")
+            second = client.query(probe_texts[0], params=params, query_id="r2")
+        assert first["ok"] and second["ok"]
+        assert second["cached"]
+        assert second["query_id"] == "r2"
+        assert [a["subject_id"] for a in second["alignments"]] == [
+            a["subject_id"] for a in first["alignments"]
+        ]
+
+    def test_top_truncation(self, server, probe_texts, serve_params):
+        with ServeClient(server.host, server.port, timeout=120) as client:
+            response = client.query(
+                probe_texts[0], params=wire_params(serve_params), top=1
+            )
+        assert response["ok"]
+        assert len(response["alignments"]) <= 1
+        assert response["alignment_count"] >= len(response["alignments"])
+
+
+class TestStructuredErrors:
+    def test_timeout_is_structured(self, mendel, probe_texts, serve_params):
+        release = threading.Event()
+
+        def stuck_runner(records, params):
+            release.wait(timeout=30)
+            return mendel.query_many(records, params)
+
+        service = mendel.service(max_workers=1, batch_window=0.0,
+                                 cache_capacity=0, runner=stuck_runner)
+        try:
+            with BackgroundServer(service) as server:
+                with ServeClient(server.host, server.port, timeout=30) as c:
+                    response = c.query(
+                        probe_texts[0], params=wire_params(serve_params),
+                        deadline=0.05, query_id="late",
+                    )
+            assert response["ok"] is False
+            assert response["error"] == "deadline_exceeded"
+            assert response["id"] == "late"
+        finally:
+            release.set()
+            service.close()
+
+    def test_shed_is_structured(self, mendel, probe_texts, serve_params):
+        release = threading.Event()
+
+        def slow_runner(records, params):
+            release.wait(timeout=30)
+            return mendel.query_many(records, params)
+
+        service = mendel.service(max_workers=1, max_pending=1, max_batch=1,
+                                 batch_window=0.0, cache_capacity=0,
+                                 runner=slow_runner)
+        try:
+            with BackgroundServer(service) as server:
+                hold = ServeClient(server.host, server.port, timeout=120)
+                burst = ServeClient(server.host, server.port, timeout=30)
+                blocker: list[dict] = []
+                t = threading.Thread(
+                    target=lambda: blocker.append(
+                        hold.query(probe_texts[0],
+                                   params=wire_params(serve_params),
+                                   query_id="hold")
+                    )
+                )
+                t.start()
+                # Wait until the blocker occupies the single admission slot.
+                deadline = threading.Event()
+                for _ in range(200):
+                    if service.queue_depth >= 1:
+                        break
+                    deadline.wait(0.01)
+                assert service.queue_depth >= 1
+                shed = burst.query(probe_texts[1],
+                                   params=wire_params(serve_params),
+                                   query_id="shed")
+                assert shed["ok"] is False
+                assert shed["error"] == "overloaded"
+                release.set()
+                t.join(timeout=60)
+                assert blocker and blocker[0]["ok"]
+                hold.close()
+                burst.close()
+        finally:
+            release.set()
+            service.close()
+
+    def test_invalid_requests_are_structured(self, server):
+        with ServeClient(server.host, server.port) as client:
+            bad_op = client.request({"op": "explode", "id": "x"})
+            assert bad_op["ok"] is False and bad_op["error"] == "invalid_request"
+            no_seq = client.request({"op": "query", "id": "y"})
+            assert no_seq["ok"] is False and no_seq["error"] == "invalid_request"
+            bad_params = client.query("MKVAWLAMKVAWLA",
+                                      params={"bogus_knob": 1})
+            assert bad_params["error"] == "invalid_request"
+            assert "bogus_knob" in bad_params["message"]
+            bad_residues = client.query("!!!!!!!!!!")
+            assert bad_residues["error"] == "invalid_request"
+
+    def test_junk_line_is_structured(self, server):
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10) as raw:
+            raw.sendall(b"this is not json\n")
+            data = b""
+            while b"\n" not in data:
+                chunk = raw.recv(65536)
+                assert chunk, "server closed without responding"
+                data += chunk
+        response = json.loads(data.split(b"\n", 1)[0])
+        assert response["ok"] is False
+        assert response["error"] == "invalid_request"
+
+
+class TestClientRetry:
+    def test_unreachable_port_backs_off_then_fails(self):
+        sleeps: list[float] = []
+        # Reserve a port and close it so nothing listens there.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServeClient("127.0.0.1", port, timeout=0.2, retries=3,
+                             backoff=0.01, sleep=sleeps.append)
+        with pytest.raises(Unavailable, match="after 4 attempts"):
+            client.connect()
+        assert sleeps == [0.01, 0.02, 0.04]
+
+    def test_retry_succeeds_once_server_appears(self, service):
+        started: dict = {}
+
+        def sleep_then_start(_delay: float) -> None:
+            # First backoff: bring the server up, then let the retry hit it.
+            if "server" not in started:
+                started["server"] = BackgroundServer(
+                    service, host="127.0.0.1", port=started["port"]
+                ).start()
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        started["port"] = port
+        client = ServeClient("127.0.0.1", port, timeout=10, retries=5,
+                             backoff=0.01, sleep=sleep_then_start)
+        try:
+            client.connect()
+            assert client.health()["ok"]
+        finally:
+            client.close()
+            if "server" in started:
+                started["server"].stop()

@@ -1,0 +1,204 @@
+"""QueryService: correctness vs. the facade, caching, coherence, shedding,
+deadlines, structured failure modes."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import wait
+
+import pytest
+
+from repro import Mendel, MendelConfig, QueryParams
+from repro.seq import PROTEIN, random_set
+from repro.serve.errors import (
+    DeadlineExceeded,
+    InvalidRequest,
+    Overloaded,
+    ServiceClosed,
+)
+
+
+def alignment_keys(report):
+    return [
+        (a.subject_id, a.query_start, a.query_end, round(a.score, 6))
+        for a in report.alignments
+    ]
+
+
+class TestResults:
+    def test_matches_direct_query(self, service, mendel, probe_texts,
+                                  serve_params):
+        direct = mendel.query_text(probe_texts[0], serve_params, "q0")
+        served = service.query_text(probe_texts[0], serve_params, "q0")
+        assert not served.cached
+        assert alignment_keys(served.report) == alignment_keys(direct)
+        assert served.report.query_id == "q0"
+
+    def test_concurrent_submits_all_resolve(self, service, probe_texts,
+                                            serve_params):
+        futures = [
+            service.submit_text(text, serve_params, f"q{i}")
+            for i, text in enumerate(probe_texts)
+        ]
+        done, pending = wait(futures, timeout=60)
+        assert not pending
+        for future in done:
+            assert future.result().report is not None
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, service, probe_texts):
+        # Params distinct from every other test in this module, so the
+        # first request is guaranteed cold on the shared service.
+        params = QueryParams(k=4, n=5, i=0.6, c=0.4)
+        first = service.query_text(probe_texts[1], params, "warm")
+        again = service.query_text(probe_texts[1], params, "warm2")
+        assert not first.cached
+        assert again.cached
+        assert again.report.query_id == "warm2"
+        assert alignment_keys(again.report) == alignment_keys(first.report)
+        assert service.cache.stats.hits >= 1
+
+    def test_insert_invalidates_cache(self):
+        db = random_set(count=12, length=120, alphabet=PROTEIN, rng=5,
+                        id_prefix="inv")
+        mendel = Mendel.build(
+            db, MendelConfig(group_count=2, group_size=2, sample_size=64,
+                             seed=3)
+        )
+        extra = random_set(count=2, length=120, alphabet=PROTEIN, rng=6,
+                           id_prefix="new")
+        with mendel.service(max_workers=2, batch_window=0.0) as service:
+            text = db.records[0].text[:50]
+            service.query_text(text)
+            assert service.query_text(text).cached
+            version_before = mendel.index_version
+            mendel.insert(extra)
+            assert mendel.index_version == version_before + 1
+            # Same search again: the stale entry must not be served.
+            result = service.query_text(text)
+            assert not result.cached
+            assert service.cache.stats.invalidations == 1
+
+    def test_cache_disabled(self, mendel, probe_texts, serve_params):
+        with mendel.service(max_workers=1, cache_capacity=0,
+                            batch_window=0.0) as service:
+            service.query_text(probe_texts[0], serve_params)
+            assert not service.query_text(probe_texts[0], serve_params).cached
+
+
+class TestAdmission:
+    def test_load_shedding_when_queue_full(self, mendel, probe_texts,
+                                           serve_params):
+        release = threading.Event()
+
+        def slow_runner(records, params):
+            release.wait(timeout=30)
+            return mendel.query_many(records, params)
+
+        with mendel.service(
+            max_workers=1, max_pending=2, batch_window=0.0, max_batch=1,
+            cache_capacity=0, runner=slow_runner,
+        ) as service:
+            admitted = [
+                service.submit_text(probe_texts[i], serve_params, f"a{i}")
+                for i in range(2)
+            ]
+            shed = service.submit_text(probe_texts[2], serve_params, "shed")
+            with pytest.raises(Overloaded, match="admission queue full"):
+                shed.result(timeout=5)
+            assert service.stats.shed == 1
+            release.set()
+            for future in admitted:
+                assert future.result(timeout=60).report is not None
+            assert service.stats.completed == 2
+
+    def test_admission_slots_recycle(self, service, probe_texts, serve_params):
+        # After previous work drains, the queue depth returns to zero.
+        service.query_text(probe_texts[3], serve_params)
+        deadline = time.monotonic() + 10
+        while service.queue_depth and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service.queue_depth == 0
+
+
+class TestDeadlines:
+    def test_expired_in_queue_returns_structured_timeout(self, mendel,
+                                                         probe_texts,
+                                                         serve_params):
+        # Window far longer than the deadline: the request always expires
+        # before the batch executes.
+        with mendel.service(max_workers=1, batch_window=0.2,
+                            cache_capacity=0) as service:
+            future = service.submit_text(
+                probe_texts[0], serve_params, deadline=0.01
+            )
+            with pytest.raises(DeadlineExceeded, match="deadline expired"):
+                future.result(timeout=10)
+            assert service.stats.timeouts == 1
+
+    def test_sync_wait_timeout(self, mendel, probe_texts, serve_params):
+        release = threading.Event()
+
+        def stuck_runner(records, params):
+            release.wait(timeout=30)
+            return mendel.query_many(records, params)
+
+        with mendel.service(max_workers=1, batch_window=0.0,
+                            cache_capacity=0, runner=stuck_runner) as service:
+            with pytest.raises(DeadlineExceeded):
+                service.query_text(probe_texts[0], serve_params, deadline=0.05)
+            release.set()
+
+
+class TestValidation:
+    def test_alphabet_mismatch_is_invalid(self, service, serve_params):
+        future = service.submit_text("ACGTACGTACGT!!", serve_params)
+        with pytest.raises(InvalidRequest):
+            future.result(timeout=5)
+        assert service.stats.invalid >= 1
+
+    def test_short_query_is_invalid(self, service, serve_params):
+        future = service.submit_text("MK", serve_params)
+        with pytest.raises(InvalidRequest, match="shorter than"):
+            future.result(timeout=5)
+
+    def test_runner_failure_is_contained(self, mendel, probe_texts,
+                                         serve_params):
+        def broken_runner(records, params):
+            raise RuntimeError("cluster on fire")
+
+        with mendel.service(max_workers=1, batch_window=0.0,
+                            cache_capacity=0, runner=broken_runner) as service:
+            future = service.submit_text(probe_texts[0], serve_params)
+            with pytest.raises(RuntimeError, match="cluster on fire"):
+                future.result(timeout=10)
+            assert service.stats.errors == 1
+            # The service survives: a fresh healthy submit still works.
+            assert service.health()["status"] == "ok"
+
+
+class TestLifecycleAndStats:
+    def test_closed_service_rejects(self, mendel, probe_texts):
+        service = mendel.service(max_workers=1)
+        service.close()
+        future = service.submit_text(probe_texts[0])
+        with pytest.raises(ServiceClosed):
+            future.result(timeout=5)
+
+    def test_snapshot_shape(self, service, probe_texts, serve_params):
+        service.query_text(probe_texts[4], serve_params)
+        snap = service.snapshot()
+        assert snap["received"] >= 1
+        assert snap["completed"] >= 1
+        assert snap["max_pending"] == 64
+        assert "hit_rate" in snap["cache"]
+        assert "batches" in snap["batcher"]
+        assert snap["latency"]["count"] >= 1
+        assert snap["latency"]["p50_ms"] >= 0
+
+    def test_health(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["max_pending"] == 64

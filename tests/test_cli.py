@@ -83,3 +83,75 @@ class TestIndexInfoQuery:
         out = io.StringIO()
         main(["info", str(archive)], out=out)
         assert "2 groups x 2 nodes (replication 2)" in out.getvalue()
+
+
+class TestServeAndCall:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "deploy.npz"])
+        assert args.command == "serve"
+        assert args.port == 7766
+        assert args.max_pending == 64
+        assert args.cache_ttl is None
+
+    def test_call_parser(self):
+        args = build_parser().parse_args(
+            ["call", "query", "--seq", "MKVA", "--deadline", "2.5"]
+        )
+        assert args.op == "query"
+        assert args.deadline == 2.5
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["call", "explode"])
+
+    @pytest.fixture(scope="class")
+    def gateway(self, mendel):
+        from repro.serve.server import BackgroundServer
+
+        service = mendel.service(max_workers=2, batch_window=0.0)
+        with BackgroundServer(service) as server:
+            yield server
+        service.close()
+
+    def test_call_health(self, gateway):
+        out = io.StringIO()
+        code = main(
+            ["call", "health", "--host", gateway.host,
+             "--port", str(gateway.port)],
+            out=out,
+        )
+        assert code == 0
+        assert '"status": "ok"' in out.getvalue()
+
+    def test_call_query_and_stats(self, gateway, protein_db):
+        seq = protein_db.records[0].text[:40]
+        out = io.StringIO()
+        code = main(
+            ["call", "query", "--seq", seq, "--top", "3",
+             "--host", gateway.host, "--port", str(gateway.port)],
+            out=out,
+        )
+        assert code == 0
+        assert '"ok": true' in out.getvalue()
+        out = io.StringIO()
+        assert main(
+            ["call", "stats", "--host", gateway.host,
+             "--port", str(gateway.port)],
+            out=out,
+        ) == 0
+        assert '"received"' in out.getvalue()
+
+    def test_call_query_needs_exactly_one_source(self, gateway):
+        assert main(
+            ["call", "query", "--host", gateway.host,
+             "--port", str(gateway.port)],
+            out=io.StringIO(),
+        ) == 2
+
+    def test_call_unreachable_is_structured(self):
+        out = io.StringIO()
+        code = main(
+            ["call", "health", "--port", "1", "--retries", "0",
+             "--timeout", "0.2"],
+            out=out,
+        )
+        assert code == 1
+        assert '"error": "unavailable"' in out.getvalue()
