@@ -13,9 +13,15 @@ deployment, then drives three workloads:
    requests short-circuit in the result cache;
 3. **overload burst** — a second, deliberately tiny service (one worker,
    admission bound 4) is hit by a wide burst; excess requests are *shed*
-   with structured ``overloaded`` errors instead of queueing unboundedly.
+   with structured ``overloaded`` errors instead of queueing unboundedly;
+4. **node failure mid-run** — a storage node is killed while the gateway
+   keeps serving: queries come back *degraded* (``coverage < 1``) rather
+   than shed, requests with ``allow_partial=false`` get structured
+   ``degraded`` errors, HEALTH flips to ``degraded``, and recovery
+   restores full coverage.
 
-Prints wall-clock throughput, cache hit-rate, and shed counts per phase.
+Prints wall-clock throughput, cache hit-rate, shed counts, and the
+shed-vs-degraded accounting per phase.
 """
 
 from __future__ import annotations
@@ -118,8 +124,58 @@ def main() -> None:
               f"queue collapse")
     tiny.close()
 
+    # -- phase 4: node failure mid-run — shed vs degraded accounting ---------
+    faulty = mendel.service(max_workers=2, max_pending=32, batch_window=0.0,
+                            max_batch=1, cache_capacity=0)
+    with BackgroundServer(faulty) as server:
+        probe_texts = [record.text[:64] for record in database.records[:8]]
+        with ServeClient(server.host, server.port, timeout=120) as client:
+            victim = mendel.index.topology.groups[0].nodes[0]
+            mendel.fail_node(victim.node_id)
+            print(f"\n  killed {victim.node_id} mid-run; gateway health: "
+                  f"{client.health()['status']}")
+
+            served_degraded = rejected = complete = 0
+            start = time.perf_counter()
+            for j, text in enumerate(probe_texts):
+                # Even requests accept partial answers; odd ones demand
+                # completeness — under failure those are refused, not shed.
+                response = client.query(
+                    text, params=PARAMS, query_id=f"f{j}",
+                    allow_partial=(j % 2 == 0),
+                )
+                if response.get("ok"):
+                    if response["degraded"]:
+                        served_degraded += 1
+                    else:
+                        complete += 1
+                elif response.get("error") == "degraded":
+                    rejected += 1
+            elapsed = time.perf_counter() - start
+            print(f"  under failure: {complete} complete, {served_degraded} "
+                  f"degraded (partial coverage), {rejected} rejected "
+                  f"(allow_partial=false) in {elapsed:.2f}s")
+
+            snapshot = faulty.snapshot()
+            print(f"  serve stats: shed={snapshot['shed']} "
+                  f"degraded={snapshot['degraded']} "
+                  f"partial_rejected={snapshot['partial_rejected']} — "
+                  f"failures degrade answers, overload sheds them")
+
+            mendel.recover_node(victim.node_id)
+            after = client.query(probe_texts[1], params=PARAMS, query_id="post")
+            print(f"  recovered {victim.node_id}; health: "
+                  f"{client.health()['status']}, "
+                  f"coverage {after['coverage']:.2f}")
+            assert served_degraded + rejected > 0, (
+                "expected degraded answers while a node was down"
+            )
+            assert after["coverage"] == 1.0 and not after["degraded"]
+    faulty.close()
+
     assert any(r.get("cached") for r in hot), "expected cache hits"
-    print("\nOK: served concurrent load with caching and load shedding")
+    print("\nOK: served concurrent load with caching, load shedding, and "
+          "degraded-mode answers under node failure")
 
 
 if __name__ == "__main__":

@@ -17,15 +17,21 @@ Public API highlights:
 * :mod:`repro.serve` — the concurrent query-serving gateway (thread-pool
   service with admission control, result cache, micro-batching, and an
   asyncio TCP JSON-lines front end).
+* :mod:`repro.faults` — the chaos layer: scripted fault injection
+  (crashes, stragglers, lossy links, partitions), heartbeat failure
+  detection, re-replication, and degraded-mode query reporting.
 """
 
 from repro.core.framework import Mendel
 from repro.core.params import MendelConfig, QueryParams
 from repro.core.query import QueryReport, QueryStats
+from repro.faults.schedule import FaultEvent, FaultSchedule
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultEvent",
+    "FaultSchedule",
     "Mendel",
     "MendelConfig",
     "QueryParams",

@@ -7,13 +7,16 @@
     python -m repro query deploy.npz queries.fasta --top 5
     python -m repro bench fig6a
     python -m repro serve deploy.npz --port 7766
+    python -m repro chaos --replication 2 --seed 0
     python -m repro call query --seq MKV... --port 7766
 
 ``index`` builds a deployment and saves it; ``query`` loads one and
 searches every sequence of a FASTA query set; ``info`` summarises a saved
 deployment; ``bench`` reruns one of the paper's figures and prints its
 table; ``serve`` exposes a saved deployment through the TCP query gateway
-(:mod:`repro.serve`); ``call`` speaks the gateway's JSON-lines protocol
+(:mod:`repro.serve`); ``chaos`` runs the scripted kill/recover
+fault-injection scenario (:mod:`repro.faults`) and prints recall and
+coverage under failure; ``call`` speaks the gateway's JSON-lines protocol
 (QUERY / STATS / HEALTH) from the command line.
 """
 
@@ -99,6 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache capacity (0 disables caching)")
     serve.add_argument("--cache-ttl", type=float, default=None,
                        help="result-cache TTL in seconds (default: no expiry)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the scripted kill/recover fault-injection scenario",
+    )
+    chaos.add_argument("--replication", type=int, default=2,
+                       help="block copies per group (1 shows degradation)")
+    chaos.add_argument("--groups", type=int, default=3)
+    chaos.add_argument("--group-size", type=int, default=3)
+    chaos.add_argument("--sequences", type=int, default=18,
+                       help="synthetic reference sequences")
+    chaos.add_argument("--probes", type=int, default=6,
+                       help="queries spread across the failure window")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for database, schedule, and link drops")
+    chaos.add_argument("--subquery-deadline", type=float, default=None,
+                       help="per-subquery deadline in simulated seconds")
+    chaos.add_argument("--log", action="store_true",
+                       help="print the chaos timeline")
 
     call = sub.add_parser("call", help="call a running gateway")
     call.add_argument("op", choices=("query", "stats", "health"))
@@ -249,6 +271,40 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace, out) -> int:
+    from repro.faults.scenario import run_kill_recover_scenario
+
+    result = run_kill_recover_scenario(
+        replication=args.replication,
+        group_count=args.groups,
+        group_size=args.group_size,
+        database_size=args.sequences,
+        probe_count=args.probes,
+        seed=args.seed,
+        subquery_deadline=args.subquery_deadline,
+    )
+    rows = [{"metric": key, "value": value}
+            for key, value in result.summary_rows()]
+    print(format_table(rows, title="kill one node per group, then recover"),
+          file=out)
+    per_query = [
+        {
+            "query": report.query_id,
+            "coverage": f"{report.coverage:.3f}",
+            "degraded": str(report.degraded),
+            "failed_nodes": ",".join(report.failed_nodes) or "-",
+            "best_hit": (report.best().subject_id
+                         if report.best() is not None else "-"),
+        }
+        for report in result.reports
+    ]
+    print(format_table(per_query, title="per-query reports"), file=out)
+    if args.log:
+        for line in result.chaos_log:
+            print(line, file=out)
+    return 0
+
+
 def _cmd_call(args: argparse.Namespace, out) -> int:
     import json
 
@@ -302,6 +358,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "query": _cmd_query,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "call": _cmd_call,
     }
     return handlers[args.command](args, out)

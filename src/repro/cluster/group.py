@@ -71,20 +71,37 @@ class StorageGroup:
         """Primary node for the block identified by *key* (flat SHA-1)."""
         return self._by_id[self._flat.assign(key)]
 
-    def place_replicas(self, key: bytes, count: int) -> list[StorageNode]:
-        """Primary plus ``count - 1`` successor nodes for *key*.
+    def preference_list(self, key: bytes) -> list[StorageNode]:
+        """All group nodes in replica-preference order for *key*: the flat
+        primary first, then successors in group order (Dynamo's preference
+        list restricted to the group).  Placement under failures walks this
+        list skipping dead nodes, so any placement decision is recoverable
+        from group membership plus the alive set."""
+        primary = self.place(key)
+        start = self.nodes.index(primary)
+        return [self.nodes[(start + i) % len(self.nodes)] for i in range(len(self.nodes))]
 
-        Replicas are the next nodes in group order after the primary
-        (Dynamo's preference-list rule restricted to the group), so any
-        single placement decision is recoverable from group membership.
-        """
+    def place_replicas(self, key: bytes, count: int) -> list[StorageNode]:
+        """Primary plus ``count - 1`` successor nodes for *key* (canonical
+        placement, ignoring liveness)."""
         if not 1 <= count <= len(self.nodes):
             raise ValueError(
                 f"replication count must be in 1..{len(self.nodes)}, got {count}"
             )
-        primary = self.place(key)
-        start = self.nodes.index(primary)
-        return [self.nodes[(start + i) % len(self.nodes)] for i in range(count)]
+        return self.preference_list(key)[:count]
+
+    def place_replicas_alive(
+        self, key: bytes, count: int, is_alive=None
+    ) -> list[StorageNode]:
+        """The first ``count`` *alive* nodes in preference order for *key*
+        (fewer if the group has fewer alive members).  *is_alive* overrides
+        the liveness predicate — the failure detector passes its own view,
+        which may disagree with ground truth."""
+        if count < 1:
+            raise ValueError(f"replication count must be >= 1, got {count}")
+        is_alive = is_alive or (lambda node: node.alive)
+        chosen = [node for node in self.preference_list(key) if is_alive(node)]
+        return chosen[:count]
 
     @property
     def block_count(self) -> int:

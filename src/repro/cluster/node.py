@@ -92,6 +92,13 @@ class StorageNode:
         #: failure-injection flag: dead nodes are skipped by query fan-out
         #: (fault-tolerance extension; paper section VII-B future work)
         self.alive = True
+        #: failure-detector hint: heartbeats have been missed but the node is
+        #: not yet declared dead (queries hedge against suspected nodes)
+        self.suspected = False
+        #: chaos-layer straggler injection: a temporary multiplier on the
+        #: node's effective speed (< 1 slows the node down); composed with
+        #: the hardware-class ``speed_factor``
+        self.speed_multiplier = 1.0
         self.tree = DynamicVPTree(
             metric=metric_factory(),
             segment_length=segment_length,
@@ -147,14 +154,17 @@ class StorageNode:
         """Simulated seconds to perform *evals* distance evaluations
         (plus a fixed request-handling overhead) on this hardware class."""
         total = evals + overhead_evals
-        return total * self.profile.seconds_per_eval / self.profile.speed_factor
+        return total * self.profile.seconds_per_eval / self._effective_speed()
 
     def service_time_ops(self, residue_ops: float) -> float:
         """Simulated seconds for *residue_ops* elementary residue operations
         (one segment-distance evaluation costs ``segment_length`` of them);
         used to charge extension and aggregation work."""
         per_residue = self.profile.seconds_per_eval / max(1, self.tree.segment_length)
-        return residue_ops * per_residue / self.profile.speed_factor
+        return residue_ops * per_residue / self._effective_speed()
+
+    def _effective_speed(self) -> float:
+        return self.profile.speed_factor * self.speed_multiplier
 
     def reset_storage(self) -> None:
         """Drop all locally indexed blocks (used when the group reshuffles
@@ -169,12 +179,33 @@ class StorageNode:
         self.block_ids = []
 
     def fail(self) -> None:
-        """Mark the node as failed (its data stays in place for recovery)."""
+        """Crash-stop the node (its on-disk data stays in place for
+        recovery; the process is gone, so it answers nothing)."""
         self.alive = False
+        self.suspected = False
 
     def recover(self) -> None:
-        """Bring a failed node back; its local index is intact."""
+        """Bring a failed node back with its local index intact.
+
+        The local index may be *stale*: if re-replication moved this node's
+        blocks to successors while it was down, rejoining with the old
+        placement leaves blocks over-replicated (and misses blocks indexed
+        during the outage).  Callers that manage placement should prefer
+        :meth:`repro.core.index.MendelIndex.recover_node`, which rejoins
+        *and* reconciles the group back to canonical placement.
+        """
         self.alive = True
+        self.suspected = False
+        self.restore_speed()
+
+    def slow_down(self, multiplier: float) -> None:
+        """Straggler injection: scale this node's effective speed by
+        *multiplier* (< 1 slows it down) until :meth:`restore_speed`."""
+        check_positive("multiplier", multiplier)
+        self.speed_multiplier = multiplier
+
+    def restore_speed(self) -> None:
+        self.speed_multiplier = 1.0
 
     @property
     def block_count(self) -> int:

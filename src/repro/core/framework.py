@@ -20,11 +20,15 @@ turnaround statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.index import IndexStats, MendelIndex
 from repro.core.params import MendelConfig, QueryParams
 from repro.core.query import QueryEngine, QueryReport
 from repro.seq.records import SequenceRecord, SequenceSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.schedule import FaultSchedule
 
 
 @dataclass
@@ -43,10 +47,22 @@ class Mendel:
     # -- queries -------------------------------------------------------------
 
     def query(
-        self, record: SequenceRecord, params: QueryParams | None = None
+        self,
+        record: SequenceRecord,
+        params: QueryParams | None = None,
+        faults: "FaultSchedule | None" = None,
+        subquery_deadline: float | None = None,
     ) -> QueryReport:
-        """Similarity-search *record* against the indexed database."""
-        return self.engine.run(record, params)
+        """Similarity-search *record* against the indexed database.
+
+        *faults* attaches a scripted chaos schedule to the run;
+        *subquery_deadline* bounds each node subquery (simulated seconds)
+        with one hedged retry before the report degrades.  See
+        :meth:`~repro.core.query.QueryEngine.run_batch`.
+        """
+        return self.engine.run(
+            record, params, faults=faults, subquery_deadline=subquery_deadline
+        )
 
     def query_text(
         self,
@@ -65,6 +81,31 @@ class Mendel:
     ) -> list[QueryReport]:
         """Evaluate a whole query set; one report per query, in order."""
         return [self.query(record, params) for record in records]
+
+    def query_under_faults(
+        self,
+        records: SequenceSet | list[SequenceRecord],
+        faults: "FaultSchedule",
+        params: QueryParams | None = None,
+        arrival_interval: float = 0.0,
+        subquery_deadline: float | None = None,
+    ) -> list[QueryReport]:
+        """Evaluate *records* concurrently on one clock while *faults*
+        plays out — the chaos-experiment entry point.
+
+        Queries arrive ``arrival_interval`` apart so the batch spans the
+        scripted failures; reports carry ``coverage`` / ``degraded`` /
+        ``failed_nodes``.  The run mutates the live cluster (crashes,
+        repair streams); inspect ``engine.last_chaos`` for the timeline and
+        call :meth:`repair` / :meth:`recover_node` to restore a clean state.
+        """
+        return self.engine.run_batch(
+            list(records),
+            params,
+            arrival_interval=arrival_interval,
+            faults=faults,
+            subquery_deadline=subquery_deadline,
+        )
 
     def query_translated(
         self, record: SequenceRecord, params: QueryParams | None = None
@@ -129,6 +170,44 @@ class Mendel:
         """Elastically grow *group_id* by one node (data redistributes
         within the group only); returns the new node."""
         return self.index.add_node(group_id)
+
+    # -- failure handling ------------------------------------------------------
+
+    def fail_node(self, node_id: str, rereplicate: bool = False):
+        """Crash-stop one node (optionally re-replicating its blocks
+        immediately); returns the node."""
+        return self.index.fail_node(node_id, rereplicate=rereplicate)
+
+    def recover_node(self, node_id: str):
+        """Rejoin a crashed node and reconcile its group back to canonical
+        placement (exactly ``replication`` holders per block)."""
+        return self.index.recover_node(node_id)
+
+    def repair(self, group_id: str | None = None):
+        """Reconcile placement against ground-truth liveness (one group or
+        all); returns the :class:`~repro.faults.repair.RepairReport`."""
+        return self.index.rereplicate(group_id)
+
+    def cluster_health(self) -> dict:
+        """Liveness snapshot: node counts by state plus the per-group
+        breakdown the serving HEALTH endpoint reports."""
+        nodes = self.index.topology.nodes
+        dead = sorted(n.node_id for n in nodes if not n.alive)
+        suspected = sorted(n.node_id for n in nodes if n.alive and n.suspected)
+        groups = {}
+        for group in self.index.topology.groups:
+            groups[group.group_id] = {
+                "alive": sum(1 for n in group.nodes if n.alive),
+                "total": len(group.nodes),
+            }
+        return {
+            "nodes_total": len(nodes),
+            "nodes_alive": len(nodes) - len(dead),
+            "nodes_dead": dead,
+            "nodes_suspected": suspected,
+            "groups": groups,
+            "replication": self.index.config.replication,
+        }
 
     @property
     def index_version(self) -> int:

@@ -173,6 +173,45 @@ class MendelIndex:
         """Per-node fraction of stored blocks (the Fig. 5 measure)."""
         return self.topology.load_fractions()
 
+    # -- failure handling -------------------------------------------------------
+
+    def fail_node(self, node_id: str, rereplicate: bool = False) -> StorageNode:
+        """Crash-stop one node; with ``rereplicate=True`` immediately stream
+        its blocks from surviving replicas so the replication factor is
+        restored (the offline analogue of the chaos controller's detected
+        repair)."""
+        node = self.node(node_id)
+        node.fail()
+        if rereplicate:
+            self.rereplicate(node.group_id)
+        self.version += 1
+        return node
+
+    def recover_node(self, node_id: str) -> StorageNode:
+        """Rejoin a crashed node and reconcile its group's placement.
+
+        The bare :meth:`~repro.cluster.node.StorageNode.recover` leaves the
+        cluster over-replicated (repair copies plus the rejoined node's
+        original data); this entry point immediately syncs the group back to
+        canonical placement so every block ends up on exactly
+        ``config.replication`` holders.
+        """
+        node = self.node(node_id)
+        node.recover()
+        self.rereplicate(node.group_id)
+        self.version += 1
+        return node
+
+    def rereplicate(self, group_id: str | None = None):
+        """Reconcile placement (one group, or all) against ground-truth
+        liveness; returns the :class:`~repro.faults.repair.RepairReport`."""
+        from repro.faults.repair import ReReplicator
+
+        repairer = ReReplicator(self)
+        if group_id is None:
+            return repairer.sync_all()
+        return repairer.sync_group(self.topology.group(group_id))
+
     def add_node(self, group_id: str) -> StorageNode:
         """Elastically grow one storage group by a node and redistribute.
 

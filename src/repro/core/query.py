@@ -25,6 +25,7 @@ The pipeline, executed as discrete-event processes so the reported
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -46,8 +47,12 @@ from repro.core.params import QueryParams
 from repro.seq.alphabet import Alphabet
 from repro.seq.matrices import dna_matrix, named_matrix
 from repro.seq.records import SequenceRecord
-from repro.sim.engine import AllOf, Simulation
+from repro.sim.engine import AllOf, AnyOf, Simulation
 from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.schedule import FaultSchedule
+
 
 @dataclass
 class QueryStats:
@@ -65,6 +70,8 @@ class QueryStats:
     node_evals: int = 0
     messages: int = 0
     bytes_sent: int = 0
+    #: subquery retries after a drop, timeout, or mid-query node death
+    hedged_retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -89,12 +96,25 @@ class TraceEvent:
 
 @dataclass
 class QueryReport:
-    """Result of one query: ranked alignments plus statistics."""
+    """Result of one query: ranked alignments plus statistics.
+
+    ``coverage`` is the fraction of distinct index blocks in the contacted
+    groups that a responding node actually searched; 1.0 means the answer
+    is complete with respect to the routed subqueries.  ``degraded`` is set
+    whenever coverage fell short — some blocks had no reachable holder —
+    so callers can distinguish a complete answer from a best-effort one.
+    ``failed_nodes`` lists the nodes that failed to contribute (dead at
+    fan-out, crashed mid-query, unreachable, or past the subquery
+    deadline even after a hedged retry).
+    """
 
     query_id: str
     alignments: list[Alignment]
     stats: QueryStats
     trace: list[TraceEvent] = field(default_factory=list)
+    coverage: float = 1.0
+    degraded: bool = False
+    failed_nodes: list[str] = field(default_factory=list)
 
     def best(self) -> Alignment | None:
         return self.alignments[0] if self.alignments else None
@@ -130,6 +150,14 @@ class _Window:
     index: int
     query_start: int
     codes: np.ndarray
+
+
+@dataclass(frozen=True)
+class _NodeFailure:
+    """Sentinel returned by a subquery that produced no usable anchors."""
+
+    node_id: str
+    reason: str  # "unreachable" | "died" | "deadline"
 
 
 class QueryEngine:
@@ -193,13 +221,18 @@ class QueryEngine:
         query: SequenceRecord,
         params: QueryParams | None = None,
         trace: bool = False,
+        faults: "FaultSchedule | None" = None,
+        subquery_deadline: float | None = None,
     ) -> QueryReport:
         """Evaluate *query*; returns ranked alignments and statistics.
 
         With ``trace=True`` the report carries a
         :class:`TraceEvent` timeline of the distributed dataflow.
         """
-        return self.run_batch([query], params, trace=trace)[0]
+        return self.run_batch(
+            [query], params, trace=trace, faults=faults,
+            subquery_deadline=subquery_deadline,
+        )[0]
 
     def run_batch(
         self,
@@ -207,6 +240,8 @@ class QueryEngine:
         params: QueryParams | None = None,
         arrival_interval: float = 0.0,
         trace: bool = False,
+        faults: "FaultSchedule | None" = None,
+        subquery_deadline: float | None = None,
     ) -> list[QueryReport]:
         """Evaluate *queries* concurrently on one simulated cluster.
 
@@ -217,8 +252,19 @@ class QueryEngine:
         storage framework lives or dies by.  A single-query batch reduces
         exactly to the sequential behaviour.
 
+        *faults* attaches a scripted :class:`~repro.faults.schedule.
+        FaultSchedule` to the run's clock: nodes crash, restart, or
+        straggle, links drop and partition, heartbeats detect deaths, and
+        re-replication restores the replication factor — all
+        deterministically from the schedule's seed.  *subquery_deadline*
+        bounds each node-level subquery in simulated seconds; a subquery
+        that misses it (straggler, drop) is hedged with one retry, after
+        which the node counts as failed and the report degrades.
+
         Returns one report per query, in input order; each report's
-        ``turnaround`` is completion time minus that query's arrival time.
+        ``turnaround`` is completion time minus that query's arrival time,
+        and each carries ``coverage`` / ``degraded`` / ``failed_nodes``
+        describing how complete the answer is.
         """
         from repro.sim.resource import Resource
 
@@ -226,6 +272,10 @@ class QueryEngine:
         if arrival_interval < 0:
             raise ValueError(
                 f"arrival_interval must be non-negative, got {arrival_interval}"
+            )
+        if subquery_deadline is not None and subquery_deadline <= 0:
+            raise ValueError(
+                f"subquery_deadline must be positive, got {subquery_deadline}"
             )
         for query in queries:
             if query.alphabet.name != self.index.alphabet.name:
@@ -238,7 +288,13 @@ class QueryEngine:
         topo = self.index.topology
         store = self.index.store
         sim = Simulation()
-        net = Network(sim=sim)
+        net = Network(sim=sim, rng=faults.seed if faults is not None else None)
+        self.last_chaos = None
+        if faults is not None:
+            from repro.faults.chaos import ChaosController
+
+            self.last_chaos = ChaosController(sim, net, self.index, faults)
+            self.last_chaos.install()
         entry = next((n for n in topo.nodes if n.alive), topo.nodes[0])
         locks = {node.node_id: Resource(sim, name=node.node_id)
                  for node in topo.nodes}
@@ -250,7 +306,9 @@ class QueryEngine:
         )
 
         per_query_stats = [QueryStats() for _ in queries]
-        holders: list[dict] = [{} for _ in queries]
+        holders: list[dict] = [
+            {"covered": set(), "total": set(), "failed": set()} for _ in queries
+        ]
         traces: list[list[TraceEvent]] = [[] for _ in queries]
 
         def make_note(index: int):
@@ -266,19 +324,23 @@ class QueryEngine:
             return note
 
         def node_proc(index: int, query: SequenceRecord, node: StorageNode,
-                      group: StorageGroup, windows: list[_Window]):
+                      coordinator: StorageNode, windows: list[_Window]):
             stats = per_query_stats[index]
             note = make_note(index)
-            # Broadcast delivery group-entry -> node.
-            yield net.transfer(
-                group.entry_point().node_id,
+            # Broadcast delivery coordinator -> node (drop-aware: a lossy
+            # link or partition loses the subquery; the caller hedges).
+            delivered, delay = net.try_transfer(
+                coordinator.node_id,
                 node.node_id,
                 SubQuery(
-                    src=group.entry_point().node_id,
+                    src=coordinator.node_id,
                     dst=node.node_id,
                     codes_bytes=sum(w.codes.nbytes for w in windows),
                 ).wire_bytes(),
             )
+            yield delay
+            if not delivered or not node.alive:
+                return _NodeFailure(node.node_id, "unreachable")
             # Acquire the node CPU: concurrent queries queue FIFO here.
             lock = locks[node.node_id]
             yield lock.request()
@@ -327,54 +389,111 @@ class QueryEngine:
                 yield service + node.service_time_ops(extension_ops)
             finally:
                 lock.release()
+            if not node.alive:
+                # Crash-stop mid-service: the partial results died with it.
+                return _NodeFailure(node.node_id, "died")
             note(node.node_id, "local search done",
                  f"{len(windows)} windows -> {len(anchors)} anchors")
-            # Report anchors node -> group entry.
-            yield net.transfer(
+            # Report anchors node -> coordinator (drop-aware).
+            delivered, delay = net.try_transfer(
                 node.node_id,
-                group.entry_point().node_id,
+                coordinator.node_id,
                 AnchorReport(
                     src=node.node_id,
-                    dst=group.entry_point().node_id,
+                    dst=coordinator.node_id,
                     anchor_count=len(anchors),
                 ).wire_bytes(),
             )
+            yield delay
+            if not delivered:
+                return _NodeFailure(node.node_id, "unreachable")
             return anchors
+
+        def guarded_node(index: int, query: SequenceRecord, node: StorageNode,
+                         coordinator: StorageNode, windows: list[_Window]):
+            """One subquery with a deadline and a single hedged retry.
+
+            Retries only make sense while the node is still alive (a dropped
+            message or straggler round); a dead node's blocks are covered —
+            if at all — by the replica holders in the same fan-out.
+            """
+            stats = per_query_stats[index]
+            attempts = 0
+            while True:
+                inner = sim.spawn(
+                    node_proc(index, query, node, coordinator, windows),
+                    name=f"q{index}:node:{node.node_id}:a{attempts}",
+                )
+                if subquery_deadline is not None:
+                    timer = sim.event(f"q{index}:deadline:{node.node_id}")
+                    timer.fire_at(subquery_deadline)
+                    which, value = yield AnyOf([inner, timer])
+                    result = (
+                        value if which == 0
+                        else _NodeFailure(node.node_id, "deadline")
+                    )
+                else:
+                    result = yield inner
+                if not isinstance(result, _NodeFailure):
+                    return result
+                if attempts >= 1 or not node.alive:
+                    return result
+                attempts += 1
+                stats.hedged_retries += 1
 
         def group_proc(index: int, query: SequenceRecord, group: StorageGroup,
                        windows: list[_Window]):
             stats = per_query_stats[index]
             note = make_note(index)
-            # System entry -> group entry (the subquery batch).
+            holder = holders[index]
+            # Pin the coordinator for this query's lifetime: src/dst of every
+            # in-flight transfer stays stable even if the entry node dies
+            # mid-query (the replies were already addressed).
+            coordinator = group.entry_point()
+            # System entry -> group coordinator (the subquery batch).
             yield net.transfer(
                 entry.node_id,
-                group.entry_point().node_id,
+                coordinator.node_id,
                 SubQuery(
                     src=entry.node_id,
-                    dst=group.entry_point().node_id,
+                    dst=coordinator.node_id,
                     codes_bytes=sum(w.codes.nbytes for w in windows),
                 ).wire_bytes(),
             )
+            # Coverage denominators: every distinct block this group knows
+            # about is in scope for the routed subqueries.
+            for member in group.nodes:
+                holder["total"].update(member.block_ids)
+                if not member.alive:
+                    holder["failed"].add(member.node_id)
+            fanout = [node for node in group.nodes if node.alive]
             node_events = [
-                sim.spawn(node_proc(index, query, node, group, windows),
-                          name=f"q{index}:node:{node.node_id}")
-                for node in group.alive_nodes()
+                sim.spawn(
+                    guarded_node(index, query, node, coordinator, windows),
+                    name=f"q{index}:guard:{node.node_id}",
+                )
+                for node in fanout
             ]
             if not node_events:
                 return []  # whole group down: no anchors from here
             per_node = yield AllOf(node_events)
-            collected = [a for anchors in per_node for a in anchors]
+            collected: list[Anchor] = []
+            for node, result in zip(fanout, per_node):
+                if isinstance(result, _NodeFailure):
+                    holder["failed"].add(node.node_id)
+                else:
+                    collected.extend(result)
+                    holder["covered"].update(node.block_ids)
             merged = merge_anchors(collected)
-            coordinator = group.entry_point()
             yield coordinator.service_time_ops(4 * max(1, len(collected)))
             note(group.group_id, "group aggregation",
                  f"{len(collected)} anchors merged to {len(merged)}")
-            # Group entry -> system entry.
+            # Group coordinator -> system entry.
             yield net.transfer(
-                group.entry_point().node_id,
+                coordinator.node_id,
                 entry.node_id,
                 GroupReport(
-                    src=group.entry_point().node_id,
+                    src=coordinator.node_id,
                     dst=entry.node_id,
                     anchor_count=len(merged),
                 ).wire_bytes(),
@@ -465,12 +584,18 @@ class QueryEngine:
             stats.alignments_reported = len(alignments)
             stats.messages = net.stats.messages
             stats.bytes_sent = net.stats.bytes_sent
+            total = holder["total"]
+            covered = holder["covered"]
+            coverage = 1.0 if not total else len(covered & total) / len(total)
             reports.append(
                 QueryReport(
                     query_id=query.seq_id,
                     alignments=alignments,
                     stats=stats,
                     trace=traces[index],
+                    coverage=coverage,
+                    degraded=coverage < 1.0,
+                    failed_nodes=sorted(holder["failed"]),
                 )
             )
         return reports

@@ -1,0 +1,41 @@
+"""Fault injection, failure detection, and recovery (chaos layer).
+
+The paper's evaluation ran on healthy hardware; a storage *framework* must
+also answer what happens when hardware is not healthy.  This package scripts
+failures against the simulated cluster and exercises the full loop:
+
+* :mod:`repro.faults.schedule` — deterministic, replayable fault scripts
+  (crashes, restarts, stragglers, lossy links, partitions);
+* :mod:`repro.faults.detector` — heartbeat failure detection per group;
+* :mod:`repro.faults.repair` — re-replication and placement reconciliation;
+* :mod:`repro.faults.chaos` — the controller binding a schedule to one run;
+* :mod:`repro.faults.scenario` — the canonical kill/recover experiment
+  used by ``repro chaos``, ``examples/chaos.py``, and the integration tests.
+
+Attach a schedule to any query run via
+``QueryEngine.run_batch(..., faults=schedule)`` (or ``Mendel.query``); the
+resulting :class:`~repro.core.query.QueryReport` carries ``coverage``,
+``degraded``, and ``failed_nodes``.
+"""
+
+from repro.faults.chaos import ChaosController, ChaosLogEntry
+from repro.faults.detector import DetectorStats, FailureDetector
+from repro.faults.repair import BlockMove, RepairPlan, RepairReport, ReReplicator
+from repro.faults.schedule import FaultEvent, FaultSchedule, kill_and_recover
+from repro.faults.scenario import ScenarioResult, run_kill_recover_scenario
+
+__all__ = [
+    "BlockMove",
+    "ChaosController",
+    "ChaosLogEntry",
+    "DetectorStats",
+    "FailureDetector",
+    "FaultEvent",
+    "FaultSchedule",
+    "RepairPlan",
+    "RepairReport",
+    "ReReplicator",
+    "ScenarioResult",
+    "kill_and_recover",
+    "run_kill_recover_scenario",
+]

@@ -1,0 +1,131 @@
+"""Heartbeat failure detection over the simulated cluster.
+
+Each storage group runs one monitor process: every ``interval`` simulated
+seconds the group's current entry point pings every other member and waits
+for the ack.  A missed round (dead member, dropped ping or ack, partition)
+marks the member *suspected*; ``miss_threshold`` consecutive misses declare
+it *dead* and fire ``on_dead`` — the chaos controller's trigger for
+re-replication.  An ack from a declared-dead node (it restarted) fires
+``on_rejoin``.
+
+Because pings ride the same lossy :class:`~repro.sim.network.Network` as
+queries, the detector can be wrong in both directions: a partitioned or
+unlucky node may be falsely declared dead (repair then over-replicates
+until reconciliation), and a real death takes ``interval * miss_threshold``
+to surface — exactly the window degraded queries must cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.group import StorageGroup
+from repro.cluster.node import StorageNode
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+
+#: wire size of one ping or ack (envelope + a sequence number)
+PING_BYTES = 72
+
+
+@dataclass
+class DetectorStats:
+    pings: int = 0
+    misses: int = 0
+    deaths_declared: int = 0
+    rejoins_detected: int = 0
+    false_suspicions: int = 0
+
+
+@dataclass
+class FailureDetector:
+    """Heartbeat state shared by every group monitor of one chaos run."""
+
+    sim: Simulation
+    net: Network
+    interval: float
+    miss_threshold: int = 3
+    stop_at: float = float("inf")
+    on_dead: Callable[[StorageNode], None] | None = None
+    on_rejoin: Callable[[StorageNode], None] | None = None
+    stats: DetectorStats = field(default_factory=DetectorStats)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}"
+            )
+        self._misses: dict[str, int] = {}
+        self._dead: set[str] = set()
+
+    # -- the view --------------------------------------------------------------
+
+    @property
+    def dead(self) -> frozenset:
+        """Node ids currently declared dead."""
+        return frozenset(self._dead)
+
+    def considers_alive(self, node: StorageNode) -> bool:
+        """The detector's liveness view (may lag or contradict ground
+        truth); used for failure-aware placement."""
+        return node.node_id not in self._dead
+
+    def mark_recovered(self, node: StorageNode) -> None:
+        """A node announced its rejoin (restart event); clear its state."""
+        self._dead.discard(node.node_id)
+        self._misses[node.node_id] = 0
+        node.suspected = False
+
+    # -- monitoring ------------------------------------------------------------
+
+    def monitor_proc(self, group: StorageGroup):
+        """Generator process: heartbeat rounds for one group until
+        ``stop_at`` (monitors must terminate or the event heap never
+        drains)."""
+        while self.sim.now + self.interval <= self.stop_at:
+            yield self.interval
+            coordinator = group.entry_point()
+            if not coordinator.alive:
+                continue  # whole group down: nobody to run the monitor
+            for member in group.nodes:
+                if member is coordinator:
+                    continue
+                ping_ok, d_out = self.net.try_transfer(
+                    coordinator.node_id, member.node_id, PING_BYTES
+                )
+                acked, d_back = False, 0.0
+                if ping_ok and member.alive:
+                    acked, d_back = self.net.try_transfer(
+                        member.node_id, coordinator.node_id, PING_BYTES
+                    )
+                yield d_out + d_back
+                self._observe(member, acked)
+
+    def _observe(self, member: StorageNode, acked: bool) -> None:
+        self.stats.pings += 1
+        node_id = member.node_id
+        if acked:
+            if node_id in self._dead:
+                self._dead.discard(node_id)
+                self.stats.rejoins_detected += 1
+                if self.on_rejoin is not None:
+                    self.on_rejoin(member)
+            self._misses[node_id] = 0
+            member.suspected = False
+            return
+        self.stats.misses += 1
+        if node_id in self._dead:
+            return  # already declared; nothing more to say
+        self._misses[node_id] = self._misses.get(node_id, 0) + 1
+        member.suspected = True
+        if self._misses[node_id] >= self.miss_threshold:
+            self._dead.add(node_id)
+            member.suspected = False
+            self.stats.deaths_declared += 1
+            if member.alive:
+                self.stats.false_suspicions += 1
+            if self.on_dead is not None:
+                self.on_dead(member)

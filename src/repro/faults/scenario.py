@@ -1,0 +1,188 @@
+"""The canonical chaos experiment: kill one node per group, then recover.
+
+``run_kill_recover_scenario`` builds a fresh deployment, measures a healthy
+baseline, then replays the same query batch while a scripted
+:class:`~repro.faults.schedule.FaultSchedule` crashes the first node of
+every group at ``kill_at`` and restarts it at ``recover_at`` (default
+``2 * kill_at``), with queries arriving throughout the failure window.  It
+reports *recall under failure* (did degraded queries still find the planted
+subject?) alongside per-query coverage — the experiment behind
+``repro chaos`` and ``examples/chaos.py``.
+
+Everything is seeded: the database, the probes, the deployment, and the
+schedule all derive from ``seed``, so two calls with equal arguments
+produce byte-identical reports (the replayability contract chaos testing
+depends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.framework import Mendel
+from repro.core.params import MendelConfig, QueryParams
+from repro.core.query import QueryReport
+from repro.faults.schedule import FaultSchedule, kill_and_recover
+from repro.seq import PROTEIN, random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one kill/recover experiment."""
+
+    #: reports from the chaos run, in query order
+    reports: list[QueryReport]
+    #: reports from the healthy run of the same batch (fresh deployment)
+    baseline: list[QueryReport]
+    #: the schedule that was replayed
+    schedule: FaultSchedule
+    #: node ids crashed at ``kill_at``
+    victims: list[str] = field(default_factory=list)
+    #: expected best subject per probe (the planted target)
+    expected: list[str] = field(default_factory=list)
+    #: fraction of probes whose best hit matched the planted subject
+    recall: float = 0.0
+    baseline_recall: float = 0.0
+    #: chaos-controller counters (repairs, detections, drops)
+    chaos_summary: dict = field(default_factory=dict)
+    #: chaos timeline, stringified for printing
+    chaos_log: list[str] = field(default_factory=list)
+
+    @property
+    def min_coverage(self) -> float:
+        return min((r.coverage for r in self.reports), default=1.0)
+
+    @property
+    def degraded_queries(self) -> int:
+        return sum(1 for r in self.reports if r.degraded)
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """Key/value rows for tabular display (CLI and example)."""
+        return [
+            ("queries", str(len(self.reports))),
+            ("victims", ",".join(self.victims)),
+            ("kill_at", f"{min(e.at for e in self.schedule.events):.6f}s"),
+            ("recover_at", f"{max(e.at for e in self.schedule.events):.6f}s"),
+            ("baseline recall", f"{self.baseline_recall:.0%}"),
+            ("recall under failure", f"{self.recall:.0%}"),
+            ("min coverage", f"{self.min_coverage:.3f}"),
+            ("degraded queries", str(self.degraded_queries)),
+            ("blocks re-replicated",
+             str(self.chaos_summary.get("blocks_streamed", 0))),
+            ("deaths declared",
+             str(self.chaos_summary.get("deaths_declared", 0))),
+            ("messages dropped",
+             str(self.chaos_summary.get("messages_dropped", 0))),
+        ]
+
+
+def _build(seed: int, replication: int, group_count: int, group_size: int,
+           database_size: int, sequence_length: int) -> Mendel:
+    database = random_set(
+        count=database_size,
+        length=sequence_length,
+        alphabet=PROTEIN,
+        rng=seed + 1,
+        id_prefix="ref",
+    )
+    config = MendelConfig(
+        group_count=group_count,
+        group_size=group_size,
+        replication=replication,
+        sample_size=256,
+        seed=seed + 2,
+    )
+    return Mendel.build(database, config)
+
+
+def _recall(reports: list[QueryReport], expected: list[str]) -> float:
+    hits = 0
+    for report, target in zip(reports, expected):
+        best = report.best()
+        hits += best is not None and best.subject_id == target
+    return hits / max(1, len(expected))
+
+
+def run_kill_recover_scenario(
+    replication: int = 2,
+    group_count: int = 3,
+    group_size: int = 3,
+    database_size: int = 18,
+    sequence_length: int = 150,
+    probe_count: int = 6,
+    identity: float = 0.9,
+    seed: int = 0,
+    kill_at: float | None = None,
+    recover_at: float | None = None,
+    subquery_deadline: float | None = None,
+    params: QueryParams | None = None,
+) -> ScenarioResult:
+    """Run the kill-one-node-per-group experiment; see the module docstring.
+
+    ``kill_at`` defaults to half the healthy batch's makespan (so the
+    failure lands mid-batch) and ``recover_at`` to ``2 * kill_at``.  The
+    probe batch arrives spread over ``3 * kill_at`` — some queries run
+    healthy, some against a dead cluster slice, some after recovery.
+    """
+    if probe_count < 1:
+        raise ValueError(f"probe_count must be >= 1, got {probe_count}")
+    params = params or QueryParams(k=4, n=6, i=0.7)
+
+    # Healthy baseline on its own deployment (the chaos run mutates state).
+    baseline_mendel = _build(
+        seed, replication, group_count, group_size,
+        database_size, sequence_length,
+    )
+    database = baseline_mendel.index.database
+    step = max(1, database_size // probe_count)
+    targets = [database.records[(i * step) % database_size]
+               for i in range(probe_count)]
+    probes = [
+        mutate_to_identity(target, identity, rng=seed + 10 + i,
+                           seq_id=f"probe-{i}")
+        for i, target in enumerate(targets)
+    ]
+    expected = [target.seq_id for target in targets]
+    baseline = baseline_mendel.engine.run_batch(probes, params)
+
+    # Derive the failure window from the healthy makespan.
+    makespan = max(r.stats.turnaround for r in baseline)
+    if kill_at is None:
+        kill_at = makespan / 2
+    if recover_at is None:
+        recover_at = 2 * kill_at
+    arrival_interval = 3 * kill_at / probe_count
+
+    # Fresh, identically seeded deployment for the chaos run.
+    mendel = _build(
+        seed, replication, group_count, group_size,
+        database_size, sequence_length,
+    )
+    victims = [group.nodes[0].node_id for group in mendel.index.topology.groups]
+    schedule = kill_and_recover(
+        victims,
+        kill_at=kill_at,
+        recover_at=recover_at,
+        seed=seed,
+        heartbeat_interval=kill_at / 8,
+    )
+    reports = mendel.query_under_faults(
+        probes,
+        schedule,
+        params=params,
+        arrival_interval=arrival_interval,
+        subquery_deadline=subquery_deadline,
+    )
+    chaos = mendel.engine.last_chaos
+    return ScenarioResult(
+        reports=reports,
+        baseline=baseline,
+        schedule=schedule,
+        victims=victims,
+        expected=expected,
+        recall=_recall(reports, expected),
+        baseline_recall=_recall(baseline, expected),
+        chaos_summary=chaos.summary() if chaos is not None else {},
+        chaos_log=[str(entry) for entry in chaos.log] if chaos is not None else [],
+    )

@@ -28,6 +28,7 @@ from repro.serve.client import ServeClient
 from repro.serve.errors import (
     ClientTimeout,
     DeadlineExceeded,
+    DegradedResult,
     InvalidRequest,
     Overloaded,
     ServeError,
@@ -44,6 +45,7 @@ __all__ = [
     "CacheStats",
     "ClientTimeout",
     "DeadlineExceeded",
+    "DegradedResult",
     "InvalidRequest",
     "LatencyTracker",
     "MISS",

@@ -136,8 +136,14 @@ class ServeClient:
         query_id: str = "query",
         deadline: float | None = None,
         top: int | None = None,
+        allow_partial: bool = True,
     ) -> dict:
-        """QUERY op; returns the raw response dict (check ``ok``)."""
+        """QUERY op; returns the raw response dict (check ``ok``).
+
+        ``allow_partial=False`` asks the server to reject degraded
+        (partial-coverage) answers with an ``{"error": "degraded"}``
+        response instead of returning them.
+        """
         if isinstance(params, QueryParams):
             params = dataclasses.asdict(params)
         message: dict = {"op": "query", "id": query_id, "seq": seq}
@@ -147,6 +153,8 @@ class ServeClient:
             message["deadline"] = deadline
         if top is not None:
             message["top"] = top
+        if not allow_partial:
+            message["allow_partial"] = False
         return self.request(message)
 
     def stats(self) -> dict:

@@ -44,6 +44,25 @@ class ServiceClosed(ServeError):
     code = "service_closed"
 
 
+class DegradedResult(ServeError):
+    """The query ran but covered only part of the index (node failures),
+    and the request asked for complete answers (``allow_partial=False``)."""
+
+    code = "degraded"
+
+    def __init__(self, message: str, coverage: float = 0.0,
+                 failed_nodes: list | None = None) -> None:
+        super().__init__(message)
+        self.coverage = coverage
+        self.failed_nodes = list(failed_nodes or [])
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out["coverage"] = self.coverage
+        out["failed_nodes"] = self.failed_nodes
+        return out
+
+
 class Unavailable(ServeError):
     """The client could not reach the server (after retries)."""
 

@@ -5,15 +5,21 @@ One request per line, one response per line, UTF-8 JSON objects:
 Requests::
 
     {"op": "query", "id": "q1", "seq": "MKV...", "params": {"n": 8},
-     "deadline": 2.0, "top": 5}
+     "deadline": 2.0, "top": 5, "allow_partial": false}
     {"op": "stats"}
     {"op": "health"}
 
 Responses::
 
     {"id": "q1", "ok": true, "cached": false, "query_id": "q1",
-     "alignments": [...], "stats": {...}}
+     "alignments": [...], "coverage": 1.0, "degraded": false,
+     "failed_nodes": [], "stats": {...}}
     {"id": "q1", "ok": false, "error": "overloaded", "message": "..."}
+
+``allow_partial`` (default true) controls degraded-mode behaviour: under
+node failures a query may cover only part of the index; with
+``allow_partial: false`` such an answer becomes an ``{"error": "degraded"}``
+response instead of a best-effort result.
 
 ``params`` accepts any :class:`~repro.core.params.QueryParams` field by
 name (Table I knobs plus the documented extensions); unknown names are an
@@ -95,5 +101,8 @@ def report_to_dict(report: QueryReport, top: int | None = None) -> dict:
         "query_id": report.query_id,
         "alignment_count": len(report.alignments),
         "alignments": [alignment_to_dict(a) for a in alignments],
+        "coverage": report.coverage,
+        "degraded": report.degraded,
+        "failed_nodes": report.failed_nodes,
         "stats": dataclasses.asdict(report.stats),
     }

@@ -139,11 +139,17 @@ class QueryServer:
             not isinstance(deadline, (int, float)) or deadline <= 0
         ):
             raise InvalidRequest(f"deadline must be a positive number, got {deadline!r}")
+        allow_partial = message.get("allow_partial", True)
+        if not isinstance(allow_partial, bool):
+            raise InvalidRequest(
+                f"allow_partial must be a boolean, got {allow_partial!r}"
+            )
         future = self.service.submit_text(
             seq,
             params,
             query_id=str(request_id) if request_id is not None else "query",
             deadline=deadline,
+            allow_partial=allow_partial,
         )
         timeout = (deadline + _DEADLINE_GRACE) if deadline is not None else None
         try:

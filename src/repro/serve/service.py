@@ -38,6 +38,7 @@ from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import MISS, ResultCache
 from repro.serve.errors import (
     DeadlineExceeded,
+    DegradedResult,
     InvalidRequest,
     Overloaded,
     ServiceClosed,
@@ -62,6 +63,8 @@ class _Request:
     cache_key: str
     deadline_at: float | None
     submitted_at: float = 0.0
+    #: accept a degraded (coverage < 1) report instead of a structured error
+    allow_partial: bool = True
 
 
 class QueryService:
@@ -142,6 +145,7 @@ class QueryService:
         params: QueryParams | None = None,
         query_id: str = "query",
         deadline: float | None = None,
+        allow_partial: bool = True,
     ) -> Future:
         """Encode *text* under the index alphabet and submit it."""
         try:
@@ -152,19 +156,28 @@ class QueryService:
             self.stats.inc("received")
             self.stats.inc("invalid")
             return _failed(InvalidRequest(str(exc)))
-        return self.submit(record, params, deadline=deadline)
+        return self.submit(
+            record, params, deadline=deadline, allow_partial=allow_partial
+        )
 
     def submit(
         self,
         record: SequenceRecord,
         params: QueryParams | None = None,
         deadline: float | None = None,
+        allow_partial: bool = True,
     ) -> Future:
         """Admit one query; returns a future resolving to :class:`ServeResult`.
 
         Structured failures (:class:`Overloaded`, :class:`DeadlineExceeded`,
-        :class:`InvalidRequest`, :class:`ServiceClosed`) are delivered by
-        raising from the future, never by crashing the service.
+        :class:`InvalidRequest`, :class:`ServiceClosed`,
+        :class:`DegradedResult`) are delivered by raising from the future,
+        never by crashing the service.
+
+        ``allow_partial=False`` turns a degraded report (node failures left
+        ``coverage < 1``) into a :class:`DegradedResult` error; the default
+        accepts best-effort answers and lets callers inspect
+        ``report.coverage`` themselves.
         """
         self.stats.inc("received")
         if self._closed:
@@ -205,6 +218,7 @@ class QueryService:
             cache_key=key,
             deadline_at=(now + deadline) if deadline is not None else None,
             submitted_at=now,
+            allow_partial=allow_partial,
         )
         try:
             future = self._batcher.submit(params.cache_key(), request)
@@ -220,10 +234,13 @@ class QueryService:
         record: SequenceRecord,
         params: QueryParams | None = None,
         deadline: float | None = None,
+        allow_partial: bool = True,
     ) -> ServeResult:
         """Synchronous submit-and-wait; raises structured errors directly."""
         deadline = deadline if deadline is not None else self.default_deadline
-        future = self.submit(record, params, deadline=deadline)
+        future = self.submit(
+            record, params, deadline=deadline, allow_partial=allow_partial
+        )
         try:
             return future.result(timeout=deadline)
         except FutureTimeoutError:
@@ -238,9 +255,13 @@ class QueryService:
         params: QueryParams | None = None,
         query_id: str = "query",
         deadline: float | None = None,
+        allow_partial: bool = True,
     ) -> ServeResult:
         deadline = deadline if deadline is not None else self.default_deadline
-        future = self.submit_text(text, params, query_id=query_id, deadline=deadline)
+        future = self.submit_text(
+            text, params, query_id=query_id, deadline=deadline,
+            allow_partial=allow_partial,
+        )
         try:
             return future.result(timeout=deadline)
         except FutureTimeoutError:
@@ -278,7 +299,21 @@ class QueryService:
             return out
         done = self._clock()
         for (i, request), report in zip(live, reports):
-            if self.cache is not None:
+            if report.degraded:
+                # A degraded answer reflects transient cluster state, not the
+                # search — never cache it, or the failure outlives the repair.
+                self.stats.inc("degraded")
+                if not request.allow_partial:
+                    self.stats.inc("partial_rejected")
+                    out[i] = DegradedResult(
+                        f"only {report.coverage:.1%} of the index was "
+                        f"searchable ({len(report.failed_nodes)} node(s) "
+                        "failed) and the request required a complete answer",
+                        coverage=report.coverage,
+                        failed_nodes=report.failed_nodes,
+                    )
+                    continue
+            elif self.cache is not None:
                 self.cache.put(request.cache_key, report)
             latency = done - request.submitted_at
             self.stats.record_latency(latency)
@@ -331,11 +366,24 @@ class QueryService:
         return out
 
     def health(self) -> dict:
+        """Liveness summary: service state plus the cluster's.
+
+        ``status`` is ``"degraded"`` (not ``"ok"``) while any storage node
+        is dead — answers may be partial until repair or rejoin completes.
+        """
+        cluster = self.mendel.cluster_health()
+        if self._closed:
+            status = "closed"
+        elif cluster["nodes_dead"]:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "closed" if self._closed else "ok",
+            "status": status,
             "queue_depth": self.queue_depth,
             "max_pending": self.max_pending,
             "index_version": self.mendel.index_version,
+            "cluster": cluster,
         }
 
     def close(self) -> None:
@@ -364,6 +412,9 @@ def _replay(report: QueryReport, query_id: str) -> QueryReport:
         alignments=report.alignments,
         stats=report.stats,
         trace=report.trace,
+        coverage=report.coverage,
+        degraded=report.degraded,
+        failed_nodes=report.failed_nodes,
     )
 
 

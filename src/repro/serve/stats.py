@@ -72,6 +72,10 @@ class ServiceStats:
         self.timeouts = 0
         self.invalid = 0
         self.errors = 0
+        #: completed queries whose report came back degraded (coverage < 1)
+        self.degraded = 0
+        #: degraded results rejected because the caller required completeness
+        self.partial_rejected = 0
         self.latency = LatencyTracker()
 
     def inc(self, name: str, by: int = 1) -> None:
@@ -93,5 +97,7 @@ class ServiceStats:
                 "timeouts": self.timeouts,
                 "invalid": self.invalid,
                 "errors": self.errors,
+                "degraded": self.degraded,
+                "partial_rejected": self.partial_rejected,
                 "latency": self.latency.snapshot(),
             }

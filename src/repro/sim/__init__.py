@@ -1,8 +1,18 @@
 """Discrete-event simulation substrate standing in for the paper's
 physical 50-node LAN cluster."""
 
-from repro.sim.engine import AllOf, SimError, SimEvent, Simulation
-from repro.sim.network import Network, NetworkStats
+from repro.sim.engine import AllOf, AnyOf, SimError, SimEvent, Simulation
+from repro.sim.network import LinkFault, Network, NetworkStats
 from repro.sim.resource import Resource
 
-__all__ = ["AllOf", "SimError", "SimEvent", "Simulation", "Network", "NetworkStats", "Resource"]
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "SimError",
+    "SimEvent",
+    "Simulation",
+    "LinkFault",
+    "Network",
+    "NetworkStats",
+    "Resource",
+]

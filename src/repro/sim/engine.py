@@ -11,7 +11,9 @@ forms a process can ``yield``:
 * a non-negative number — suspend for that many simulated seconds;
 * a :class:`SimEvent` — suspend until it fires, resuming with its value;
 * an :class:`AllOf` — barrier over several events (resumes with their values
-  in the order given, once all have fired).
+  in the order given, once all have fired);
+* an :class:`AnyOf` — race over several events (resumes with the
+  ``(index, value)`` of the first to fire; later fires are ignored).
 
 Determinism: heap ties break on a monotone sequence number, so identical
 runs replay identically.
@@ -79,6 +81,21 @@ class AllOf:
             raise SimError("AllOf requires at least one event")
 
 
+@dataclass
+class AnyOf:
+    """Race over several events; a waiting process resumes with the
+    ``(index, value)`` pair of the first event to fire (ties break on list
+    order).  The losing events still fire normally — only this waiter stops
+    listening.  Used for timeouts: race a work event against a timer."""
+
+    events: list[SimEvent]
+
+    def __post_init__(self) -> None:
+        self.events = list(self.events)
+        if not self.events:
+            raise SimError("AnyOf requires at least one event")
+
+
 ProcessGen = Generator[Any, Any, Any]
 
 
@@ -130,10 +147,12 @@ class Simulation:
             yielded.subscribe(resume)
         elif isinstance(yielded, AllOf):
             self._wait_all(yielded.events, resume)
+        elif isinstance(yielded, AnyOf):
+            self._wait_any(yielded.events, resume)
         else:
             raise SimError(
                 f"process {name!r} yielded unsupported {type(yielded)!r}; "
-                "yield a delay, SimEvent, or AllOf"
+                "yield a delay, SimEvent, AllOf, or AnyOf"
             )
 
     def _wait_all(
@@ -153,6 +172,27 @@ class Simulation:
         for event in events:
             if not event.fired:
                 event.subscribe(on_fire)
+
+    def _wait_any(
+        self, events: list[SimEvent], resume: Callable[[Any], None]
+    ) -> None:
+        for index, event in enumerate(events):
+            if event.fired:
+                self.call_later(0.0, resume, (index, event.value))
+                return
+
+        state = {"won": False}
+
+        def make_on_fire(index: int) -> Callable[[Any], None]:
+            def on_fire(value: Any) -> None:
+                if not state["won"]:
+                    state["won"] = True
+                    resume((index, value))
+
+            return on_fire
+
+        for index, event in enumerate(events):
+            event.subscribe(make_on_fire(index))
 
     # -- running ----------------------------------------------------------------------
 
