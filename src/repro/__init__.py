@@ -20,6 +20,9 @@ Public API highlights:
 * :mod:`repro.faults` — the chaos layer: scripted fault injection
   (crashes, stragglers, lossy links, partitions), heartbeat failure
   detection, re-replication, and degraded-mode query reporting.
+* :mod:`repro.obs` — observability: span-tree tracing through the query
+  pipeline, a Prometheus-style metrics registry shared by the cluster and
+  the gateway, and Chrome trace-event / text-exposition exporters.
 """
 
 from repro.core.framework import Mendel

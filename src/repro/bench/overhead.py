@@ -1,0 +1,142 @@
+"""Tracing-overhead guard: the fig6a workload with tracing on vs off.
+
+Observability must be close to free: recording a span tree and bumping the
+hot-path counters may not meaningfully slow a query down.  This module runs
+the same fig6a-style read workload twice — once untraced, once with a
+:class:`~repro.obs.trace.TraceContext` per query — taking the **minimum**
+wall-clock total over several repetitions of each mode (min-of-N damps
+scheduler noise far better than the mean), and fails when the traced run is
+more than ``--max-overhead`` slower.
+
+Runnable standalone (CI wires it in as a gate)::
+
+    PYTHONPATH=src python -m repro.bench.overhead \
+        --out trace.json --max-overhead 0.05
+
+``--out`` additionally writes the traced run's span trees as Chrome
+trace-event JSON — the artifact CI uploads for drill-down in Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.workloads import (
+    FamilySpec,
+    generate_family_database,
+    generate_read_queries,
+)
+from repro.core.framework import Mendel
+from repro.core.params import MendelConfig, QueryParams
+from repro.obs.timer import Stopwatch
+from repro.obs.trace import TraceContext
+
+
+def measure_overhead(
+    families: int = 30,
+    members_per_family: int = 4,
+    sequence_length: int = 200,
+    query_length: int = 800,
+    query_count: int = 4,
+    repetitions: int = 5,
+    seed: int = 11,
+) -> dict:
+    """Min-of-N wall-clock totals for the workload, traced and untraced.
+
+    Returns a dict with ``traced_s`` / ``untraced_s`` (the two minima),
+    ``overhead`` (fractional slowdown of tracing), and ``roots`` (the span
+    trees of the last traced repetition, for the Chrome artifact).
+    """
+    spec = FamilySpec(
+        families=families,
+        members_per_family=members_per_family,
+        length=sequence_length,
+    )
+    database = generate_family_database(spec, rng=seed)
+    mendel = Mendel.build(database, MendelConfig(group_count=4, group_size=3))
+    queries = generate_read_queries(
+        database, query_count, query_length, rng=seed + query_length,
+        id_prefix="overhead",
+    )
+    params = QueryParams(k=8, n=6, i=0.9)
+
+    # Warm both paths (imports, caches, first-touch allocations) before
+    # anything is timed.
+    warm = queries.records[0]
+    mendel.query(warm, params)
+    mendel.query(warm, params, trace_ctx=TraceContext())
+
+    untraced = Stopwatch()
+    traced = Stopwatch()
+    roots: list = []
+    # Interleave the modes so drift (thermal, other processes) hits both.
+    for _ in range(repetitions):
+        with untraced:
+            for query in queries:
+                mendel.query(query, params)
+        roots = []
+        with traced:
+            for query in queries:
+                ctx = TraceContext()
+                report = mendel.query(query, params, trace_ctx=ctx)
+                roots.append(report.root_span)
+
+    untraced_s = min(untraced.laps)
+    traced_s = min(traced.laps)
+    return {
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "overhead": traced_s / untraced_s - 1.0,
+        "queries": len(queries),
+        "repetitions": repetitions,
+        "roots": roots,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure span-tracing overhead on the fig6a workload"
+    )
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="fail above this fractional slowdown")
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--queries", type=int, default=4, dest="query_count")
+    parser.add_argument("--out", default=None,
+                        help="write the traced run's Chrome trace JSON here")
+    parser.add_argument("--json", default=None, dest="json_out",
+                        help="write the measurement summary as JSON here")
+    args = parser.parse_args(argv)
+
+    result = measure_overhead(
+        query_count=args.query_count, repetitions=args.repetitions
+    )
+    roots = result.pop("roots")
+    print(
+        f"untraced {result['untraced_s'] * 1e3:.1f} ms, "
+        f"traced {result['traced_s'] * 1e3:.1f} ms over "
+        f"{result['queries']} queries x {result['repetitions']} reps "
+        f"(min-of-N): overhead {result['overhead'] * 100:+.2f}% "
+        f"(limit {args.max_overhead * 100:.1f}%)"
+    )
+    if args.out:
+        from repro.obs.export import write_chrome_trace
+
+        count = write_chrome_trace(args.out, roots)
+        print(f"wrote {count} trace events to {args.out}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+    if result["overhead"] > args.max_overhead:
+        print(
+            f"FAIL: tracing overhead {result['overhead'] * 100:.2f}% exceeds "
+            f"the {args.max_overhead * 100:.1f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    raise SystemExit(main())

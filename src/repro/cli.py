@@ -9,6 +9,7 @@
     python -m repro serve deploy.npz --port 7766
     python -m repro chaos --replication 2 --seed 0
     python -m repro call query --seq MKV... --port 7766
+    python -m repro trace deploy.npz queries.fasta --out trace.json
 
 ``index`` builds a deployment and saves it; ``query`` loads one and
 searches every sequence of a FASTA query set; ``info`` summarises a saved
@@ -17,7 +18,10 @@ table; ``serve`` exposes a saved deployment through the TCP query gateway
 (:mod:`repro.serve`); ``chaos`` runs the scripted kill/recover
 fault-injection scenario (:mod:`repro.faults`) and prints recall and
 coverage under failure; ``call`` speaks the gateway's JSON-lines protocol
-(QUERY / STATS / HEALTH) from the command line.
+(QUERY / STATS / HEALTH / METRICS) from the command line; ``trace``
+profiles queries with the observability layer (:mod:`repro.obs`), printing
+each query's span tree and optionally writing a Chrome trace-event JSON
+loadable in Perfetto or ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -102,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache capacity (0 disables caching)")
     serve.add_argument("--cache-ttl", type=float, default=None,
                        help="result-cache TTL in seconds (default: no expiry)")
+    serve.add_argument("--slow-query-threshold", type=float, default=None,
+                       help="log requests slower than this (wall seconds)")
+    serve.add_argument("--slow-log-size", type=int, default=32,
+                       help="slow-query log length surfaced via STATS")
+    serve.add_argument("--no-tracing", action="store_true",
+                       help="disable per-request span recording")
 
     chaos = sub.add_parser(
         "chaos",
@@ -123,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the chaos timeline")
 
     call = sub.add_parser("call", help="call a running gateway")
-    call.add_argument("op", choices=("query", "stats", "health"))
+    call.add_argument("op", choices=("query", "stats", "health", "metrics"))
     call.add_argument("--host", default="127.0.0.1")
     call.add_argument("--port", type=int, default=7766)
     call.add_argument("--seq", default=None,
@@ -138,6 +148,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="alignments to return per query")
     call.add_argument("--timeout", type=float, default=30.0)
     call.add_argument("--retries", type=int, default=3)
+
+    trace = sub.add_parser(
+        "trace",
+        help="profile queries: span trees plus a Chrome trace JSON",
+    )
+    trace.add_argument("archive", help="saved .npz deployment")
+    trace.add_argument("fasta", help="query FASTA file")
+    trace.add_argument("--alphabet", choices=("dna", "protein"),
+                       default=None, help="query alphabet (default: index's)")
+    trace.add_argument("--out", default=None,
+                       help="write Chrome trace-event JSON here")
+    trace.add_argument("--k", type=int, default=4)
+    trace.add_argument("--n", type=int, default=8)
+    trace.add_argument("--identity", type=float, default=0.5, dest="i")
+    trace.add_argument("--c-score", type=float, default=0.5, dest="c")
+    trace.add_argument("--matrix", default="BLOSUM62", dest="M")
+    trace.add_argument("--evalue", type=float, default=10.0, dest="E")
+    trace.add_argument("--metrics", action="store_true",
+                       help="also print the Prometheus metrics exposition")
 
     return parser
 
@@ -247,6 +276,9 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         max_batch=args.max_batch,
         cache_capacity=args.cache_size,
         cache_ttl=args.cache_ttl,
+        tracing=not args.no_tracing,
+        slow_query_threshold=args.slow_query_threshold,
+        slow_log_size=args.slow_log_size,
     )
 
     async def _run() -> None:
@@ -338,6 +370,13 @@ def _cmd_call(args: argparse.Namespace, out) -> int:
                 print(json.dumps(response, indent=2, sort_keys=True), file=out)
                 ok = ok and bool(response.get("ok"))
             return 0 if ok else 1
+        if args.op == "metrics":
+            response = client.metrics()
+            if response.get("ok"):
+                print(response.get("metrics", ""), file=out, end="")
+                return 0
+            print(json.dumps(response, indent=2, sort_keys=True), file=out)
+            return 1
         response = client.stats() if args.op == "stats" else client.health()
         print(json.dumps(response, indent=2, sort_keys=True), file=out)
         return 0 if response.get("ok") else 1
@@ -346,6 +385,44 @@ def _cmd_call(args: argparse.Namespace, out) -> int:
         return 1
     finally:
         client.close()
+
+
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    from repro.obs.export import prometheus_text, write_chrome_trace
+    from repro.obs.metrics import default_registry
+    from repro.obs.trace import TraceContext
+
+    index = load_index(args.archive)
+    alphabet = args.alphabet or index.alphabet.name
+    queries = read_fasta(args.fasta, alphabet)
+    mendel = Mendel(index=index, engine=QueryEngine(index))
+    params = QueryParams(k=args.k, n=args.n, i=args.i, c=args.c,
+                         M=args.M, E=args.E)
+    roots = []
+    for record in queries:
+        ctx = TraceContext()
+        report = mendel.query(record, params, trace_ctx=ctx)
+        root = report.root_span
+        roots.append(root)
+        stage_ms = sum(s.sim_duration for s in root.children) * 1e3
+        print(
+            f"# {record.seq_id} [{report.trace_id}]: "
+            f"{len(report.alignments)} alignments, "
+            f"turnaround {report.stats.turnaround * 1e3:.3f} ms "
+            f"(stages sum to {stage_ms:.3f} ms)",
+            file=out,
+        )
+        print(root.format_tree(), file=out)
+    if args.out:
+        count = write_chrome_trace(args.out, roots)
+        print(
+            f"wrote {count} trace events for {len(roots)} queries to "
+            f"{args.out}",
+            file=out,
+        )
+    if args.metrics:
+        print(prometheus_text(default_registry()), file=out, end="")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:
@@ -360,6 +437,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "call": _cmd_call,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args, out)
 

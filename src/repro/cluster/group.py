@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.hashring import FlatHash
 from repro.cluster.node import StorageNode
+from repro.obs.metrics import default_registry
 
 
 @dataclass
@@ -40,6 +41,17 @@ class StorageGroup:
                 )
         self._flat = FlatHash(ids)
         self._by_id = {node.node_id: node for node in self.nodes}
+        registry = default_registry()
+        self._m_elections = registry.counter(
+            "repro_coordinator_elections_total",
+            "Query-coordinator selections performed by storage groups",
+            ("group",),
+        ).labels(group=self.group_id)
+        self._m_failovers = registry.counter(
+            "repro_coordinator_failovers_total",
+            "Coordinator selections that skipped a dead first-choice node",
+            ("group",),
+        ).labels(group=self.group_id)
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -114,9 +126,13 @@ class StorageGroup:
         *alive* node deterministically so simulations replay identically and
         coordination survives node failures.
         """
-        for node in self.nodes:
+        self._m_elections.inc()
+        for position, node in enumerate(self.nodes):
             if node.alive:
+                if position:
+                    self._m_failovers.inc()
                 return node
+        self._m_failovers.inc()
         return self.nodes[0]  # all dead: routing still needs an address
 
     def alive_nodes(self) -> list[StorageNode]:

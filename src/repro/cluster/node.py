@@ -20,6 +20,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.metrics import default_registry
 from repro.util.validation import check_positive
 from repro.vptree.dynamic import DynamicVPTree
 
@@ -107,6 +108,24 @@ class StorageNode:
         )
         #: block ids stored locally, in insertion order
         self.block_ids: list[int] = []
+        # Observability: children resolved once so the per-search cost is a
+        # lock-and-add, not a registry lookup.
+        registry = default_registry()
+        self._m_evals = registry.counter(
+            "repro_distance_evaluations_total",
+            "Logical segment-distance evaluations performed by local vp-trees",
+            ("group",),
+        ).labels(group=group_id)
+        self._m_blocks = registry.counter(
+            "repro_blocks_scanned_total",
+            "Candidate index blocks returned by local k-NN searches",
+            ("group",),
+        ).labels(group=group_id)
+        self._m_searches = registry.counter(
+            "repro_node_searches_total",
+            "Local k-NN searches served by storage nodes",
+            ("group",),
+        ).labels(group=group_id)
 
     # -- storage -------------------------------------------------------------
 
@@ -148,6 +167,11 @@ class StorageNode:
         self.stats.queries_served += 1
         self.stats.evals_charged += evals
         self.stats.busy_seconds += seconds
+        self._m_searches.inc()
+        if evals:
+            self._m_evals.inc(evals)
+        if hits:
+            self._m_blocks.inc(len(hits))
         return hits, seconds
 
     def service_time(self, evals: int, overhead_evals: int = 50) -> float:

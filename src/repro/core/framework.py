@@ -29,6 +29,8 @@ from repro.seq.records import SequenceRecord, SequenceSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.schedule import FaultSchedule
+    from repro.obs.trace import TraceContext
+    from repro.serve.service import QueryService
 
 
 @dataclass
@@ -52,16 +54,19 @@ class Mendel:
         params: QueryParams | None = None,
         faults: "FaultSchedule | None" = None,
         subquery_deadline: float | None = None,
+        trace_ctx: "TraceContext | None" = None,
     ) -> QueryReport:
         """Similarity-search *record* against the indexed database.
 
         *faults* attaches a scripted chaos schedule to the run;
         *subquery_deadline* bounds each node subquery (simulated seconds)
-        with one hedged retry before the report degrades.  See
+        with one hedged retry before the report degrades; *trace_ctx*
+        records a span tree of the run (``report.root_span``).  See
         :meth:`~repro.core.query.QueryEngine.run_batch`.
         """
         return self.engine.run(
-            record, params, faults=faults, subquery_deadline=subquery_deadline
+            record, params, faults=faults, subquery_deadline=subquery_deadline,
+            trace_ctx=trace_ctx,
         )
 
     def query_text(
@@ -78,9 +83,24 @@ class Mendel:
         self,
         records: SequenceSet | list[SequenceRecord],
         params: QueryParams | None = None,
+        trace_contexts: "list[TraceContext] | None" = None,
     ) -> list[QueryReport]:
-        """Evaluate a whole query set; one report per query, in order."""
-        return [self.query(record, params) for record in records]
+        """Evaluate a whole query set; one report per query, in order.
+
+        *trace_contexts* (one per record) attaches a span tree to each
+        report — what the serving gateway uses for per-request tracing.
+        """
+        if trace_contexts is None:
+            return [self.query(record, params) for record in records]
+        if len(trace_contexts) != len(records):
+            raise ValueError(
+                f"{len(trace_contexts)} trace contexts for "
+                f"{len(records)} records"
+            )
+        return [
+            self.query(record, params, trace_ctx=ctx)
+            for record, ctx in zip(records, trace_contexts)
+        ]
 
     def query_under_faults(
         self,
@@ -89,6 +109,7 @@ class Mendel:
         params: QueryParams | None = None,
         arrival_interval: float = 0.0,
         subquery_deadline: float | None = None,
+        trace_contexts: "list[TraceContext] | None" = None,
     ) -> list[QueryReport]:
         """Evaluate *records* concurrently on one clock while *faults*
         plays out — the chaos-experiment entry point.
@@ -105,6 +126,7 @@ class Mendel:
             arrival_interval=arrival_interval,
             faults=faults,
             subquery_deadline=subquery_deadline,
+            trace_contexts=trace_contexts,
         )
 
     def query_translated(

@@ -44,6 +44,8 @@ from repro.core.aggregate import merge_anchors
 from repro.core.anchors import evaluate_candidate, extend_anchor
 from repro.core.index import MendelIndex
 from repro.core.params import QueryParams
+from repro.obs.metrics import default_registry
+from repro.obs.trace import NO_SPAN, Span, TraceContext
 from repro.seq.alphabet import Alphabet
 from repro.seq.matrices import dna_matrix, named_matrix
 from repro.seq.records import SequenceRecord
@@ -115,6 +117,14 @@ class QueryReport:
     coverage: float = 1.0
     degraded: bool = False
     failed_nodes: list[str] = field(default_factory=list)
+    #: root of the span tree recorded when a :class:`~repro.obs.trace.
+    #: TraceContext` was attached to the run (``None`` otherwise); its
+    #: sim-clock duration equals ``stats.turnaround``
+    root_span: Span | None = None
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.root_span.trace_id if self.root_span is not None else None
 
     def best(self) -> Alignment | None:
         return self.alignments[0] if self.alignments else None
@@ -223,15 +233,19 @@ class QueryEngine:
         trace: bool = False,
         faults: "FaultSchedule | None" = None,
         subquery_deadline: float | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> QueryReport:
         """Evaluate *query*; returns ranked alignments and statistics.
 
         With ``trace=True`` the report carries a
-        :class:`TraceEvent` timeline of the distributed dataflow.
+        :class:`TraceEvent` timeline of the distributed dataflow.  With a
+        *trace_ctx*, the report additionally carries a full span tree
+        (``report.root_span``) stamped with both wall and sim clocks.
         """
         return self.run_batch(
             [query], params, trace=trace, faults=faults,
             subquery_deadline=subquery_deadline,
+            trace_contexts=[trace_ctx] if trace_ctx is not None else None,
         )[0]
 
     def run_batch(
@@ -242,6 +256,7 @@ class QueryEngine:
         trace: bool = False,
         faults: "FaultSchedule | None" = None,
         subquery_deadline: float | None = None,
+        trace_contexts: "list[TraceContext] | None" = None,
     ) -> list[QueryReport]:
         """Evaluate *queries* concurrently on one simulated cluster.
 
@@ -265,10 +280,22 @@ class QueryEngine:
         ``turnaround`` is completion time minus that query's arrival time,
         and each carries ``coverage`` / ``degraded`` / ``failed_nodes``
         describing how complete the answer is.
+
+        *trace_contexts* (one :class:`~repro.obs.trace.TraceContext` per
+        query) enables span-tree tracing: each query's report carries a
+        ``root_span`` whose children tile the turnaround stage by stage
+        (receive, route, fanout with per-group/per-node subspans, gapped,
+        reply), annotated with hedged retries, node failures, and degraded
+        coverage.
         """
         from repro.sim.resource import Resource
 
         params = params or QueryParams()
+        if trace_contexts is not None and len(trace_contexts) != len(queries):
+            raise ValueError(
+                f"{len(trace_contexts)} trace contexts for "
+                f"{len(queries)} queries"
+            )
         if arrival_interval < 0:
             raise ValueError(
                 f"arrival_interval must be non-negative, got {arrival_interval}"
@@ -310,6 +337,29 @@ class QueryEngine:
             {"covered": set(), "total": set(), "failed": set()} for _ in queries
         ]
         traces: list[list[TraceEvent]] = [[] for _ in queries]
+        roots: list = [NO_SPAN] * len(queries)
+
+        registry = default_registry()
+        m_queries = registry.counter(
+            "repro_queries_total",
+            "Queries evaluated by the engine",
+            ("status",),
+        )
+        m_routed = registry.counter(
+            "repro_subqueries_routed_total",
+            "Window subqueries routed to storage groups",
+            ("group",),
+        )
+        m_retries = registry.counter(
+            "repro_hedged_retries_total",
+            "Subqueries hedged with a retry after a drop/timeout",
+            ("group",),
+        )
+        m_failures = registry.counter(
+            "repro_node_failures_total",
+            "Subqueries that terminally failed (no anchors contributed)",
+            ("group", "reason"),
+        )
 
         def make_note(index: int):
             if not trace:
@@ -324,7 +374,8 @@ class QueryEngine:
             return note
 
         def node_proc(index: int, query: SequenceRecord, node: StorageNode,
-                      coordinator: StorageNode, windows: list[_Window]):
+                      coordinator: StorageNode, windows: list[_Window],
+                      span=NO_SPAN):
             stats = per_query_stats[index]
             note = make_note(index)
             # Broadcast delivery coordinator -> node (drop-aware: a lossy
@@ -382,10 +433,10 @@ class QueryEngine:
                         seen.add(key)
                         extension_ops += anchor.length
                         anchors.append(anchor)
+                evals = node.tree.adapter.pair_evaluations - local_before
                 stats.anchors_extended += len(anchors)
-                stats.node_evals += (
-                    node.tree.adapter.pair_evaluations - local_before
-                )
+                stats.node_evals += evals
+                span.annotate(evals=evals)
                 yield service + node.service_time_ops(extension_ops)
             finally:
                 lock.release()
@@ -410,7 +461,8 @@ class QueryEngine:
             return anchors
 
         def guarded_node(index: int, query: SequenceRecord, node: StorageNode,
-                         coordinator: StorageNode, windows: list[_Window]):
+                         coordinator: StorageNode, windows: list[_Window],
+                         parent_span=NO_SPAN):
             """One subquery with a deadline and a single hedged retry.
 
             Retries only make sense while the node is still alive (a dropped
@@ -420,8 +472,16 @@ class QueryEngine:
             stats = per_query_stats[index]
             attempts = 0
             while True:
+                span = parent_span.child(
+                    f"node:{node.node_id}", sim_now=sim.now,
+                    actor=node.node_id, windows=len(windows),
+                    attempt=attempts,
+                )
+                if attempts:
+                    span.annotate(hedged_retry=True)
                 inner = sim.spawn(
-                    node_proc(index, query, node, coordinator, windows),
+                    node_proc(index, query, node, coordinator, windows,
+                              span=span),
                     name=f"q{index}:node:{node.node_id}:a{attempts}",
                 )
                 if subquery_deadline is not None:
@@ -435,21 +495,34 @@ class QueryEngine:
                 else:
                     result = yield inner
                 if not isinstance(result, _NodeFailure):
+                    span.annotate(anchors=len(result))
+                    span.finish(sim_now=sim.now)
                     return result
+                span.annotate(failed=result.reason)
+                span.finish(sim_now=sim.now)
                 if attempts >= 1 or not node.alive:
+                    m_failures.labels(
+                        group=node.group_id, reason=result.reason
+                    ).inc()
                     return result
                 attempts += 1
                 stats.hedged_retries += 1
+                m_retries.labels(group=node.group_id).inc()
 
         def group_proc(index: int, query: SequenceRecord, group: StorageGroup,
-                       windows: list[_Window]):
+                       windows: list[_Window], parent_span=NO_SPAN):
             stats = per_query_stats[index]
             note = make_note(index)
             holder = holders[index]
+            gspan = parent_span.child(
+                f"group:{group.group_id}", sim_now=sim.now,
+                actor=group.group_id, windows=len(windows),
+            )
             # Pin the coordinator for this query's lifetime: src/dst of every
             # in-flight transfer stays stable even if the entry node dies
             # mid-query (the replies were already addressed).
             coordinator = group.entry_point()
+            gspan.annotate(coordinator=coordinator.node_id)
             # System entry -> group coordinator (the subquery batch).
             yield net.transfer(
                 entry.node_id,
@@ -462,32 +535,47 @@ class QueryEngine:
             )
             # Coverage denominators: every distinct block this group knows
             # about is in scope for the routed subqueries.
+            dead_members = []
             for member in group.nodes:
                 holder["total"].update(member.block_ids)
                 if not member.alive:
                     holder["failed"].add(member.node_id)
+                    dead_members.append(member.node_id)
+            if dead_members:
+                gspan.annotate(dead_nodes=",".join(sorted(dead_members)))
             fanout = [node for node in group.nodes if node.alive]
             node_events = [
                 sim.spawn(
-                    guarded_node(index, query, node, coordinator, windows),
+                    guarded_node(index, query, node, coordinator, windows,
+                                 parent_span=gspan),
                     name=f"q{index}:guard:{node.node_id}",
                 )
                 for node in fanout
             ]
             if not node_events:
+                gspan.annotate(failed="group-down")
+                gspan.finish(sim_now=sim.now)
                 return []  # whole group down: no anchors from here
             per_node = yield AllOf(node_events)
             collected: list[Anchor] = []
+            failed_here = []
             for node, result in zip(fanout, per_node):
                 if isinstance(result, _NodeFailure):
                     holder["failed"].add(node.node_id)
+                    failed_here.append(node.node_id)
                 else:
                     collected.extend(result)
                     holder["covered"].update(node.block_ids)
+            if failed_here:
+                gspan.annotate(failed_nodes=",".join(sorted(failed_here)))
+            aspan = gspan.child("group_aggregate", sim_now=sim.now,
+                                actor=group.group_id)
             merged = merge_anchors(collected)
             yield coordinator.service_time_ops(4 * max(1, len(collected)))
             note(group.group_id, "group aggregation",
                  f"{len(collected)} anchors merged to {len(merged)}")
+            aspan.annotate(anchors_in=len(collected), anchors_out=len(merged))
+            aspan.finish(sim_now=sim.now)
             # Group coordinator -> system entry.
             yield net.transfer(
                 coordinator.node_id,
@@ -498,6 +586,8 @@ class QueryEngine:
                     anchor_count=len(merged),
                 ).wire_bytes(),
             )
+            gspan.annotate(anchors=len(merged))
+            gspan.finish(sim_now=sim.now)
             return merged
 
         def system_proc(index: int, query: SequenceRecord, arrival: float):
@@ -505,11 +595,23 @@ class QueryEngine:
             note = make_note(index)
             if arrival > 0:
                 yield arrival
+            ctx = trace_contexts[index] if trace_contexts is not None else None
+            root = (
+                ctx.begin(f"query:{query.seq_id}", sim_now=sim.now,
+                          actor="client", query_id=query.seq_id,
+                          residues=len(query), entry=entry.node_id)
+                if ctx is not None
+                else NO_SPAN
+            )
+            roots[index] = root
             # Client -> system entry point.
+            span = root.child("receive", sim_now=sim.now, actor="client")
             yield net.transfer("client", entry.node_id, query.codes.nbytes + 64)
+            span.finish(sim_now=sim.now)
             note(entry.node_id, "query received",
                  f"{len(query)} residues from client")
 
+            span = root.child("route", sim_now=sim.now, actor=entry.node_id)
             windows = self.windows_for(query, params)
             stats.windows = len(windows)
 
@@ -523,14 +625,21 @@ class QueryEngine:
                     routing.setdefault(group.group_id, []).append(window)
                     groups_by_id[group.group_id] = group
                     stats.subqueries_routed += 1
+                    m_routed.labels(group=group.group_id).inc()
             yield entry.service_time(adapter.pair_evaluations - hash_before)
             stats.groups_contacted = len(routing)
+            span.annotate(windows=len(windows), groups=len(routing),
+                          subqueries=stats.subqueries_routed)
+            span.finish(sim_now=sim.now)
             note(entry.node_id, "windows hashed",
                  f"{len(windows)} windows -> {len(routing)} groups "
                  f"({stats.subqueries_routed} subqueries)")
 
+            span = root.child("fanout", sim_now=sim.now, actor=entry.node_id,
+                              groups=len(routing))
             group_events = [
-                sim.spawn(group_proc(index, query, groups_by_id[gid], wins),
+                sim.spawn(group_proc(index, query, groups_by_id[gid], wins,
+                                     parent_span=span),
                           name=f"q{index}:group:{gid}")
                 for gid, wins in sorted(routing.items())
             ]
@@ -539,18 +648,24 @@ class QueryEngine:
                 per_group = yield AllOf(group_events)
                 merged = merge_anchors([a for group in per_group for a in group])
             stats.anchors_merged = len(merged)
+            span.annotate(anchors_merged=len(merged))
+            span.finish(sim_now=sim.now)
             note(entry.node_id, "system aggregation",
                  f"{len(merged)} merged anchors")
 
+            span = root.child("gapped", sim_now=sim.now, actor=entry.node_id)
             (alignments, gapped_count), gapped_ops = self._gapped_pass(
                 query, merged, params, matrix
             )
             stats.gapped_extensions = gapped_count
             yield entry.service_time_ops(gapped_ops)
+            span.annotate(extensions=gapped_count, alignments=len(alignments))
+            span.finish(sim_now=sim.now)
             note(entry.node_id, "gapped pass done",
                  f"{gapped_count} extensions -> {len(alignments)} alignments")
 
             # System entry -> client.
+            span = root.child("reply", sim_now=sim.now, actor=entry.node_id)
             yield net.transfer(
                 entry.node_id,
                 "client",
@@ -560,8 +675,10 @@ class QueryEngine:
                     alignment_count=len(alignments),
                 ).wire_bytes(),
             )
+            span.finish(sim_now=sim.now)
             note("client", "result received",
                  f"{len(alignments)} ranked alignments")
+            root.finish(sim_now=sim.now)
             holders[index]["alignments"] = alignments
             holders[index]["completed_at"] = sim.now
             holders[index]["arrival"] = arrival
@@ -587,6 +704,17 @@ class QueryEngine:
             total = holder["total"]
             covered = holder["covered"]
             coverage = 1.0 if not total else len(covered & total) / len(total)
+            degraded = coverage < 1.0
+            root = roots[index]
+            root.annotate(
+                coverage=round(coverage, 6),
+                degraded=degraded,
+                hedged_retries=stats.hedged_retries,
+                turnaround=stats.turnaround,
+            )
+            if holder["failed"]:
+                root.annotate(failed_nodes=",".join(sorted(holder["failed"])))
+            m_queries.labels(status="degraded" if degraded else "ok").inc()
             reports.append(
                 QueryReport(
                     query_id=query.seq_id,
@@ -594,8 +722,9 @@ class QueryEngine:
                     stats=stats,
                     trace=traces[index],
                     coverage=coverage,
-                    degraded=coverage < 1.0,
+                    degraded=degraded,
                     failed_nodes=sorted(holder["failed"]),
+                    root_span=root if isinstance(root, Span) else None,
                 )
             )
         return reports

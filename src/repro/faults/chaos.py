@@ -27,6 +27,7 @@ from repro.cluster.node import StorageNode
 from repro.faults.detector import FailureDetector
 from repro.faults.repair import RepairReport, ReReplicator
 from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.obs.metrics import default_registry
 from repro.sim.engine import SimEvent, Simulation
 from repro.sim.network import Network
 
@@ -73,6 +74,22 @@ class ChaosController:
         self.repairer = ReReplicator(index, is_alive=self._is_alive)
         self._repair_tail: dict[str, SimEvent] = {}
         self._nodes = {node.node_id: node for node in index.topology.nodes}
+        registry = default_registry()
+        self._m_events = registry.counter(
+            "repro_chaos_events_total",
+            "Chaos timeline entries by kind (injections, detections, repairs)",
+            ("kind",),
+        )
+        self._m_repair_blocks = registry.counter(
+            "repro_repair_blocks_streamed_total",
+            "Index blocks streamed by re-replication repairs",
+            ("group",),
+        )
+        self._m_repair_bytes = registry.counter(
+            "repro_repair_bytes_streamed_total",
+            "Payload bytes streamed by re-replication repairs",
+            ("group",),
+        )
 
     # -- wiring ----------------------------------------------------------------
 
@@ -185,6 +202,14 @@ class ChaosController:
                 yield previous
             report = yield from self.repairer.repair_proc(group, self.sim, self.net)
             self.repairs = self.repairs.merge(report)
+            if report.blocks_streamed:
+                self._m_repair_blocks.labels(group=group.group_id).inc(
+                    report.blocks_streamed
+                )
+            if report.bytes_streamed:
+                self._m_repair_bytes.labels(group=group.group_id).inc(
+                    report.bytes_streamed
+                )
             self._note(
                 "repair",
                 f"{group.group_id}: {reason} — {report.blocks_streamed} streamed, "
@@ -199,6 +224,7 @@ class ChaosController:
 
     def _note(self, kind: str, detail: str) -> None:
         self.log.append(ChaosLogEntry(time=self.sim.now, kind=kind, detail=detail))
+        self._m_events.labels(kind=kind).inc()
 
     def summary(self) -> dict:
         """Counters for reports and the ``repro chaos`` CLI."""

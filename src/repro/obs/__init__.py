@@ -1,0 +1,53 @@
+"""Observability: distributed tracing, metrics, and exporters.
+
+The paper's whole evaluation (section VI) is about *where time goes* —
+routing, intra-group fan-out, local vp-tree k-NN, extension, and two levels
+of aggregation.  This package makes that visible on a live deployment:
+
+* :mod:`repro.obs.trace` — span trees (:class:`TraceContext` /
+  :class:`Span`) propagated from the serving gateway through the query
+  engine down to per-node subqueries, stamped with *both* wall-clock and
+  sim-clock times;
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges,
+  and bucketed histograms with labels; one process-global default registry
+  shared by the cluster hot paths and the serving gateway;
+* :mod:`repro.obs.export` — Prometheus text exposition and Chrome
+  trace-event JSON (loadable in ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.timer` — the one wall-clock primitive (and the benchmark
+  :class:`Stopwatch`) every layer reads.
+
+DESIGN.md's "three clocks" subsection explains how wall-clock time,
+sim-clock time, and trace timestamps relate.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.timer import Stopwatch, format_duration, wall_clock
+from repro.obs.trace import NO_SPAN, Span, TraceContext
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NO_SPAN",
+    "Span",
+    "Stopwatch",
+    "TraceContext",
+    "chrome_trace_events",
+    "default_registry",
+    "format_duration",
+    "prometheus_text",
+    "wall_clock",
+    "write_chrome_trace",
+]

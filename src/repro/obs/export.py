@@ -1,0 +1,153 @@
+"""Exporters: Prometheus text exposition and Chrome trace-event JSON.
+
+* :func:`prometheus_text` renders one or more registries in the Prometheus
+  text exposition format (version 0.0.4) — what the gateway's METRICS verb
+  returns and a scraper ingests directly.
+* :func:`chrome_trace_events` flattens span trees into the Chrome
+  trace-event format (complete ``"X"`` events with ``ph``/``ts``/``dur``/
+  ``pid``/``tid``/``name``), loadable in ``chrome://tracing`` or Perfetto.
+  Sim-clock timestamps are used — that is the clock the paper's turnaround
+  lives on — with each span's *actor* (node id, group id, client) mapped to
+  its own ``tid`` row so the fan-out/aggregation structure reads like the
+  paper's Fig. 2 pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.metrics import FamilySnapshot, MetricsRegistry, Sample
+from repro.obs.trace import Span
+
+# -- Prometheus text exposition -------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _render_sample(sample: Sample) -> str:
+    if sample.labels:
+        labels = ",".join(
+            f'{name}="{_escape_label(value)}"' for name, value in sample.labels
+        )
+        series = f"{sample.name}{{{labels}}}"
+    else:
+        series = sample.name
+    value = sample.value
+    if value == float("inf"):
+        rendered = "+Inf"
+    elif value == float("-inf"):
+        rendered = "-Inf"
+    elif float(value).is_integer():
+        rendered = str(int(value))
+    else:
+        rendered = repr(float(value))
+    return f"{series} {rendered}"
+
+
+def _render_family(snap: FamilySnapshot) -> list[str]:
+    lines = []
+    if snap.help:
+        lines.append(f"# HELP {snap.name} {_escape_help(snap.help)}")
+    lines.append(f"# TYPE {snap.name} {snap.kind}")
+    lines.extend(_render_sample(sample) for sample in snap.samples)
+    return lines
+
+
+def prometheus_text(*registries: MetricsRegistry) -> str:
+    """The text exposition of every family in *registries*, sorted by family
+    name.  Same-named families of the same kind merge their samples (several
+    gateway callbacks can each contribute their own labelled series to, say,
+    ``repro_cache_hits_total``); a kind clash keeps the first occurrence."""
+    merged: dict[str, FamilySnapshot] = {}
+    for registry in registries:
+        for snap in registry.collect():
+            existing = merged.get(snap.name)
+            if existing is None:
+                merged[snap.name] = FamilySnapshot(
+                    name=snap.name, kind=snap.kind, help=snap.help,
+                    samples=list(snap.samples),
+                )
+            elif existing.kind == snap.kind:
+                existing.samples.extend(snap.samples)
+    lines: list[str] = []
+    for name in sorted(merged):
+        lines.extend(_render_family(merged[name]))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- Chrome trace-event JSON ----------------------------------------------------
+
+
+def chrome_trace_events(spans: Iterable[Span], pid: int = 1) -> list[dict]:
+    """Flatten *spans* (roots of span trees) into Chrome trace events.
+
+    Every span becomes one complete event (``"ph": "X"``) with sim-clock
+    ``ts``/``dur`` in microseconds.  Spans carry their actor in
+    ``attrs["actor"]``; distinct actors get distinct ``tid`` rows (with
+    ``thread_name`` metadata events naming them), so Perfetto renders the
+    cluster's parallelism one row per node/group.
+    """
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+
+    def tid_for(actor: str) -> int:
+        if actor not in tids:
+            tids[actor] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[actor],
+                    "args": {"name": actor},
+                }
+            )
+        return tids[actor]
+
+    for root in spans:
+        for span in root.walk():
+            if span.sim_start is None:
+                continue
+            actor = str(span.attrs.get("actor", root.name))
+            args = {
+                key: value
+                for key, value in span.attrs.items()
+                if key != "actor"
+            }
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": "sim",
+                    "ts": span.sim_start * 1e6,
+                    "dur": max(0.0, span.sim_duration) * 1e6,
+                    "pid": pid,
+                    "tid": tid_for(actor),
+                    "args": args,
+                }
+            )
+    return events
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span]) -> int:
+    """Write the Chrome trace JSON for *spans* to *path* (JSON object form
+    with ``traceEvents``, the shape Perfetto and ``chrome://tracing`` both
+    load); returns the number of events written."""
+    events = chrome_trace_events(spans)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"), default=str)
+    return len(events)

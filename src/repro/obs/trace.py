@@ -1,0 +1,223 @@
+"""Span trees: the trace layer of the observability subsystem.
+
+A :class:`TraceContext` is created per request (by the serving gateway, the
+``repro trace`` CLI, or any caller of ``Mendel.query(trace_ctx=...)``) and
+threaded through the query pipeline.  Each pipeline stage opens a
+:class:`Span` stamped with **both clocks**:
+
+* *sim* timestamps — the simulated-cluster clock the paper's turnaround
+  figures live on; a query's root span covers exactly its turnaround, and
+  sibling stage spans tile it;
+* *wall* timestamps — real process time, what the serving layer's latency
+  is made of.
+
+Spans nest by explicit parent (``parent.child(...)``) rather than an
+ambient stack because the engine interleaves many generator processes on
+one simulated clock — there is no meaningful "current" span.
+
+Code paths that may run untraced take :data:`NO_SPAN`, a null object whose
+``child``/``annotate``/``finish`` are no-ops, so the hot path stays
+branch-free and the tracing-off overhead is a few cheap method calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Iterator
+
+from repro.obs.timer import wall_clock
+
+_trace_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """Process-unique (and deterministic within a process) trace id."""
+    return f"t{next(_trace_ids):010x}"
+
+
+class Span:
+    """One timed stage of the pipeline; a node of the span tree."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "wall_start", "wall_end", "sim_start", "sim_end",
+        "attrs", "children", "_ctx",
+    )
+
+    def __init__(
+        self,
+        ctx: "TraceContext",
+        name: str,
+        parent_id: str | None,
+        sim_now: float | None,
+        attrs: dict[str, Any],
+    ) -> None:
+        self._ctx = ctx
+        self.name = name
+        self.trace_id = ctx.trace_id
+        self.span_id = ctx.next_span_id()
+        self.parent_id = parent_id
+        self.wall_start = wall_clock()
+        self.wall_end: float | None = None
+        self.sim_start = sim_now
+        self.sim_end: float | None = None
+        self.attrs = dict(attrs)
+        self.children: list["Span"] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def child(self, name: str, sim_now: float | None = None,
+              **attrs: Any) -> "Span":
+        """Open a child span starting now (both clocks)."""
+        span = Span(self._ctx, name, self.span_id, sim_now, attrs)
+        with self._ctx._lock:
+            self.children.append(span)
+        return span
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes (cache hits, retry counts, failure reasons)."""
+        self.attrs.update(attrs)
+
+    def finish(self, sim_now: float | None = None) -> "Span":
+        """Close the span, stamping both end clocks; idempotent."""
+        if self.wall_end is None:
+            self.wall_end = wall_clock()
+        if sim_now is not None:
+            self.sim_end = sim_now
+        return self
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def wall_duration(self) -> float:
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_duration(self) -> float:
+        if self.sim_start is None or self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with *name*, depth-first."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    # -- rendering -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form of the subtree (stable for determinism tests:
+        only clock-independent and sim-clock fields, no wall stamps)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def tree_lines(self, indent: int = 0) -> list[str]:
+        """Indented one-line-per-span rendering (sim-clock durations)."""
+        duration = (
+            f"{self.sim_duration * 1e3:9.3f} ms"
+            if self.sim_start is not None
+            else f"{self.wall_duration * 1e3:9.3f} ms wall"
+        )
+        attrs = " ".join(
+            f"{key}={_short(value)}" for key, value in sorted(self.attrs.items())
+        )
+        line = f"{'  ' * indent}{duration}  {self.name}"
+        if attrs:
+            line += f"  [{attrs}]"
+        lines = [line]
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + 1))
+        return lines
+
+    def format_tree(self) -> str:
+        return "\n".join(self.tree_lines())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"sim={self.sim_duration * 1e3:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+def _short(value: Any) -> str:
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+class _NullSpan:
+    """Absorbs every span operation; what untraced code paths receive."""
+
+    __slots__ = ()
+
+    def child(self, name: str, sim_now: float | None = None,
+              **attrs: Any) -> "_NullSpan":
+        return self
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def finish(self, sim_now: float | None = None) -> "_NullSpan":
+        return self
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The null span — truthiness distinguishes it from a real span.
+NO_SPAN = _NullSpan()
+
+
+class TraceContext:
+    """One trace: an id, a span-id counter, and the root span.
+
+    Thread-safe: the serving gateway's worker threads and the simulated
+    engine both append spans through the same lock.
+    """
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.root: Span | None = None
+        self._lock = threading.Lock()
+        self._span_ids = itertools.count(1)
+
+    def next_span_id(self) -> str:
+        return f"s{next(self._span_ids):04d}"
+
+    def begin(self, name: str, sim_now: float | None = None,
+              **attrs: Any) -> Span:
+        """Open the root span; a second ``begin`` nests under the root."""
+        with self._lock:
+            root = self.root
+        if root is not None:
+            return root.child(name, sim_now=sim_now, **attrs)
+        span = Span(self, name, None, sim_now, attrs)
+        with self._lock:
+            self.root = span
+        return span
+
+    def spans(self) -> list[Span]:
+        """Every span in the trace, depth-first from the root."""
+        return list(self.root.walk()) if self.root is not None else []

@@ -137,12 +137,14 @@ class ServeClient:
         deadline: float | None = None,
         top: int | None = None,
         allow_partial: bool = True,
+        trace: bool = False,
     ) -> dict:
         """QUERY op; returns the raw response dict (check ``ok``).
 
         ``allow_partial=False`` asks the server to reject degraded
         (partial-coverage) answers with an ``{"error": "degraded"}``
-        response instead of returning them.
+        response instead of returning them.  ``trace=True`` asks for the
+        request's span tree (``response["trace"]``) alongside the result.
         """
         if isinstance(params, QueryParams):
             params = dataclasses.asdict(params)
@@ -155,6 +157,8 @@ class ServeClient:
             message["top"] = top
         if not allow_partial:
             message["allow_partial"] = False
+        if trace:
+            message["trace"] = True
         return self.request(message)
 
     def stats(self) -> dict:
@@ -162,6 +166,10 @@ class ServeClient:
 
     def health(self) -> dict:
         return self.request({"op": "health"})
+
+    def metrics(self) -> dict:
+        """METRICS op; ``response["metrics"]`` is Prometheus text."""
+        return self.request({"op": "metrics"})
 
     def __enter__(self) -> "ServeClient":
         self.connect()

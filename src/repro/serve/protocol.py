@@ -5,16 +5,25 @@ One request per line, one response per line, UTF-8 JSON objects:
 Requests::
 
     {"op": "query", "id": "q1", "seq": "MKV...", "params": {"n": 8},
-     "deadline": 2.0, "top": 5, "allow_partial": false}
+     "deadline": 2.0, "top": 5, "allow_partial": false, "trace": true}
     {"op": "stats"}
     {"op": "health"}
+    {"op": "metrics"}
 
 Responses::
 
-    {"id": "q1", "ok": true, "cached": false, "query_id": "q1",
-     "alignments": [...], "coverage": 1.0, "degraded": false,
-     "failed_nodes": [], "stats": {...}}
+    {"id": "q1", "ok": true, "cached": false, "trace_id": "t0000000007",
+     "query_id": "q1", "alignments": [...], "coverage": 1.0,
+     "degraded": false, "failed_nodes": [], "stats": {...}}
     {"id": "q1", "ok": false, "error": "overloaded", "message": "..."}
+    {"ok": true, "content_type": "text/plain; version=0.0.4",
+     "metrics": "# HELP repro_queries_total ...\n..."}
+
+Every query response carries the ``trace_id`` of the span tree recorded
+for the request (``null`` when tracing is off or the answer was served
+from cache without a recorded trace); ``"trace": true`` additionally
+returns the span tree itself under ``"trace"``.  ``{"op": "metrics"}``
+returns the shared registry's Prometheus text exposition.
 
 ``allow_partial`` (default true) controls degraded-mode behaviour: under
 node failures a query may cover only part of the index; with

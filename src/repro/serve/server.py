@@ -118,6 +118,13 @@ class QueryServer:
                 return {"id": request_id, "ok": True, "stats": self.service.snapshot()}
             if op == "health":
                 return {"id": request_id, "ok": True, **self.service.health()}
+            if op == "metrics":
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "content_type": "text/plain; version=0.0.4",
+                    "metrics": self.service.metrics_text(),
+                }
             raise InvalidRequest(f"unknown op {op!r}")
         except ServeError as exc:
             return {"id": request_id, "ok": False, **exc.to_dict()}
@@ -144,6 +151,11 @@ class QueryServer:
             raise InvalidRequest(
                 f"allow_partial must be a boolean, got {allow_partial!r}"
             )
+        want_trace = message.get("trace", False)
+        if not isinstance(want_trace, bool):
+            raise InvalidRequest(
+                f"trace must be a boolean, got {want_trace!r}"
+            )
         future = self.service.submit_text(
             seq,
             params,
@@ -159,12 +171,16 @@ class QueryServer:
             raise DeadlineExceeded(
                 f"no result within the {deadline}s deadline"
             ) from None
-        return {
+        response = {
             "id": request_id,
             "ok": True,
             "cached": result.cached,
+            "trace_id": result.trace_id,
             **report_to_dict(result.report, top=message.get("top")),
         }
+        if want_trace and result.report.root_span is not None:
+            response["trace"] = result.report.root_span.to_dict()
+        return response
 
 
 class BackgroundServer:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
@@ -33,6 +34,9 @@ from dataclasses import dataclass, field
 from repro.core.framework import Mendel
 from repro.core.params import QueryParams
 from repro.core.query import QueryReport
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import FamilySnapshot, MetricsRegistry, Sample, default_registry
+from repro.obs.trace import TraceContext
 from repro.seq.records import SequenceRecord
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import MISS, ResultCache
@@ -54,6 +58,9 @@ class ServeResult:
     cached: bool = False
     #: wall-clock seconds from submission to completion (0 for cache hits)
     latency: float = 0.0
+    #: trace id of the span tree recorded for this request (None when
+    #: tracing is off or a custom runner handled the batch)
+    trace_id: str | None = None
 
 
 @dataclass
@@ -90,7 +97,19 @@ class QueryService:
         Override for the batch execution callable
         (``runner(records, params) -> list[QueryReport]``); defaults to
         ``mendel.query_many``.  A test seam, and the hook for serving
-        alternative backends.
+        alternative backends.  Custom runners keep the two-argument
+        signature and are never traced.
+    tracing:
+        Record a span tree per executed request (``result.trace_id``; the
+        tree rides on ``report.root_span``).  Only applies to the default
+        runner.
+    slow_query_threshold / slow_log_size:
+        Requests whose wall-clock latency exceeds the threshold (seconds)
+        are kept — span-tree summary included — in a bounded log surfaced
+        as ``snapshot()["slow_queries"]``.  ``None`` disables the log.
+    registry:
+        Metrics registry to account into; defaults to the process-global
+        one (so one METRICS scrape covers cluster and gateway).
     """
 
     def __init__(
@@ -106,6 +125,10 @@ class QueryService:
         default_deadline: float | None = None,
         runner=None,
         clock=time.monotonic,
+        tracing: bool = True,
+        slow_query_threshold: float | None = None,
+        slow_log_size: int = 32,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -114,13 +137,23 @@ class QueryService:
         self.mendel = mendel
         self.max_pending = max_pending
         self.default_deadline = default_deadline
-        self.stats = ServiceStats(clock=clock)
+        self.registry = registry if registry is not None else default_registry()
+        self.stats = ServiceStats(clock=clock, registry=self.registry)
+        self.tracing = tracing
+        self.slow_query_threshold = slow_query_threshold
         self.cache = (
             ResultCache(capacity=cache_capacity, ttl=cache_ttl, clock=clock)
             if cache_capacity
             else None
         )
+        self._traced_runner = runner is None
         self._runner = runner or mendel.query_many
+        self._slow_log: deque[dict] = deque(maxlen=max(1, slow_log_size))
+        self._m_slow = self.registry.counter(
+            "repro_slow_queries_total",
+            "Requests that exceeded the gateway's slow-query threshold",
+            ("service",),
+        ).labels(service=self.stats.service)
         self._clock = clock
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
@@ -136,6 +169,10 @@ class QueryService:
         self._inflight = 0
         self._seen_version = mendel.index_version
         self._closed = False
+        # Collect-time callback: cache hit/miss counts and queue depth are
+        # already tracked by the cache and admission layers, so METRICS
+        # derives them at scrape time instead of double-counting.
+        self._collect_cb = self.registry.register_callback(self._derived_families)
 
     # -- submission ------------------------------------------------------------
 
@@ -195,8 +232,12 @@ class QueryService:
         if self.cache is not None:
             hit = self.cache.get(key)
             if hit is not MISS:
+                replayed = _replay(hit, record.seq_id)
                 return _done(
-                    ServeResult(report=_replay(hit, record.seq_id), cached=True)
+                    ServeResult(
+                        report=replayed, cached=True,
+                        trace_id=replayed.trace_id,
+                    )
                 )
 
         with self._lock:
@@ -288,10 +329,14 @@ class QueryService:
                 live.append((i, request))
         if not live:
             return out
+        records = [request.record for _, request in live]
+        params = live[0][1].params
         try:
-            reports = self._runner(
-                [request.record for _, request in live], live[0][1].params
-            )
+            if self._traced_runner and self.tracing:
+                contexts = [TraceContext() for _ in live]
+                reports = self._runner(records, params, trace_contexts=contexts)
+            else:
+                reports = self._runner(records, params)
         except Exception as exc:  # backend failure: fail each live request
             self.stats.inc("errors", by=len(live))
             for i, _request in live:
@@ -317,8 +362,37 @@ class QueryService:
                 self.cache.put(request.cache_key, report)
             latency = done - request.submitted_at
             self.stats.record_latency(latency)
-            out[i] = ServeResult(report=report, cached=False, latency=latency)
+            if (
+                self.slow_query_threshold is not None
+                and latency > self.slow_query_threshold
+            ):
+                self._note_slow(request, report, latency)
+            out[i] = ServeResult(
+                report=report, cached=False, latency=latency,
+                trace_id=report.trace_id,
+            )
         return out
+
+    def _note_slow(
+        self, request: _Request, report: QueryReport, latency: float
+    ) -> None:
+        """Keep a span-tree summary of a threshold-exceeding request."""
+        entry = {
+            "query_id": request.record.seq_id,
+            "trace_id": report.trace_id,
+            "latency_ms": round(latency * 1e3, 3),
+            "turnaround_ms": round(report.stats.turnaround * 1e3, 3),
+            "coverage": report.coverage,
+            "degraded": report.degraded,
+            "spans": (
+                report.root_span.format_tree()
+                if report.root_span is not None
+                else None
+            ),
+        }
+        with self._lock:
+            self._slow_log.append(entry)
+        self._m_slow.inc()
 
     # -- lifecycle & introspection --------------------------------------------
 
@@ -363,7 +437,50 @@ class QueryService:
         out["index_version"] = self.mendel.index_version
         out["cache"] = self.cache.snapshot() if self.cache is not None else None
         out["batcher"] = self._batcher.stats.snapshot()
+        out["slow_query_threshold"] = self.slow_query_threshold
+        with self._lock:
+            out["slow_queries"] = list(self._slow_log)
         return out
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of this service's registry (the
+        process-global one by default, so cluster counters ride along) —
+        what the METRICS verb returns."""
+        return prometheus_text(self.registry)
+
+    def _derived_families(self) -> list[FamilySnapshot]:
+        """Collect-time samples for values other components already track."""
+        labels = (("service", self.stats.service),)
+        snaps = [
+            FamilySnapshot(
+                name="repro_serve_queue_depth",
+                kind="gauge",
+                help="Requests currently in flight at the gateway",
+                samples=[Sample("repro_serve_queue_depth", labels,
+                                float(self.queue_depth))],
+            )
+        ]
+        if self.cache is not None:
+            cache = self.cache.stats
+            snaps.append(
+                FamilySnapshot(
+                    name="repro_cache_hits_total",
+                    kind="counter",
+                    help="Result-cache hits at the serving gateway",
+                    samples=[Sample("repro_cache_hits_total", labels,
+                                    float(cache.hits))],
+                )
+            )
+            snaps.append(
+                FamilySnapshot(
+                    name="repro_cache_misses_total",
+                    kind="counter",
+                    help="Result-cache misses at the serving gateway",
+                    samples=[Sample("repro_cache_misses_total", labels,
+                                    float(cache.misses))],
+                )
+            )
+        return snaps
 
     def health(self) -> dict:
         """Liveness summary: service state plus the cluster's.
@@ -391,6 +508,7 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        self.registry.unregister_callback(self._collect_cb)
         self._batcher.close()
         self._pool.shutdown(wait=True)
 
@@ -415,6 +533,7 @@ def _replay(report: QueryReport, query_id: str) -> QueryReport:
         coverage=report.coverage,
         degraded=report.degraded,
         failed_nodes=report.failed_nodes,
+        root_span=report.root_span,
     )
 
 

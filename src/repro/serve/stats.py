@@ -3,50 +3,97 @@
 Everything here measures *wall-clock service behaviour* (queueing, batching,
 cache hits), which is distinct from the *simulated* turnaround carried
 inside each :class:`~repro.core.query.QueryReport` — see DESIGN.md for how
-the two clocks layer.
+the clocks layer.
+
+Since the observability subsystem landed, both classes are thin views over
+:mod:`repro.obs.metrics` primitives in a shared registry: the gateway's
+request counters are children of ``repro_serve_requests_total{service,event}``
+and its latencies a child of
+``repro_serve_request_latency_seconds{service}``, so the METRICS scrape and
+the STATS snapshot read the *same* numbers.  Each service instance gets its
+own ``service`` label (``svc0``, ``svc1``, ...) so several gateways in one
+process stay distinguishable while sharing the one registry.
 """
 
 from __future__ import annotations
 
-import threading
+import itertools
 import time
-from collections import deque
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+_service_ids = itertools.count()
+
+#: The request-outcome events the gateway counts (the ``event`` label values
+#: of ``repro_serve_requests_total``).
+EVENTS = (
+    "received",
+    "completed",
+    "shed",
+    "timeouts",
+    "invalid",
+    "errors",
+    "degraded",
+    "partial_rejected",
+)
+
+
+def next_service_label() -> str:
+    """A process-unique ``service`` label value (``svc0``, ``svc1``, ...)."""
+    return f"svc{next(_service_ids)}"
 
 
 class LatencyTracker:
-    """Streaming latency summary over a bounded reservoir of recent samples.
+    """Latency summary backed by one obs histogram child.
 
     Exact count / mean / max over the whole stream; percentiles over the
     last *reservoir* samples (recent-window percentiles are what you watch
-    on a serving dashboard anyway).
+    on a serving dashboard anyway).  The same observations feed the
+    Prometheus buckets of ``repro_serve_request_latency_seconds``.
+
+    *reservoir* applies when this tracker creates the histogram family; a
+    family that already exists in *registry* keeps its original reservoir.
     """
 
-    def __init__(self, reservoir: int = 1024) -> None:
+    def __init__(
+        self,
+        reservoir: int = 1024,
+        registry: MetricsRegistry | None = None,
+        service: str | None = None,
+    ) -> None:
         if reservoir < 1:
             raise ValueError(f"reservoir must be >= 1, got {reservoir}")
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-        self._recent: deque[float] = deque(maxlen=reservoir)
+        registry = registry if registry is not None else default_registry()
+        self.service = service if service is not None else next_service_label()
+        self._hist = registry.histogram(
+            "repro_serve_request_latency_seconds",
+            "Wall-clock request latency observed at the serving gateway",
+            ("service",),
+            reservoir=reservoir,
+        ).labels(service=self.service)
 
     def record(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-        self._recent.append(seconds)
+        self._hist.observe(seconds)
+
+    @property
+    def count(self) -> int:
+        return int(self._hist.count)
+
+    @property
+    def total(self) -> float:
+        return self._hist.sum
+
+    @property
+    def max(self) -> float:
+        return self._hist.max
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self._hist.mean
 
     def percentile(self, p: float) -> float:
         """The *p*-th percentile (0..100) of the recent window; 0 if empty."""
-        if not self._recent:
-            return 0.0
-        ordered = sorted(self._recent)
-        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        return self._hist.percentile(p)
 
     def snapshot(self) -> dict:
         return {
@@ -60,44 +107,60 @@ class LatencyTracker:
 
 
 class ServiceStats:
-    """Thread-safe counters for the gateway, surfaced through STATS."""
+    """Thread-safe gateway counters, surfaced through STATS *and* METRICS.
 
-    def __init__(self, clock=time.monotonic) -> None:
+    Counter names (``received``, ``completed``, ...) read as plain
+    attributes for compatibility, but the values live in the shared metrics
+    registry under ``repro_serve_requests_total{service,event}``; sheds are
+    additionally counted as ``repro_admission_rejections_total{service}``.
+    """
+
+    def __init__(
+        self,
+        clock=time.monotonic,
+        registry: MetricsRegistry | None = None,
+        service: str | None = None,
+    ) -> None:
         self._clock = clock
-        self._lock = threading.Lock()
         self.started_at = clock()
-        self.received = 0
-        self.completed = 0
-        self.shed = 0
-        self.timeouts = 0
-        self.invalid = 0
-        self.errors = 0
-        #: completed queries whose report came back degraded (coverage < 1)
-        self.degraded = 0
-        #: degraded results rejected because the caller required completeness
-        self.partial_rejected = 0
-        self.latency = LatencyTracker()
+        self.registry = registry if registry is not None else default_registry()
+        self.service = service if service is not None else next_service_label()
+        family = self.registry.counter(
+            "repro_serve_requests_total",
+            "Gateway requests by outcome event",
+            ("service", "event"),
+        )
+        self._events = {
+            name: family.labels(service=self.service, event=name)
+            for name in EVENTS
+        }
+        self._rejections = self.registry.counter(
+            "repro_admission_rejections_total",
+            "Requests shed by gateway admission control",
+            ("service",),
+        ).labels(service=self.service)
+        self.latency = LatencyTracker(registry=self.registry, service=self.service)
+
+    def __getattr__(self, name: str):
+        events = self.__dict__.get("_events")
+        if events is not None and name in events:
+            return int(events[name].value)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     def inc(self, name: str, by: int = 1) -> None:
-        with self._lock:
-            setattr(self, name, getattr(self, name) + by)
+        self._events[name].inc(by)
+        if name == "shed":
+            self._rejections.inc(by)
 
     def record_latency(self, seconds: float) -> None:
-        with self._lock:
-            self.completed += 1
-            self.latency.record(seconds)
+        self._events["completed"].inc()
+        self.latency.record(seconds)
 
     def snapshot(self) -> dict:
-        with self._lock:
-            return {
-                "uptime_s": round(self._clock() - self.started_at, 3),
-                "received": self.received,
-                "completed": self.completed,
-                "shed": self.shed,
-                "timeouts": self.timeouts,
-                "invalid": self.invalid,
-                "errors": self.errors,
-                "degraded": self.degraded,
-                "partial_rejected": self.partial_rejected,
-                "latency": self.latency.snapshot(),
-            }
+        out = {"uptime_s": round(self._clock() - self.started_at, 3)}
+        for name in EVENTS:
+            out[name] = int(self._events[name].value)
+        out["latency"] = self.latency.snapshot()
+        return out

@@ -1,73 +1,13 @@
-"""Wall-clock measurement helpers used by the benchmark harness."""
+"""Wall-clock measurement helpers (compatibility shim).
+
+The actual timing primitive lives in :mod:`repro.obs.timer` now, so the
+benchmark harness's :class:`Stopwatch`, the serving layer's latency
+accounting, and the trace layer's span timer all read one clock.  This
+module re-exports it for existing imports.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from repro.obs.timer import Stopwatch, format_duration, wall_clock
 
-
-@dataclass
-class Stopwatch:
-    """Accumulating stopwatch.
-
-    Usage::
-
-        sw = Stopwatch()
-        with sw:
-            do_work()
-        print(sw.elapsed)
-
-    Multiple ``with`` blocks accumulate into :attr:`elapsed`; ``laps`` records
-    each individual measurement.
-    """
-
-    elapsed: float = 0.0
-    laps: list[float] = field(default_factory=list)
-    _start: float | None = None
-
-    def start(self) -> None:
-        if self._start is not None:
-            raise RuntimeError("stopwatch already running")
-        self._start = time.perf_counter()
-
-    def stop(self) -> float:
-        if self._start is None:
-            raise RuntimeError("stopwatch not running")
-        lap = time.perf_counter() - self._start
-        self._start = None
-        self.elapsed += lap
-        self.laps.append(lap)
-        return lap
-
-    def reset(self) -> None:
-        self.elapsed = 0.0
-        self.laps.clear()
-        self._start = None
-
-    def __enter__(self) -> "Stopwatch":
-        self.start()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.stop()
-
-    @property
-    def mean_lap(self) -> float:
-        if not self.laps:
-            raise ValueError("no laps recorded")
-        return self.elapsed / len(self.laps)
-
-
-def format_duration(seconds: float) -> str:
-    """Render *seconds* in a human-friendly unit (ns/us/ms/s/min)."""
-    if seconds < 0:
-        raise ValueError(f"duration must be non-negative, got {seconds}")
-    if seconds < 1e-6:
-        return f"{seconds * 1e9:.1f} ns"
-    if seconds < 1e-3:
-        return f"{seconds * 1e6:.1f} us"
-    if seconds < 1.0:
-        return f"{seconds * 1e3:.1f} ms"
-    if seconds < 120.0:
-        return f"{seconds:.2f} s"
-    return f"{seconds / 60.0:.1f} min"
+__all__ = ["Stopwatch", "format_duration", "wall_clock"]

@@ -1,0 +1,224 @@
+"""Metrics registry: counters, gauges, histograms, exposition."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import (
+    FamilySnapshot,
+    MetricError,
+    MetricsRegistry,
+    Sample,
+    default_registry,
+)
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_unlabelled_inc_and_value(self, registry):
+        counter = registry.counter("jobs_total", "jobs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_labelled_children_are_independent(self, registry):
+        counter = registry.counter("hits_total", "hits", ("group",))
+        counter.labels(group="g00").inc(2)
+        counter.labels(group="g01").inc()
+        assert counter.labels(group="g00").value == 2
+        assert counter.labels(group="g01").value == 1
+
+    def test_labels_returns_same_child(self, registry):
+        counter = registry.counter("x_total", "", ("a",))
+        assert counter.labels(a="1") is counter.labels(a="1")
+
+    def test_negative_inc_rejected(self, registry):
+        counter = registry.counter("y_total", "")
+        with pytest.raises(MetricError, match="only go up"):
+            counter.inc(-1)
+
+    def test_unlabelled_access_on_labelled_family_rejected(self, registry):
+        counter = registry.counter("z_total", "", ("a",))
+        with pytest.raises(MetricError, match="has labels"):
+            counter.inc()
+
+    def test_wrong_label_names_rejected(self, registry):
+        counter = registry.counter("w_total", "", ("a",))
+        with pytest.raises(MetricError, match="takes labels"):
+            counter.labels(b="1")
+
+    def test_thread_safety(self, registry):
+        counter = registry.counter("threads_total", "")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth", "")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_set_function_reads_at_collect(self, registry):
+        gauge = registry.gauge("live", "")
+        box = {"v": 1.0}
+        gauge.set_function(lambda: box["v"])
+        assert gauge.value == 1.0
+        box["v"] = 7.0
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_count_sum_max_mean(self, registry):
+        hist = registry.histogram("lat", "", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 2.0):
+            hist.observe(v)
+        child = hist.labels()
+        assert child.count == 3
+        assert child.sum == pytest.approx(2.55)
+        assert child.max == 2.0
+        assert child.mean == pytest.approx(0.85)
+
+    def test_cumulative_buckets(self, registry):
+        hist = registry.histogram("buckets", "", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 2.0):
+            hist.observe(v)
+        cumulative = hist.labels().cumulative_buckets()
+        assert cumulative == [(0.1, 1), (1.0, 2), (float("inf"), 3)]
+
+    def test_percentiles_over_recent_window(self, registry):
+        hist = registry.histogram("p", "", reservoir=100)
+        for v in range(1, 101):
+            hist.observe(v / 100.0)
+        assert hist.labels().percentile(50) == pytest.approx(0.5, abs=0.02)
+        assert hist.labels().percentile(99) == pytest.approx(0.99, abs=0.02)
+
+    def test_reservoir_bounds_percentile_window(self, registry):
+        hist = registry.histogram("r", "", reservoir=4)
+        for v in (10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0):
+            hist.observe(v)
+        # Only the last four samples remain in the window.
+        assert hist.labels().percentile(99) == 1.0
+        assert hist.labels().max == 10.0  # stream max survives
+
+    def test_snapshot_sample_names(self, registry):
+        hist = registry.histogram("h", "help", buckets=(1.0,))
+        hist.observe(0.5)
+        snap = hist.snapshot()
+        names = [s.name for s in snap.samples]
+        assert names == ["h_bucket", "h_bucket", "h_sum", "h_count"]
+        le_values = [dict(s.labels)["le"] for s in snap.samples[:2]]
+        assert le_values == ["1", "+Inf"]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        a = registry.counter("same_total", "")
+        b = registry.counter("same_total", "")
+        assert a is b
+
+    def test_kind_clash_rejected(self, registry):
+        registry.counter("clash", "")
+        with pytest.raises(MetricError, match="already registered"):
+            registry.gauge("clash", "")
+
+    def test_label_clash_rejected(self, registry):
+        registry.counter("lbl_total", "", ("a",))
+        with pytest.raises(MetricError, match="labels"):
+            registry.counter("lbl_total", "", ("b",))
+
+    def test_bad_names_rejected(self, registry):
+        with pytest.raises(MetricError, match="invalid metric name"):
+            registry.counter("bad-name", "")
+        with pytest.raises(MetricError, match="invalid label name"):
+            registry.counter("ok_total", "", ("bad-label",))
+
+    def test_value_helper(self, registry):
+        registry.counter("v_total", "", ("g",)).labels(g="x").inc(3)
+        assert registry.value("v_total", g="x") == 3
+        assert registry.value("v_total", g="y") == 0.0
+        assert registry.value("missing_total") == 0.0
+
+    def test_callbacks_contribute_to_collect(self, registry):
+        def derived():
+            return [
+                FamilySnapshot(
+                    name="derived_total", kind="counter", help="d",
+                    samples=[Sample("derived_total", (), 9.0)],
+                )
+            ]
+
+        registry.register_callback(derived)
+        names = [snap.name for snap in registry.collect()]
+        assert "derived_total" in names
+        registry.unregister_callback(derived)
+        names = [snap.name for snap in registry.collect()]
+        assert "derived_total" not in names
+
+    def test_default_registry_is_process_global(self):
+        assert default_registry() is default_registry()
+
+
+class TestPrometheusText:
+    def test_help_type_and_samples(self, registry):
+        counter = registry.counter("t_total", "things counted", ("group",))
+        counter.labels(group="g00").inc(2)
+        text = prometheus_text(registry)
+        assert "# HELP t_total things counted\n" in text
+        assert "# TYPE t_total counter\n" in text
+        assert 't_total{group="g00"} 2\n' in text
+
+    def test_histogram_exposition(self, registry):
+        registry.histogram("lat_seconds", "lat", buckets=(0.5,)).observe(0.1)
+        text = prometheus_text(registry)
+        assert 'lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.1" in text
+        assert "lat_seconds_count 1" in text
+
+    def test_label_escaping(self, registry):
+        registry.counter("esc_total", "", ("msg",)).labels(
+            msg='say "hi"\nplease'
+        ).inc()
+        text = prometheus_text(registry)
+        assert r'esc_total{msg="say \"hi\"\nplease"} 1' in text
+
+    def test_same_family_merges_across_callbacks(self, registry):
+        def one():
+            return [FamilySnapshot("m_total", "counter", "m",
+                                   [Sample("m_total", (("s", "a"),), 1.0)])]
+
+        def two():
+            return [FamilySnapshot("m_total", "counter", "m",
+                                   [Sample("m_total", (("s", "b"),), 2.0)])]
+
+        registry.register_callback(one)
+        registry.register_callback(two)
+        text = prometheus_text(registry)
+        assert 'm_total{s="a"} 1\n' in text
+        assert 'm_total{s="b"} 2\n' in text
+        assert text.count("# TYPE m_total counter") == 1
+
+    def test_sorted_by_family_name(self, registry):
+        registry.counter("zz_total", "")
+        registry.counter("aa_total", "")
+        text = prometheus_text(registry)
+        assert text.index("aa_total") < text.index("zz_total")

@@ -1,0 +1,142 @@
+"""Trace propagation under faults: retries, failures, degraded coverage.
+
+A chaos run must leave its marks in the span tree — hedged retries, node
+failures, ``degraded=True`` — and the tree must replay deterministically
+under ``CHAOS_SEED`` (the CI matrix knob).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.obs.trace import TraceContext
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def _build(replication: int) -> tuple[Mendel, object]:
+    db = random_set(count=15, length=100, alphabet=PROTEIN, rng=201 + SEED,
+                    id_prefix="tf")
+    mendel = Mendel.build(
+        db,
+        MendelConfig(group_count=2, group_size=3, replication=replication,
+                     sample_size=128, seed=31),
+    )
+    return mendel, db
+
+
+class TestHedgedRetrySpans:
+    def test_straggler_retry_and_failure_marked(self):
+        """A 100x-slowed node blows the deadline twice; the span tree shows
+        the first failed attempt, the hedged retry, and the terminal
+        failure, while the replica partner keeps coverage complete."""
+        mendel, db = _build(replication=2)
+        params = QueryParams(k=4, n=6, i=0.7)
+        probe = mutate_to_identity(db.records[4], 0.9, rng=4, seq_id="slow")
+        healthy = mendel.query(probe, params)
+        deadline = healthy.stats.turnaround * 2
+
+        straggler = mendel.index.topology.groups[0].nodes[1]
+        straggler.slow_down(0.01)
+        ctx = TraceContext()
+        report = mendel.query(probe, params, subquery_deadline=deadline,
+                              trace_ctx=ctx)
+        straggler.restore_speed()
+
+        assert report.stats.hedged_retries >= 1
+        spans = list(report.root_span.walk())
+        straggler_spans = [
+            s for s in spans if s.name == f"node:{straggler.node_id}"
+        ]
+        attempts = sorted(s.attrs["attempt"] for s in straggler_spans)
+        assert attempts == [0, 1], "expected the original try plus one hedge"
+        retry = next(s for s in straggler_spans if s.attrs["attempt"] == 1)
+        assert retry.attrs["hedged_retry"] is True
+        assert all("failed" in s.attrs for s in straggler_spans)
+        # The failure is visible at group level too, and the root records
+        # the failed node without degrading (the replica covered it).
+        group_span = report.root_span.find(f"group:{straggler.group_id}")
+        assert straggler.node_id in group_span.attrs.get("failed_nodes", "")
+        assert straggler.node_id in report.root_span.attrs["failed_nodes"]
+        assert report.root_span.attrs["hedged_retries"] >= 1
+
+
+class TestDeadNodeSpans:
+    def test_crash_marks_degraded_spans(self):
+        """Unreplicated cluster + one crash per group: reports degrade and
+        the span tree says so (dead_nodes on groups, degraded on roots)."""
+        mendel, db = _build(replication=1)
+        params = QueryParams(k=4, n=6, i=0.7)
+        victims = [group.nodes[0].node_id
+                   for group in mendel.index.topology.groups]
+        schedule = FaultSchedule(
+            events=[FaultEvent.crash(1e-5, node) for node in victims],
+            seed=SEED,
+            auto_repair=False,
+        )
+        probes = [
+            mutate_to_identity(db.records[i], 0.9, rng=i, seq_id=f"p{i}")
+            for i in range(4)
+        ]
+        contexts = [TraceContext() for _ in probes]
+        reports = mendel.query_under_faults(
+            probes, schedule, params, arrival_interval=0.05,
+            trace_contexts=contexts,
+        )
+        for node in victims:
+            mendel.recover_node(node)
+
+        degraded = [r for r in reports if r.degraded]
+        assert degraded, "crashing every group's first node degraded nothing"
+        for report in degraded:
+            root = report.root_span
+            assert root.attrs["degraded"] is True
+            assert root.attrs["coverage"] < 1.0
+            assert root.attrs["failed_nodes"]
+            marked = [
+                span for span in root.walk()
+                if span.name.startswith("group:") and "dead_nodes" in span.attrs
+            ]
+            assert marked, "no group span recorded its dead member"
+            dead = {
+                node
+                for span in marked
+                for node in span.attrs["dead_nodes"].split(",")
+            }
+            assert dead <= set(victims)
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run() -> bytes:
+        mendel, db = _build(replication=1)
+        params = QueryParams(k=4, n=6, i=0.7)
+        victims = [group.nodes[0].node_id
+                   for group in mendel.index.topology.groups]
+        schedule = FaultSchedule(
+            events=[FaultEvent.crash(1e-5, node) for node in victims],
+            seed=SEED,
+        )
+        probes = [
+            mutate_to_identity(db.records[i], 0.9, rng=i, seq_id=f"p{i}")
+            for i in range(3)
+        ]
+        contexts = [TraceContext(trace_id=f"t-fault-{i}")
+                    for i in range(len(probes))]
+        reports = mendel.query_under_faults(
+            probes, schedule, params, arrival_interval=0.05,
+            trace_contexts=contexts,
+        )
+        payload = [report.root_span.to_dict() for report in reports]
+        return json.dumps(payload, sort_keys=True).encode()
+
+    def test_same_seed_replays_span_trees_byte_identically(self):
+        assert self._run() == self._run()

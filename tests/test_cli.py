@@ -155,3 +155,76 @@ class TestServeAndCall:
         )
         assert code == 1
         assert '"error": "unavailable"' in out.getvalue()
+
+    def test_call_metrics(self, gateway, protein_db):
+        seq = protein_db.records[1].text[:40]
+        main(
+            ["call", "query", "--seq", seq,
+             "--host", gateway.host, "--port", str(gateway.port)],
+            out=io.StringIO(),
+        )
+        out = io.StringIO()
+        code = main(
+            ["call", "metrics", "--host", gateway.host,
+             "--port", str(gateway.port)],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_serve_requests_total" in text
+
+
+class TestTrace:
+    def test_trace_prints_span_trees_and_writes_chrome_json(
+        self, fasta_files, tmp_path
+    ):
+        import json
+
+        base, refs, queries, _ = fasta_files
+        archive = base / "traced.npz"
+        code = main(
+            ["index", str(refs), "--out", str(archive), "--nodes", "4",
+             "--seed", "3"],
+            out=io.StringIO(),
+        )
+        assert code == 0
+
+        trace_path = tmp_path / "trace.json"
+        out = io.StringIO()
+        code = main(
+            ["trace", str(archive), str(queries), "--identity", "0.6",
+             "--out", str(trace_path)],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "# probe [t" in text
+        for stage in ("receive", "route", "fanout", "gapped", "reply"):
+            assert stage in text
+        assert "wrote" in text
+
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            for key in ("ph", "ts", "dur", "pid", "tid", "name"):
+                assert key in event
+
+    def test_trace_metrics_flag(self, fasta_files):
+        base, refs, queries, _ = fasta_files
+        archive = base / "traced2.npz"
+        main(
+            ["index", str(refs), "--out", str(archive), "--nodes", "4",
+             "--seed", "3"],
+            out=io.StringIO(),
+        )
+        out = io.StringIO()
+        code = main(
+            ["trace", str(archive), str(queries), "--identity", "0.6",
+             "--metrics"],
+            out=out,
+        )
+        assert code == 0
+        assert "repro_queries_total" in out.getvalue()
