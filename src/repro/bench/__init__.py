@@ -3,6 +3,7 @@ and result-table formatting."""
 
 from repro.bench.figures import (
     ExperimentResult,
+    shape_failures,
     run_fig5_load_balance,
     run_fig6a_query_length,
     run_fig6b_db_size,
@@ -19,6 +20,7 @@ from repro.bench.workloads import (
 
 __all__ = [
     "ExperimentResult",
+    "shape_failures",
     "run_fig5_load_balance",
     "run_fig6a_query_length",
     "run_fig6b_db_size",

@@ -269,3 +269,94 @@ def run_fig6d_sensitivity(
         rows=rows,
         meta={"target_length": target_length, "mutants_per_level": group_size},
     )
+
+
+# ---------------------------------------------------------------------------
+# Shape checking — the figure claims as data, for the CLI exit code
+# ---------------------------------------------------------------------------
+
+def shape_failures(result: ExperimentResult) -> list[str]:
+    """Violated shape claims for *result*, as human-readable strings.
+
+    A conservative subset of the assertions in ``benchmarks/`` (those that
+    hold at any workload scale): an empty list means the figure's shape
+    reproduced; the CLI turns a non-empty list into a non-zero exit code.
+    Unknown experiment names have no claims and never fail.
+    """
+    from repro.bench.harness import growth_ratio, speedup
+
+    failures: list[str] = []
+    name = result.name
+    if name == "fig5-load-balance":
+        flat = result.meta["flat_spread_pct"]
+        mendel = result.meta["mendel_spread_pct"]
+        if flat > mendel:
+            failures.append(
+                f"flat SHA-1 spread ({flat:.2f}%) exceeds the two-tier "
+                f"spread ({mendel:.2f}%): tier-1 clustering is free?"
+            )
+        if mendel > 2.0:
+            failures.append(
+                f"two-tier node-to-node spread {mendel:.2f}% exceeds 2% of "
+                "all data (Fig. 5 bounds it near 1%)"
+            )
+    elif name == "fig6a-query-length":
+        for row in result.rows:
+            if row["mendel_ms"] >= row["blast_ms"]:
+                failures.append(
+                    f"length {row['query_length']}: mendel "
+                    f"({row['mendel_ms']:.1f} ms) not faster than blast "
+                    f"({row['blast_ms']:.1f} ms)"
+                )
+        lengths = result.series("query_length")
+        mendel = result.series("mendel_ms")
+        blast = result.series("blast_ms")
+        m_slope = (mendel[-1] - mendel[0]) / (lengths[-1] - lengths[0])
+        b_slope = (blast[-1] - blast[0]) / (lengths[-1] - lengths[0])
+        if b_slope > 0 and m_slope >= 0.5 * b_slope:
+            failures.append(
+                f"mendel slope {m_slope:.3f} ms/residue is not well below "
+                f"blast's {b_slope:.3f} (length-insensitivity claim)"
+            )
+    elif name == "fig6b-db-size":
+        sizes = result.series("db_residues")
+        mendel = result.series("mendel_ms")
+        blast = result.series("blast_ms")
+        mendel_growth = growth_ratio(sizes, mendel)
+        if mendel_growth >= 0.5:
+            failures.append(
+                f"mendel turnaround grows with the database (growth ratio "
+                f"{mendel_growth:.2f}, claim: well below linear)"
+            )
+        if growth_ratio(sizes, blast) <= mendel_growth:
+            failures.append(
+                "blast does not degrade faster than mendel as the database "
+                "grows (memory-wall claim)"
+            )
+    elif name == "fig6c-scalability":
+        times = result.series("mendel_ms")
+        if not all(b < a for a, b in zip(times, times[1:])):
+            failures.append(
+                f"turnaround is not monotonically decreasing with cluster "
+                f"size: {[round(t, 1) for t in times]}"
+            )
+        elif speedup(times) <= 1.5:
+            failures.append(
+                f"adding nodes barely helps (first->last speedup "
+                f"{speedup(times):.2f}x)"
+            )
+    elif name == "fig6d-sensitivity":
+        rows = result.rows
+        if rows and rows[0]["mendel_found_pct"] < 100.0:
+            failures.append(
+                f"recall at the highest identity level is "
+                f"{rows[0]['mendel_found_pct']:.0f}%, expected 100%"
+            )
+        mendel = sum(result.series("mendel_found_pct"))
+        blast = sum(result.series("blast_found_pct"))
+        if mendel < blast:
+            failures.append(
+                f"aggregate mendel recall ({mendel:.0f} pct-points) below "
+                f"blast's ({blast:.0f}): sensitivity claim violated"
+            )
+    return failures

@@ -1,0 +1,404 @@
+"""Perf-trajectory regression harness: canonical workloads, BENCH files,
+and the tolerance-band comparator behind ``repro bench --regress``.
+
+The repo's figures reproduce the paper's *shapes*; this module tracks the
+reproduction's *own* performance over time.  One run executes four
+canonical workloads at fixed laptop scale and fixed seeds:
+
+* ``index_build``   — build a family database deployment (wall + simulated
+  makespan + construction counters);
+* ``query_sweep``   — a fig6a-style read sweep over three query lengths
+  (per-length simulated turnaround + pipeline counters);
+* ``throughput``    — the serving gateway under a small concurrent burst
+  (ops/sec and wall-latency percentiles from the obs histograms);
+* ``degraded_query``— the same deployment with one node crash-stopped
+  (coverage and degraded turnaround).
+
+Results are written to ``BENCH_<n>.json`` at the repository root —
+``n`` increments per run, so the sequence of committed files is the
+project's performance trajectory — and compared against the previous run
+with per-metric tolerance bands.
+
+BENCH file schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "repro-regress",
+      "seed": 23,
+      "python": "3.12.3",
+      "workloads": {
+        "<workload>": {
+          "metrics": {
+            "<metric>": {
+              "value": 12.34,          # the measurement
+              "unit": "ms",            # display unit
+              "direction": "lower",    # lower | higher | stable
+              "tolerance": 0.9         # fractional band, see below
+            }, ...
+          }
+        }, ...
+      }
+    }
+
+The comparator flags metric M as a regression when, for tolerance ``t``:
+
+* ``direction == "lower"``  and ``new > old * (1 + t)``;
+* ``direction == "higher"`` and ``new < old * (1 - t)``;
+* ``direction == "stable"`` and ``|new - old| > t * max(|old|, 1)``.
+
+Tolerances encode what a metric *can* promise across machines: wall-clock
+metrics carry wide bands (0.9 — only a ~2x slowdown fails, absorbing
+runner variance), while simulated-clock metrics and pipeline counters are
+seed-deterministic and machine-independent, so they carry tight bands and
+catch real algorithmic regressions even when the baseline was produced on
+different hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.workloads import (
+    FamilySpec,
+    generate_family_database,
+    generate_read_queries,
+)
+from repro.core.framework import Mendel
+from repro.core.params import MendelConfig, QueryParams
+from repro.obs.metrics import MetricsRegistry
+
+SCHEMA_VERSION = 1
+SUITE_NAME = "repro-regress"
+
+#: Wall-clock band: flag only ~2x slowdowns (CI runners vary widely).
+WALL_TOLERANCE = 0.9
+#: Simulated-clock band: the sim is seed-deterministic; drift is a change.
+SIM_TOLERANCE = 0.05
+#: Counter band: pipeline counters are exactly reproducible.
+COUNT_TOLERANCE = 0.02
+#: Throughput band (direction "higher"): flag drops below 0.55x baseline.
+THROUGHPUT_TOLERANCE = 0.45
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measurement plus the band it promises to stay inside."""
+
+    value: float
+    unit: str
+    direction: str  # "lower" | "higher" | "stable"
+    tolerance: float
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("lower", "higher", "stable"):
+            raise ValueError(f"bad metric direction {self.direction!r}")
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+
+    def to_dict(self) -> dict:
+        return {
+            "value": round(float(self.value), 6),
+            "unit": self.unit,
+            "direction": self.direction,
+            "tolerance": self.tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Metric":
+        return cls(
+            value=float(raw["value"]),
+            unit=str(raw.get("unit", "")),
+            direction=str(raw.get("direction", "lower")),
+            tolerance=float(raw.get("tolerance", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that left its tolerance band versus the baseline."""
+
+    workload: str
+    metric: str
+    baseline: float
+    current: float
+    unit: str
+    direction: str
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload}.{self.metric}: {self.baseline:g} -> "
+            f"{self.current:g} {self.unit} ({self.ratio:.2f}x, "
+            f"direction={self.direction}, tolerance={self.tolerance:g})"
+        )
+
+
+class SchemaMismatch(ValueError):
+    """Baseline and current BENCH files use different schema versions."""
+
+
+# -- workloads -------------------------------------------------------------------
+
+
+def _wall(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_suite(seed: int = 23) -> dict:
+    """Execute the canonical workloads; returns the BENCH report dict."""
+    workloads: dict[str, dict] = {}
+
+    # -- index build -----------------------------------------------------------
+    spec = FamilySpec(families=30, members_per_family=4, length=150)
+    config = MendelConfig(group_count=4, group_size=3, seed=seed)
+    database = generate_family_database(spec, rng=seed)
+    mendel, build_wall = _wall(lambda: Mendel.build(database, config))
+    stats = mendel.index.stats
+    workloads["index_build"] = {
+        "metrics": {
+            "wall_s": Metric(build_wall, "s", "lower", WALL_TOLERANCE).to_dict(),
+            "sim_makespan_s": Metric(
+                stats.simulated_makespan, "s", "lower", SIM_TOLERANCE
+            ).to_dict(),
+            "blocks": Metric(
+                stats.block_count, "blocks", "stable", 0.0
+            ).to_dict(),
+            "hash_evals": Metric(
+                stats.hash_evals, "evals", "stable", COUNT_TOLERANCE
+            ).to_dict(),
+        }
+    }
+
+    # -- query sweep (fig6a shape at fixed laptop scale) -----------------------
+    params = QueryParams(k=8, n=6, i=0.8)
+    sweep_metrics: dict[str, dict] = {}
+    sweep_queries = []
+    total_evals = 0
+    total_candidates = 0
+    sweep_wall = 0.0
+    for length in (300, 600, 900):
+        queries = generate_read_queries(
+            database, 1, length, rng=seed + length, id_prefix=f"sweep-{length}"
+        )
+        sweep_queries.extend(queries)
+        reports, wall = _wall(
+            lambda queries=queries: [mendel.query(q, params) for q in queries]
+        )
+        sweep_wall += wall
+        sim_ms = 1e3 * sum(r.stats.turnaround for r in reports) / len(reports)
+        sweep_metrics[f"sim_turnaround_ms_len{length}"] = Metric(
+            sim_ms, "ms", "lower", SIM_TOLERANCE
+        ).to_dict()
+        total_evals += sum(r.stats.node_evals for r in reports)
+        total_candidates += sum(r.stats.candidate_hits for r in reports)
+    sweep_metrics["wall_s"] = Metric(
+        sweep_wall, "s", "lower", WALL_TOLERANCE
+    ).to_dict()
+    sweep_metrics["distance_evals"] = Metric(
+        total_evals, "evals", "stable", COUNT_TOLERANCE
+    ).to_dict()
+    sweep_metrics["knn_candidates"] = Metric(
+        total_candidates, "candidates", "stable", COUNT_TOLERANCE
+    ).to_dict()
+    workloads["query_sweep"] = {"metrics": sweep_metrics}
+
+    # -- serving throughput ----------------------------------------------------
+    from repro.serve.service import QueryService
+
+    burst = [q for q in sweep_queries for _ in range(4)]
+    registry = MetricsRegistry()  # private: percentile reservoirs start clean
+    service = QueryService(
+        mendel,
+        max_workers=4,
+        batch_window=0.0,
+        cache_capacity=0,
+        tracing=False,
+        registry=registry,
+    )
+    try:
+        start = time.perf_counter()
+        futures = [service.submit(q, params) for q in burst]
+        for future in futures:
+            future.result(timeout=120.0)
+        serve_wall = time.perf_counter() - start
+        latency = service.stats.latency
+        workloads["throughput"] = {
+            "metrics": {
+                "ops_per_s": Metric(
+                    len(burst) / max(serve_wall, 1e-9),
+                    "ops/s",
+                    "higher",
+                    THROUGHPUT_TOLERANCE,
+                ).to_dict(),
+                "latency_p50_ms": Metric(
+                    1e3 * latency.percentile(50), "ms", "lower", WALL_TOLERANCE
+                ).to_dict(),
+                "latency_p95_ms": Metric(
+                    1e3 * latency.percentile(95), "ms", "lower", WALL_TOLERANCE
+                ).to_dict(),
+            }
+        }
+    finally:
+        service.close()
+
+    # -- degraded-mode query ---------------------------------------------------
+    victim = mendel.index.topology.nodes[0].node_id
+    mendel.fail_node(victim)
+    try:
+        report, degraded_wall = _wall(
+            lambda: mendel.query(sweep_queries[0], params)
+        )
+        workloads["degraded_query"] = {
+            "metrics": {
+                "coverage": Metric(
+                    report.coverage, "fraction", "higher", SIM_TOLERANCE
+                ).to_dict(),
+                "sim_turnaround_ms": Metric(
+                    1e3 * report.stats.turnaround, "ms", "lower", SIM_TOLERANCE
+                ).to_dict(),
+                "wall_s": Metric(
+                    degraded_wall, "s", "lower", WALL_TOLERANCE
+                ).to_dict(),
+            }
+        }
+    finally:
+        mendel.recover_node(victim)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": SUITE_NAME,
+        "seed": seed,
+        "python": platform.python_version(),
+        "workloads": workloads,
+    }
+
+
+# -- BENCH file management -------------------------------------------------------
+
+
+def find_runs(root: str | Path) -> list[tuple[int, Path]]:
+    """``(n, path)`` for every ``BENCH_<n>.json`` under *root*, ascending."""
+    root = Path(root)
+    runs = []
+    if root.is_dir():
+        for path in root.iterdir():
+            match = _BENCH_RE.match(path.name)
+            if match:
+                runs.append((int(match.group(1)), path))
+    return sorted(runs)
+
+
+def latest_run(root: str | Path) -> tuple[int, Path] | None:
+    runs = find_runs(root)
+    return runs[-1] if runs else None
+
+
+def write_report(report: dict, root: str | Path) -> Path:
+    """Persist *report* as the next ``BENCH_<n>.json`` under *root*."""
+    runs = find_runs(root)
+    next_n = runs[-1][0] + 1 if runs else 1
+    path = Path(root) / f"BENCH_{next_n}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    report = json.loads(Path(path).read_text())
+    if not isinstance(report, dict) or "workloads" not in report:
+        raise ValueError(f"{path} is not a BENCH report")
+    return report
+
+
+# -- comparator ------------------------------------------------------------------
+
+
+def compare(current: dict, baseline: dict) -> list[Regression]:
+    """Every metric of *current* outside its band versus *baseline*.
+
+    Metrics present in only one report are ignored (the suite is allowed
+    to grow); a schema version difference raises :class:`SchemaMismatch`
+    because bands and semantics may have changed between versions.
+    """
+    cur_version = current.get("schema_version")
+    base_version = baseline.get("schema_version")
+    if cur_version != base_version:
+        raise SchemaMismatch(
+            f"cannot compare schema v{cur_version} against v{base_version}"
+        )
+    regressions: list[Regression] = []
+    for workload, payload in sorted(current.get("workloads", {}).items()):
+        base_payload = baseline.get("workloads", {}).get(workload)
+        if base_payload is None:
+            continue
+        for name, raw in sorted(payload.get("metrics", {}).items()):
+            base_raw = base_payload.get("metrics", {}).get(name)
+            if base_raw is None:
+                continue
+            metric = Metric.from_dict(raw)
+            base_value = float(base_raw["value"])
+            if _regressed(metric, base_value):
+                regressions.append(
+                    Regression(
+                        workload=workload,
+                        metric=name,
+                        baseline=base_value,
+                        current=metric.value,
+                        unit=metric.unit,
+                        direction=metric.direction,
+                        tolerance=metric.tolerance,
+                    )
+                )
+    return regressions
+
+
+def _regressed(metric: Metric, baseline: float) -> bool:
+    value, tol = metric.value, metric.tolerance
+    if metric.direction == "lower":
+        if baseline == 0:
+            return value > tol
+        return value > baseline * (1 + tol)
+    if metric.direction == "higher":
+        return value < baseline * (1 - tol)
+    return abs(value - baseline) > tol * max(abs(baseline), 1.0)
+
+
+def format_report(report: dict) -> str:
+    """One-line-per-metric rendering of a BENCH report."""
+    lines = [
+        f"{report.get('suite', SUITE_NAME)} "
+        f"(schema v{report.get('schema_version')}, seed {report.get('seed')})"
+    ]
+    for workload, payload in sorted(report.get("workloads", {}).items()):
+        lines.append(f"  {workload}:")
+        for name, raw in sorted(payload.get("metrics", {}).items()):
+            metric = Metric.from_dict(raw)
+            lines.append(
+                f"    {name:<26}{metric.value:>14.4f} {metric.unit:<10} "
+                f"[{metric.direction}, tol {metric.tolerance:g}]"
+            )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    regressions: list[Regression], baseline_path: Path | str
+) -> str:
+    if not regressions:
+        return f"no regressions against {baseline_path}"
+    lines = [f"{len(regressions)} regression(s) against {baseline_path}:"]
+    lines.extend(f"  REGRESSION {r.describe()}" for r in regressions)
+    return "\n".join(lines)

@@ -10,6 +10,7 @@
     python -m repro chaos --replication 2 --seed 0
     python -m repro call query --seq MKV... --port 7766
     python -m repro trace deploy.npz queries.fasta --out trace.json
+    python -m repro explain deploy.npz queries.fasta
 
 ``index`` builds a deployment and saves it; ``query`` loads one and
 searches every sequence of a FASTA query set; ``info`` summarises a saved
@@ -18,10 +19,12 @@ table; ``serve`` exposes a saved deployment through the TCP query gateway
 (:mod:`repro.serve`); ``chaos`` runs the scripted kill/recover
 fault-injection scenario (:mod:`repro.faults`) and prints recall and
 coverage under failure; ``call`` speaks the gateway's JSON-lines protocol
-(QUERY / STATS / HEALTH / METRICS) from the command line; ``trace``
-profiles queries with the observability layer (:mod:`repro.obs`), printing
-each query's span tree and optionally writing a Chrome trace-event JSON
-loadable in Perfetto or ``chrome://tracing``.
+(QUERY / EXPLAIN / STATS / HEALTH / METRICS) from the command line;
+``trace`` profiles queries with the observability layer (:mod:`repro.obs`),
+printing each query's span tree and optionally writing a Chrome trace-event
+JSON loadable in Perfetto or ``chrome://tracing``; ``explain`` prints each
+query's structured plan — tier-1 routing, fan-out, and the per-stage
+candidate attrition funnel (:mod:`repro.core.explain`).
 """
 
 from __future__ import annotations
@@ -70,6 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="summarise a saved deployment")
     info.add_argument("archive", help="saved .npz deployment")
+    info.add_argument("--balance", action="store_true",
+                      help="append the two-tier balance audit (Fig. 5)")
 
     query = sub.add_parser("query", help="search a saved deployment")
     query.add_argument("archive", help="saved .npz deployment")
@@ -85,10 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--matrix", default="BLOSUM62", dest="M")
     query.add_argument("--evalue", type=float, default=10.0, dest="E")
 
-    bench = sub.add_parser("bench", help="rerun one of the paper's figures")
-    bench.add_argument("figure", choices=sorted(_FIGURES) + ["all"])
+    bench = sub.add_parser(
+        "bench", help="rerun one of the paper's figures, or the perf suite"
+    )
+    bench.add_argument("figure", nargs="?", default=None,
+                       choices=sorted(_FIGURES) + ["all"])
     bench.add_argument("--out", default=None,
                        help="with 'all': write the markdown report here")
+    bench.add_argument("--regress", action="store_true",
+                       help="run the canonical perf suite, write BENCH_<n>.json, "
+                            "and diff against the previous run")
+    bench.add_argument("--bench-dir", default=".",
+                       help="directory holding BENCH_<n>.json files "
+                            "(default: current directory)")
+    bench.add_argument("--seed", type=int, default=23,
+                       help="with --regress: workload seed")
 
     serve = sub.add_parser("serve", help="serve a saved deployment over TCP")
     serve.add_argument("archive", help="saved .npz deployment")
@@ -132,8 +148,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--log", action="store_true",
                        help="print the chaos timeline")
 
+    explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN queries: routing, fan-out, and the attrition funnel",
+    )
+    explain.add_argument("archive", help="saved .npz deployment")
+    explain.add_argument("fasta", help="query FASTA file")
+    explain.add_argument("--alphabet", choices=("dna", "protein"),
+                         default=None, help="query alphabet (default: index's)")
+    explain.add_argument("--json", action="store_true", dest="as_json",
+                         help="print structured plans as JSON instead")
+    explain.add_argument("--k", type=int, default=4)
+    explain.add_argument("--n", type=int, default=8)
+    explain.add_argument("--identity", type=float, default=0.5, dest="i")
+    explain.add_argument("--c-score", type=float, default=0.5, dest="c")
+    explain.add_argument("--matrix", default="BLOSUM62", dest="M")
+    explain.add_argument("--evalue", type=float, default=10.0, dest="E")
+
     call = sub.add_parser("call", help="call a running gateway")
-    call.add_argument("op", choices=("query", "stats", "health", "metrics"))
+    call.add_argument("op",
+                      choices=("query", "explain", "stats", "health",
+                               "metrics"))
     call.add_argument("--host", default="127.0.0.1")
     call.add_argument("--port", type=int, default=7766)
     call.add_argument("--seq", default=None,
@@ -217,6 +252,11 @@ def _cmd_info(args: argparse.Namespace, out) -> int:
         f"max {100 * fractions[-1]:.2f}%",
         file=out,
     )
+    if getattr(args, "balance", False):
+        from repro.cluster.balance import audit
+
+        print(file=out)
+        print(audit(index).render(), file=out)
     return 0
 
 
@@ -244,6 +284,11 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace, out) -> int:
+    if args.regress:
+        return _cmd_bench_regress(args, out)
+    if args.figure is None:
+        print("bench: name a figure or pass --regress", file=sys.stderr)
+        return 2
     if args.figure == "all":
         from repro.bench.report import generate_report
 
@@ -259,7 +304,34 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     print(format_table(result.rows, title=result.name), file=out)
     if result.meta:
         print(f"meta: {result.meta}", file=out)
+    failures = _figures.shape_failures(result)
+    if failures:
+        for failure in failures:
+            print(f"SHAPE FAIL [{result.name}]: {failure}", file=sys.stderr)
+        return 1
+    print(f"shape OK: {result.name} reproduces the paper's claims", file=out)
     return 0
+
+
+def _cmd_bench_regress(args: argparse.Namespace, out) -> int:
+    from repro.bench import regress
+
+    baseline = regress.latest_run(args.bench_dir)
+    report = regress.run_suite(seed=args.seed)
+    path = regress.write_report(report, args.bench_dir)
+    print(regress.format_report(report), file=out)
+    print(f"\nwrote {path}", file=out)
+    if baseline is None:
+        print("no previous BENCH_*.json: baseline established", file=out)
+        return 0
+    _, baseline_path = baseline
+    try:
+        regressions = regress.compare(report, regress.load_report(baseline_path))
+    except regress.SchemaMismatch as exc:
+        print(f"baseline skipped: {exc}", file=out)
+        return 0
+    print(regress.format_comparison(regressions, baseline_path), file=out)
+    return 1 if regressions else 0
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
@@ -337,6 +409,32 @@ def _cmd_chaos(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    import json
+
+    index = load_index(args.archive)
+    alphabet = args.alphabet or index.alphabet.name
+    queries = read_fasta(args.fasta, alphabet)
+    mendel = Mendel(index=index, engine=QueryEngine(index))
+    params = QueryParams(k=args.k, n=args.n, i=args.i, c=args.c,
+                         M=args.M, E=args.E)
+    ok = True
+    for record in queries:
+        plan = mendel.explain(record, params)
+        if args.as_json:
+            print(json.dumps(plan.to_dict(), indent=2, sort_keys=True),
+                  file=out)
+        else:
+            print(plan.render(), file=out)
+            print(file=out)
+        ok = ok and plan.is_monotone()
+    if not ok:
+        print("FAIL: funnel stage counts are not monotone non-increasing",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_call(args: argparse.Namespace, out) -> int:
     import json
 
@@ -370,6 +468,16 @@ def _cmd_call(args: argparse.Namespace, out) -> int:
                 print(json.dumps(response, indent=2, sort_keys=True), file=out)
                 ok = ok and bool(response.get("ok"))
             return 0 if ok else 1
+        if args.op == "explain":
+            if args.seq is None:
+                print("op=explain needs --seq", file=sys.stderr)
+                return 2
+            response = client.explain(args.seq)
+            if response.get("ok"):
+                print(response.get("rendered", ""), file=out)
+                return 0
+            print(json.dumps(response, indent=2, sort_keys=True), file=out)
+            return 1
         if args.op == "metrics":
             response = client.metrics()
             if response.get("ok"):
@@ -438,6 +546,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "chaos": _cmd_chaos,
         "call": _cmd_call,
         "trace": _cmd_trace,
+        "explain": _cmd_explain,
     }
     return handlers[args.command](args, out)
 

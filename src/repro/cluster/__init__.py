@@ -1,6 +1,13 @@
 """Cluster substrate: SHA-1 hashing, storage nodes/groups, and the
 two-tier zero-hop DHT topology."""
 
+from repro.cluster.balance import (
+    BalanceAuditor,
+    BalanceReport,
+    audit,
+    coefficient_of_variation,
+    gini,
+)
 from repro.cluster.group import StorageGroup
 from repro.cluster.hashring import FlatHash, HashRing, sha1_int
 from repro.cluster.messages import (
@@ -22,6 +29,11 @@ from repro.cluster.node import (
 from repro.cluster.topology import ClusterSpec, ClusterTopology, build_prefix_assignment
 
 __all__ = [
+    "BalanceAuditor",
+    "BalanceReport",
+    "audit",
+    "coefficient_of_variation",
+    "gini",
     "StorageGroup",
     "FlatHash",
     "HashRing",

@@ -11,6 +11,7 @@ from repro.core.anchors import (
 )
 from repro.core.autoconfig import suggest_config
 from repro.core.blocks import BlockStore, InvertedIndexBlock
+from repro.core.explain import FunnelStage, QueryPlan, WindowRoute
 from repro.core.framework import Mendel
 from repro.core.persist import load_index, save_index
 from repro.core.index import IndexStats, MendelIndex
@@ -28,6 +29,9 @@ __all__ = [
     "match_mask",
     "BlockStore",
     "InvertedIndexBlock",
+    "FunnelStage",
+    "QueryPlan",
+    "WindowRoute",
     "Mendel",
     "IndexStats",
     "MendelIndex",

@@ -28,6 +28,8 @@ from repro.core.query import QueryEngine, QueryReport
 from repro.seq.records import SequenceRecord, SequenceSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.balance import BalanceAuditor, BalanceReport
+    from repro.core.explain import QueryPlan
     from repro.faults.schedule import FaultSchedule
     from repro.obs.trace import TraceContext
     from repro.serve.service import QueryService
@@ -180,6 +182,54 @@ class Mendel:
         )
 
     # -- growth & introspection ------------------------------------------------
+
+    def explain(
+        self,
+        record: SequenceRecord,
+        params: QueryParams | None = None,
+    ) -> "QueryPlan":
+        """EXPLAIN: run *record* once with tracing attached and return the
+        structured :class:`~repro.core.explain.QueryPlan` — subquery
+        windows, vp-prefix routes (with tolerance replication branches),
+        the group/node fan-out, the per-stage attrition funnel, and the
+        sim-clock stage timings.
+
+        The query really executes (the plan reflects an actual cluster
+        run, and the funnel counters in the default registry are bumped);
+        ``plan.report`` carries the full traced report.
+        """
+        from repro.core.explain import build_plan
+        from repro.obs.trace import TraceContext
+
+        params = params or QueryParams()
+        report = self.query(record, params, trace_ctx=TraceContext())
+        return build_plan(self.index, self.engine, record, params, report)
+
+    def explain_text(
+        self,
+        text: str,
+        params: QueryParams | None = None,
+        query_id: str = "query",
+    ) -> "QueryPlan":
+        """Convenience: encode *text* under the database alphabet and
+        :meth:`explain` it."""
+        record = SequenceRecord.from_text(query_id, text, self.index.alphabet)
+        return self.explain(record, params)
+
+    def balance(self) -> "BalanceReport":
+        """Audit block distribution over both placement tiers (Fig. 5):
+        per-node / per-group primary counts with CV and Gini, and tier-1
+        prefix-route skew.  Cached against :attr:`index_version`."""
+        return self._balance_auditor().report()
+
+    def _balance_auditor(self) -> "BalanceAuditor":
+        auditor = getattr(self, "_balance_auditor_instance", None)
+        if auditor is None:
+            from repro.cluster.balance import BalanceAuditor
+
+            auditor = BalanceAuditor(self.index)
+            self._balance_auditor_instance = auditor
+        return auditor
 
     def insert(self, new_sequences: SequenceSet) -> None:
         """Incrementally index additional reference sequences.

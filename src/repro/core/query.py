@@ -65,6 +65,10 @@ class QueryStats:
     groups_contacted: int = 0
     subqueries_routed: int = 0
     candidate_hits: int = 0
+    #: candidates surviving the percent-identity filter
+    identity_pass: int = 0
+    #: identity survivors also passing the consecutivity-score filter
+    cscore_pass: int = 0
     anchors_extended: int = 0
     anchors_merged: int = 0
     gapped_extensions: int = 0
@@ -74,6 +78,25 @@ class QueryStats:
     bytes_sent: int = 0
     #: subquery retries after a drop, timeout, or mid-query node death
     hedged_retries: int = 0
+
+    def funnel(self) -> "list[tuple[str, int]]":
+        """``(stage, count)`` pairs of the candidate attrition funnel, in
+        pipeline order; each stage's count is <= the previous stage's."""
+        return [(stage, getattr(self, field_name))
+                for stage, field_name in FUNNEL_STAGES]
+
+
+#: The attrition funnel (paper pipeline III-E / V-B), in order: each stage
+#: name paired with the :class:`QueryStats` field holding its count.
+FUNNEL_STAGES: tuple[tuple[str, str], ...] = (
+    ("knn_candidates", "candidate_hits"),
+    ("identity_pass", "identity_pass"),
+    ("cscore_pass", "cscore_pass"),
+    ("anchors_extended", "anchors_extended"),
+    ("anchors_merged", "anchors_merged"),
+    ("gapped_extensions", "gapped_extensions"),
+    ("alignments", "alignments_reported"),
+)
 
 
 @dataclass(frozen=True)
@@ -360,6 +383,13 @@ class QueryEngine:
             "Subqueries that terminally failed (no anchors contributed)",
             ("group", "reason"),
         )
+        m_funnel = registry.counter(
+            "repro_query_funnel_total",
+            "Candidates surviving each stage of the query attrition funnel",
+            ("stage",),
+        )
+        funnel = {stage: m_funnel.labels(stage=stage)
+                  for stage, _field in FUNNEL_STAGES}
 
         def make_note(index: int):
             if not trace:
@@ -399,6 +429,7 @@ class QueryEngine:
                 anchors: list[Anchor] = []
                 service = 0.0
                 extension_ops = 0
+                candidates = identity_survivors = cscore_survivors = 0
                 seen: set[tuple[str, int, int]] = set()
                 local_before = node.tree.adapter.pair_evaluations
                 for window in windows:
@@ -407,14 +438,21 @@ class QueryEngine:
                     )
                     service += seconds
                     stats.candidate_hits += len(hits)
+                    candidates += len(hits)
                     for _dist, block_id in hits:
                         candidate = store.codes_of(block_id)
                         score = evaluate_candidate(
                             window.codes, candidate,
                             matrix if is_protein else None,
                         )
-                        if score.identity < params.i or score.c_score < params.c:
+                        if score.identity < params.i:
                             continue
+                        stats.identity_pass += 1
+                        identity_survivors += 1
+                        if score.c_score < params.c:
+                            continue
+                        stats.cscore_pass += 1
+                        cscore_survivors += 1
                         block = store.block(block_id)
                         subject = store.record_of(block_id)
                         anchor = extend_anchor(
@@ -436,7 +474,13 @@ class QueryEngine:
                 evals = node.tree.adapter.pair_evaluations - local_before
                 stats.anchors_extended += len(anchors)
                 stats.node_evals += evals
-                span.annotate(evals=evals)
+                funnel["knn_candidates"].inc(candidates)
+                funnel["identity_pass"].inc(identity_survivors)
+                funnel["cscore_pass"].inc(cscore_survivors)
+                funnel["anchors_extended"].inc(len(anchors))
+                span.annotate(evals=evals, candidates=candidates,
+                              identity_pass=identity_survivors,
+                              cscore_pass=cscore_survivors)
                 yield service + node.service_time_ops(extension_ops)
             finally:
                 lock.release()
@@ -648,6 +692,7 @@ class QueryEngine:
                 per_group = yield AllOf(group_events)
                 merged = merge_anchors([a for group in per_group for a in group])
             stats.anchors_merged = len(merged)
+            funnel["anchors_merged"].inc(len(merged))
             span.annotate(anchors_merged=len(merged))
             span.finish(sim_now=sim.now)
             note(entry.node_id, "system aggregation",
@@ -658,6 +703,8 @@ class QueryEngine:
                 query, merged, params, matrix
             )
             stats.gapped_extensions = gapped_count
+            funnel["gapped_extensions"].inc(gapped_count)
+            funnel["alignments"].inc(len(alignments))
             yield entry.service_time_ops(gapped_ops)
             span.annotate(extensions=gapped_count, alignments=len(alignments))
             span.finish(sim_now=sim.now)

@@ -161,6 +161,21 @@ class ServeClient:
             message["trace"] = True
         return self.request(message)
 
+    def explain(
+        self,
+        seq: str,
+        params: QueryParams | dict | None = None,
+        query_id: str = "explain",
+    ) -> dict:
+        """EXPLAIN op; ``response["plan"]`` is the structured query plan and
+        ``response["rendered"]`` its human-readable funnel rendering."""
+        if isinstance(params, QueryParams):
+            params = dataclasses.asdict(params)
+        message: dict = {"op": "explain", "id": query_id, "seq": seq}
+        if params:
+            message["params"] = params
+        return self.request(message)
+
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 

@@ -6,6 +6,7 @@ Requests::
 
     {"op": "query", "id": "q1", "seq": "MKV...", "params": {"n": 8},
      "deadline": 2.0, "top": 5, "allow_partial": false, "trace": true}
+    {"op": "explain", "id": "q2", "seq": "MKV...", "params": {"n": 8}}
     {"op": "stats"}
     {"op": "health"}
     {"op": "metrics"}
@@ -24,6 +25,12 @@ for the request (``null`` when tracing is off or the answer was served
 from cache without a recorded trace); ``"trace": true`` additionally
 returns the span tree itself under ``"trace"``.  ``{"op": "metrics"}``
 returns the shared registry's Prometheus text exposition.
+
+``{"op": "explain"}`` runs the query once with tracing attached (bypassing
+cache and batching) and returns the structured
+:class:`~repro.core.explain.QueryPlan` under ``"plan"`` — routing, fan-out,
+and the per-stage attrition funnel — plus its rendered form under
+``"rendered"``.
 
 ``allow_partial`` (default true) controls degraded-mode behaviour: under
 node failures a query may cover only part of the index; with

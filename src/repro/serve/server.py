@@ -114,6 +114,8 @@ class QueryServer:
             op = message.get("op")
             if op == "query":
                 return await self._op_query(message, request_id)
+            if op == "explain":
+                return await self._op_explain(message, request_id)
             if op == "stats":
                 return {"id": request_id, "ok": True, "stats": self.service.snapshot()}
             if op == "health":
@@ -181,6 +183,24 @@ class QueryServer:
         if want_trace and result.report.root_span is not None:
             response["trace"] = result.report.root_span.to_dict()
         return response
+
+    async def _op_explain(self, message: dict, request_id) -> dict:
+        seq = message.get("seq")
+        if not isinstance(seq, str) or not seq:
+            raise InvalidRequest("explain needs a non-empty string 'seq'")
+        params = params_from_dict(message.get("params"))
+        future = self.service.submit_explain(
+            seq,
+            params,
+            query_id=str(request_id) if request_id is not None else "explain",
+        )
+        plan = await asyncio.wrap_future(future)
+        return {
+            "id": request_id,
+            "ok": True,
+            "plan": plan.to_dict(),
+            "rendered": plan.render(),
+        }
 
 
 class BackgroundServer:

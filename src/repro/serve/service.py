@@ -173,6 +173,10 @@ class QueryService:
         # already tracked by the cache and admission layers, so METRICS
         # derives them at scrape time instead of double-counting.
         self._collect_cb = self.registry.register_callback(self._derived_families)
+        # Balance audit gauges ride the same registry; the auditor caches
+        # against index.version so scrapes stay cheap.
+        self._balance = mendel._balance_auditor()
+        self._balance.install(self.registry)
 
     # -- submission ------------------------------------------------------------
 
@@ -311,6 +315,45 @@ class QueryService:
                 f"no result within the {deadline}s deadline"
             ) from None
 
+    # -- explain ---------------------------------------------------------------
+
+    def explain(self, record: SequenceRecord, params: QueryParams | None = None):
+        """EXPLAIN *record*: run it once traced and return the structured
+        :class:`~repro.core.explain.QueryPlan`.
+
+        Deliberately bypasses the cache and the micro-batcher — the plan
+        must reflect a real, solo cluster execution, not a replayed or
+        coalesced one.  Raises :class:`InvalidRequest` /
+        :class:`ServiceClosed` like :meth:`submit`.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        problem = self._validate(record)
+        if problem is not None:
+            raise problem
+        return self.mendel.explain(record, params)
+
+    def submit_explain(
+        self,
+        text: str,
+        params: QueryParams | None = None,
+        query_id: str = "explain",
+    ) -> Future:
+        """Encode *text* and EXPLAIN it on the worker pool (async form the
+        TCP gateway awaits); resolves to a :class:`QueryPlan`."""
+        try:
+            record = SequenceRecord.from_text(
+                query_id, text, self.mendel.index.alphabet
+            )
+        except (ValueError, KeyError) as exc:
+            return _failed(InvalidRequest(str(exc)))
+        if self._closed:
+            return _failed(ServiceClosed("service is closed"))
+        problem = self._validate(record)
+        if problem is not None:
+            return _failed(problem)
+        return self._pool.submit(self.mendel.explain, record, params)
+
     # -- execution -------------------------------------------------------------
 
     def _execute_batch(self, key: str, requests: list[_Request]) -> list:
@@ -440,6 +483,7 @@ class QueryService:
         out["slow_query_threshold"] = self.slow_query_threshold
         with self._lock:
             out["slow_queries"] = list(self._slow_log)
+        out["balance"] = self._balance.report().summary()
         return out
 
     def metrics_text(self) -> str:
@@ -501,6 +545,7 @@ class QueryService:
             "max_pending": self.max_pending,
             "index_version": self.mendel.index_version,
             "cluster": cluster,
+            "balance": self._balance.report().summary(),
         }
 
     def close(self) -> None:
@@ -509,6 +554,7 @@ class QueryService:
             return
         self._closed = True
         self.registry.unregister_callback(self._collect_cb)
+        self._balance.uninstall()
         self._batcher.close()
         self._pool.shutdown(wait=True)
 

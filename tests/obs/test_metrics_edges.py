@@ -1,0 +1,143 @@
+"""Edge cases of the metrics registry the main suite doesn't reach:
+percentiles over empty histograms, labelled gauge callbacks mutated while
+collect() runs, and reservoir behaviour past capacity.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestEmptyHistogramPercentiles:
+    def test_percentiles_on_fresh_histogram_are_zero(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_empty", "empty").labels()
+        for p in (0, 50, 95, 99, 100):
+            assert hist.percentile(p) == 0.0
+
+    def test_empty_labelled_child_is_independent(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_lbl", "labelled", ("op",))
+        hist.labels(op="write").observe(1.0)
+        assert hist.labels(op="read").percentile(99) == 0.0
+        assert hist.labels(op="write").percentile(50) == 1.0
+
+    def test_empty_histogram_still_exports(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_exported", "no samples yet").labels()
+        text = prometheus_text(registry)
+        assert "h_exported_count 0" in text
+        assert "h_exported_sum 0" in text
+
+    def test_zero_reservoir_disables_percentiles_not_counts(self):
+        registry = MetricsRegistry()
+        child = registry.histogram("h_zero_res", "no reservoir",
+                                   reservoir=0).labels()
+        for value in (0.1, 0.5, 2.0):
+            child.observe(value)
+        assert child.count == 3
+        assert child.sum == pytest.approx(2.6)
+        assert child.percentile(50) == 0.0  # reservoir off -> no window
+
+
+class TestGaugeCallbackRaces:
+    def test_labelled_callback_gauges_read_fresh_values_at_collect(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g_cb", "callback", ("shard",))
+        values = {"a": 1.0, "b": 2.0}
+        gauge.labels(shard="a").set_function(lambda: values["a"])
+        gauge.labels(shard="b").set_function(lambda: values["b"])
+        snap = {dict(s.labels)["shard"]: s.value
+                for f in registry.collect() if f.name == "g_cb"
+                for s in f.samples}
+        assert snap == {"a": 1.0, "b": 2.0}
+        values["a"] = 41.0  # mutate after first collect
+        snap = {dict(s.labels)["shard"]: s.value
+                for f in registry.collect() if f.name == "g_cb"
+                for s in f.samples}
+        assert snap["a"] == 41.0
+
+    def test_callback_mutation_racing_collect_never_corrupts(self):
+        """Gauge callbacks installed/overwritten from another thread while
+        collect() loops must never crash or surface torn values."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g_race", "raced", ("worker",))
+        for i in range(4):
+            gauge.labels(worker=str(i)).set_function(lambda i=i: float(i))
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def mutator():
+            flip = 0
+            while not stop.is_set():
+                flip += 1
+                for i in range(4):
+                    child = gauge.labels(worker=str(i))
+                    if flip % 2:
+                        child.set_function(lambda i=i, f=flip: float(i + f))
+                    else:
+                        child.set_function(None)
+                        child.set(float(i))
+
+        thread = threading.Thread(target=mutator, daemon=True)
+        thread.start()
+        try:
+            for _ in range(200):
+                try:
+                    for family in registry.collect():
+                        for sample in family.samples:
+                            assert isinstance(sample.value, float)
+                except BaseException as exc:  # pragma: no cover - fail path
+                    errors.append(exc)
+                    break
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert not errors
+
+    def test_unset_callback_falls_back_to_stored_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g_fallback", "fallback")
+        gauge.set(7.0)
+        gauge.set_function(lambda: 99.0)
+        assert gauge.value == 99.0
+        gauge.set_function(None)
+        assert gauge.value == 7.0
+
+
+class TestReservoirPastCapacity:
+    def test_percentiles_cover_only_the_recent_window(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_window", "windowed",
+                                  reservoir=10).labels()
+        # 100 old samples at 1.0, then 10 recent samples at 5.0: the window
+        # holds only the recent ones.
+        for _ in range(100):
+            hist.observe(1.0)
+        for _ in range(10):
+            hist.observe(5.0)
+        assert hist.percentile(0) == 5.0
+        assert hist.percentile(50) == 5.0
+        assert hist.percentile(100) == 5.0
+
+    def test_totals_survive_eviction(self):
+        registry = MetricsRegistry()
+        child = registry.histogram("h_totals", "totals", reservoir=4).labels()
+        for value in range(1, 11):  # 1..10, reservoir keeps 7..10
+            child.observe(float(value))
+        assert child.count == 10
+        assert child.sum == pytest.approx(55.0)
+        assert child.max == 10.0
+        assert child.percentile(0) == 7.0  # window floor moved up
+
+    def test_exact_capacity_keeps_everything(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_exact", "exact", reservoir=5).labels()
+        for value in (3.0, 1.0, 4.0, 1.0, 5.0):
+            hist.observe(value)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 5.0
+        assert hist.percentile(50) == 3.0

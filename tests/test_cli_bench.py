@@ -60,6 +60,127 @@ class TestBenchCommand:
         assert cli.main(["bench", "all"], out=out) == 0
         assert "Stub" in out.getvalue()
 
+    def test_bench_passing_shape_reports_ok(self, monkeypatch):
+        # A figure whose rows satisfy its shape claims exits zero and says so.
+        def runner():
+            return ExperimentResult(
+                name="fig6a-query-length",
+                rows=[
+                    {"query_length": 500, "mendel_ms": 10.0, "blast_ms": 100.0},
+                    {"query_length": 1000, "mendel_ms": 11.0, "blast_ms": 200.0},
+                ],
+            )
+
+        monkeypatch.setitem(cli._FIGURES, "fig6a", runner)
+        out = io.StringIO()
+        assert cli.main(["bench", "fig6a"], out=out) == 0
+        assert "shape OK" in out.getvalue()
+
+    def test_bench_failing_shape_exits_nonzero(self, monkeypatch, capsys):
+        # Mendel slower than BLAST at every length: the fig6a claim is
+        # violated, so the CLI must exit non-zero and name the failure.
+        def runner():
+            return ExperimentResult(
+                name="fig6a-query-length",
+                rows=[
+                    {"query_length": 500, "mendel_ms": 100.0, "blast_ms": 10.0},
+                    {"query_length": 1000, "mendel_ms": 300.0, "blast_ms": 11.0},
+                ],
+            )
+
+        monkeypatch.setitem(cli._FIGURES, "fig6a", runner)
+        out = io.StringIO()
+        assert cli.main(["bench", "fig6a"], out=out) == 1
+        assert "SHAPE FAIL" in capsys.readouterr().err
+
+    def test_bench_without_figure_or_regress_errors(self, capsys):
+        assert cli.main(["bench"], out=io.StringIO()) == 2
+        assert "name a figure or pass --regress" in capsys.readouterr().err
+
+
+class TestBenchRegressCli:
+    @pytest.fixture()
+    def fast_suite(self, monkeypatch):
+        """Replace the heavyweight workload suite with a deterministic stub
+        (the real suite is exercised in tests/bench/test_regress.py)."""
+        from repro.bench import regress
+
+        def stub_suite(seed=23):
+            return {
+                "schema_version": regress.SCHEMA_VERSION,
+                "suite": regress.SUITE_NAME,
+                "seed": seed,
+                "workloads": {
+                    "stub": {
+                        "metrics": {
+                            "wall_s": {
+                                "value": 1.0, "unit": "s",
+                                "direction": "lower", "tolerance": 0.9,
+                            }
+                        }
+                    }
+                },
+            }
+
+        monkeypatch.setattr(regress, "run_suite", stub_suite)
+        return stub_suite
+
+    def test_first_run_establishes_baseline(self, fast_suite, tmp_path):
+        out = io.StringIO()
+        code = cli.main(
+            ["bench", "--regress", "--bench-dir", str(tmp_path)], out=out
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_1.json").exists()
+        assert "baseline established" in out.getvalue()
+
+    def test_clean_second_run_passes(self, fast_suite, tmp_path):
+        cli.main(["bench", "--regress", "--bench-dir", str(tmp_path)],
+                 out=io.StringIO())
+        out = io.StringIO()
+        code = cli.main(
+            ["bench", "--regress", "--bench-dir", str(tmp_path)], out=out
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_2.json").exists()
+        assert "no regressions" in out.getvalue()
+
+    def test_2x_slowdown_fails_the_gate(self, fast_suite, tmp_path):
+        import json
+
+        cli.main(["bench", "--regress", "--bench-dir", str(tmp_path)],
+                 out=io.StringIO())
+        # Rewrite the baseline as if the machine had been 2x faster, so the
+        # (unchanged) stub run is a 2x slowdown against it.
+        baseline_path = tmp_path / "BENCH_1.json"
+        baseline = json.loads(baseline_path.read_text())
+        baseline["workloads"]["stub"]["metrics"]["wall_s"]["value"] = 0.5
+        baseline_path.write_text(json.dumps(baseline))
+        out = io.StringIO()
+        code = cli.main(
+            ["bench", "--regress", "--bench-dir", str(tmp_path)], out=out
+        )
+        assert code == 1
+        assert "REGRESSION stub.wall_s" in out.getvalue()
+
+    def test_schema_mismatch_skips_comparison(self, fast_suite, tmp_path):
+        import json
+
+        from repro.bench import regress
+
+        (tmp_path / "BENCH_1.json").write_text(
+            json.dumps({
+                "schema_version": regress.SCHEMA_VERSION + 1,
+                "workloads": {},
+            })
+        )
+        out = io.StringIO()
+        code = cli.main(
+            ["bench", "--regress", "--bench-dir", str(tmp_path)], out=out
+        )
+        assert code == 0
+        assert "baseline skipped" in out.getvalue()
+
 
 class TestTranslatedQueryViaCli:
     def test_dna_query_against_protein_index(self, tmp_path):
