@@ -11,6 +11,7 @@
     python -m repro call query --seq MKV... --port 7766
     python -m repro trace deploy.npz queries.fasta --out trace.json
     python -m repro explain deploy.npz queries.fasta
+    python -m repro watch --once --format json
 
 ``index`` builds a deployment and saves it; ``query`` loads one and
 searches every sequence of a FASTA query set; ``info`` summarises a saved
@@ -19,7 +20,11 @@ table; ``serve`` exposes a saved deployment through the TCP query gateway
 (:mod:`repro.serve`); ``chaos`` runs the scripted kill/recover
 fault-injection scenario (:mod:`repro.faults`) and prints recall and
 coverage under failure; ``call`` speaks the gateway's JSON-lines protocol
-(QUERY / EXPLAIN / STATS / HEALTH / METRICS) from the command line;
+(QUERY / EXPLAIN / STATS / HEALTH / METRICS / ALERTS) from the command
+line; ``watch`` is the health dashboard — either a headless chaos-scenario
+run (rolling SLIs, SLO burn-rate alerts with correlated causes, the event
+tail; ``--once --format json`` is the CI mode) or, with ``--gateway``, a
+live poll of a running server's ALERTS op;
 ``trace`` profiles queries with the observability layer (:mod:`repro.obs`),
 printing each query's span tree and optionally writing a Chrome trace-event
 JSON loadable in Perfetto or ``chrome://tracing``; ``explain`` prints each
@@ -168,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     call = sub.add_parser("call", help="call a running gateway")
     call.add_argument("op",
                       choices=("query", "explain", "stats", "health",
-                               "metrics"))
+                               "metrics", "alerts"))
     call.add_argument("--host", default="127.0.0.1")
     call.add_argument("--port", type=int, default=7766)
     call.add_argument("--seq", default=None,
@@ -183,6 +188,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="alignments to return per query")
     call.add_argument("--timeout", type=float, default=30.0)
     call.add_argument("--retries", type=int, default=3)
+
+    watch = sub.add_parser(
+        "watch",
+        help="health dashboard: rolling SLIs, burn-rate alerts, event tail",
+    )
+    watch.add_argument("--gateway", action="store_true",
+                       help="poll a running gateway's ALERTS op instead of "
+                            "running the headless chaos scenario")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=7766)
+    watch.add_argument("--timeout", type=float, default=30.0)
+    watch.add_argument("--once", action="store_true",
+                       help="render one frame and exit (CI mode)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period in seconds (live mode)")
+    watch.add_argument("--format", choices=("text", "json"), default="text")
+    watch.add_argument("--replication", type=int, default=1,
+                       help="scenario mode: copies per block (1 makes a "
+                            "kill visible to the SLOs)")
+    watch.add_argument("--groups", type=int, default=3)
+    watch.add_argument("--group-size", type=int, default=3)
+    watch.add_argument("--probes", type=int, default=6)
+    watch.add_argument("--seed", type=int, default=None,
+                       help="scenario seed (default: $CHAOS_SEED or 0)")
+    watch.add_argument("--subquery-deadline", type=float, default=None)
+    watch.add_argument("--event-log", default=None,
+                       help="write the run's event log JSON here (artifact)")
+    watch.add_argument("--assert-cycle", default=None, metavar="SLO",
+                       help="exit nonzero unless SLO fired and then "
+                            "resolved during the run (CI smoke assertion)")
 
     trace = sub.add_parser(
         "trace",
@@ -485,12 +520,107 @@ def _cmd_call(args: argparse.Namespace, out) -> int:
                 return 0
             print(json.dumps(response, indent=2, sort_keys=True), file=out)
             return 1
-        response = client.stats() if args.op == "stats" else client.health()
+        if args.op == "alerts":
+            response = client.alerts()
+        elif args.op == "stats":
+            response = client.stats()
+        else:
+            response = client.health()
         print(json.dumps(response, indent=2, sort_keys=True), file=out)
         return 0 if response.get("ok") else 1
     except ServeError as exc:
         print(json.dumps({"ok": False, **exc.to_dict()}, indent=2), file=out)
         return 1
+    finally:
+        client.close()
+
+
+def _cmd_watch(args: argparse.Namespace, out) -> int:
+    import json
+    import os
+
+    from repro.obs.dashboard import render_frame
+
+    if args.gateway:
+        return _watch_gateway(args, out)
+
+    # Headless scenario mode: run the canonical kill/recover experiment
+    # with a live monitor and render what it saw — the CI smoke path.
+    from repro.faults.scenario import run_kill_recover_scenario
+
+    seed = (
+        args.seed if args.seed is not None
+        else int(os.environ.get("CHAOS_SEED", "0"))
+    )
+    result = run_kill_recover_scenario(
+        replication=args.replication,
+        group_count=args.groups,
+        group_size=args.group_size,
+        probe_count=args.probes,
+        seed=seed,
+        subquery_deadline=args.subquery_deadline,
+    )
+    monitor = result.monitor
+    frame = monitor.snapshot()
+    frame["firing"] = monitor.alerts_firing()
+    frame["seed"] = seed
+    if args.event_log:
+        with open(args.event_log, "w", encoding="utf-8") as handle:
+            json.dump(monitor.events.to_dicts(), handle, indent=2,
+                      sort_keys=True)
+    if args.format == "json":
+        print(json.dumps(frame, indent=2, sort_keys=True), file=out)
+    else:
+        print(render_frame(frame), file=out)
+    if args.assert_cycle:
+        fired = any(
+            t.slo == args.assert_cycle and t.to in ("warning", "critical")
+            for t in monitor.slo_engine.transitions
+        )
+        resolved = any(
+            t.slo == args.assert_cycle and t.to == "resolved"
+            for t in monitor.slo_engine.transitions
+        )
+        if not (fired and resolved):
+            print(
+                f"ASSERT FAIL: SLO {args.assert_cycle!r} "
+                f"fired={fired} resolved={resolved}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _watch_gateway(args: argparse.Namespace, out) -> int:
+    import json
+    import time as _time
+
+    from repro.obs.dashboard import render_frame
+    from repro.serve.client import ServeClient
+    from repro.serve.errors import ServeError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        while True:
+            response = client.alerts()
+            if not response.get("ok"):
+                print(json.dumps(response, indent=2, sort_keys=True),
+                      file=out)
+                return 1
+            frame = {k: v for k, v in response.items()
+                     if k not in ("id", "ok")}
+            if args.format == "json":
+                print(json.dumps(frame, indent=2, sort_keys=True), file=out)
+            else:
+                print(render_frame(frame), file=out)
+            if args.once:
+                return 0
+            _time.sleep(args.interval)
+    except ServeError as exc:
+        print(json.dumps({"ok": False, **exc.to_dict()}, indent=2), file=out)
+        return 1
+    except KeyboardInterrupt:
+        return 0
     finally:
         client.close()
 
@@ -545,6 +675,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "call": _cmd_call,
+        "watch": _cmd_watch,
         "trace": _cmd_trace,
         "explain": _cmd_explain,
     }

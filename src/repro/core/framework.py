@@ -31,6 +31,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.balance import BalanceAuditor, BalanceReport
     from repro.core.explain import QueryPlan
     from repro.faults.schedule import FaultSchedule
+    from repro.obs.events import EventLog
+    from repro.obs.health import HealthMonitor
     from repro.obs.trace import TraceContext
     from repro.serve.service import QueryService
 
@@ -112,6 +114,8 @@ class Mendel:
         arrival_interval: float = 0.0,
         subquery_deadline: float | None = None,
         trace_contexts: "list[TraceContext] | None" = None,
+        monitor: "HealthMonitor | None" = None,
+        event_log: "EventLog | None" = None,
     ) -> list[QueryReport]:
         """Evaluate *records* concurrently on one clock while *faults*
         plays out — the chaos-experiment entry point.
@@ -121,6 +125,12 @@ class Mendel:
         ``failed_nodes``.  The run mutates the live cluster (crashes,
         repair streams); inspect ``engine.last_chaos`` for the timeline and
         call :meth:`repair` / :meth:`recover_node` to restore a clean state.
+
+        A :class:`~repro.obs.health.HealthMonitor` is attached to the run
+        (auto-created and horizon-scaled unless *monitor* is given):
+        afterwards ``engine.last_monitor`` holds the SLI windows, the SLO
+        alert transitions, and the correlated event log —
+        :meth:`health_report` packages it all.
         """
         return self.engine.run_batch(
             list(records),
@@ -129,6 +139,8 @@ class Mendel:
             faults=faults,
             subquery_deadline=subquery_deadline,
             trace_contexts=trace_contexts,
+            monitor=monitor,
+            event_log=event_log,
         )
 
     def query_translated(
@@ -280,6 +292,20 @@ class Mendel:
             "groups": groups,
             "replication": self.index.config.replication,
         }
+
+    def health_report(self) -> dict:
+        """Continuous-health snapshot of the most recent monitored run:
+        the cluster liveness view (:meth:`cluster_health`) plus — when a
+        :class:`~repro.obs.health.HealthMonitor` rode the last
+        :meth:`query_under_faults` batch — its SLI windows, alert states,
+        alert transitions (with correlated causes and trace ids), and the
+        event tail.  The programmatic face of ``repro watch``."""
+        out = {"cluster": self.cluster_health()}
+        monitor = getattr(self.engine, "last_monitor", None)
+        if monitor is not None:
+            out.update(monitor.snapshot())
+            out["firing"] = monitor.alerts_firing()
+        return out
 
     @property
     def index_version(self) -> int:

@@ -44,6 +44,8 @@ from repro.core.aggregate import merge_anchors
 from repro.core.anchors import evaluate_candidate, extend_anchor
 from repro.core.index import MendelIndex
 from repro.core.params import QueryParams
+from repro.obs.events import EventLog
+from repro.obs.health import HealthMonitor
 from repro.obs.metrics import default_registry
 from repro.obs.trace import NO_SPAN, Span, TraceContext
 from repro.seq.alphabet import Alphabet
@@ -257,6 +259,8 @@ class QueryEngine:
         faults: "FaultSchedule | None" = None,
         subquery_deadline: float | None = None,
         trace_ctx: TraceContext | None = None,
+        monitor: HealthMonitor | None = None,
+        event_log: EventLog | None = None,
     ) -> QueryReport:
         """Evaluate *query*; returns ranked alignments and statistics.
 
@@ -269,6 +273,7 @@ class QueryEngine:
             [query], params, trace=trace, faults=faults,
             subquery_deadline=subquery_deadline,
             trace_contexts=[trace_ctx] if trace_ctx is not None else None,
+            monitor=monitor, event_log=event_log,
         )[0]
 
     def run_batch(
@@ -280,6 +285,8 @@ class QueryEngine:
         faults: "FaultSchedule | None" = None,
         subquery_deadline: float | None = None,
         trace_contexts: "list[TraceContext] | None" = None,
+        monitor: HealthMonitor | None = None,
+        event_log: EventLog | None = None,
     ) -> list[QueryReport]:
         """Evaluate *queries* concurrently on one simulated cluster.
 
@@ -310,6 +317,17 @@ class QueryEngine:
         (receive, route, fanout with per-group/per-node subspans, gapped,
         reply), annotated with hedged retries, node failures, and degraded
         coverage.
+
+        *monitor* attaches a :class:`~repro.obs.health.HealthMonitor` to
+        the run's sim clock: every completed query feeds its availability /
+        coverage / turnaround SLIs, a tick process evaluates the SLO
+        engine across the run, and the monitor's event log collects the
+        query/fault/repair/alert stream.  With *faults* set and no monitor
+        given, one is auto-created scaled to the schedule's horizon and
+        exposed as ``engine.last_monitor``.  *event_log* routes event
+        emission without a full monitor (``None`` + no faults = no event
+        overhead at all, keeping the traced/untraced fig6a comparison
+        clean).
         """
         from repro.sim.resource import Resource
 
@@ -340,11 +358,36 @@ class QueryEngine:
         sim = Simulation()
         net = Network(sim=sim, rng=faults.seed if faults is not None else None)
         self.last_chaos = None
+        # Continuous health: under faults every run gets a monitor (auto-
+        # created, horizon-scaled) unless the caller brought one; without
+        # faults monitoring is strictly opt-in so the plain fig6a read
+        # path stays byte-for-byte what the overhead gate compares.
+        if monitor is None and faults is not None:
+            monitor = HealthMonitor.for_chaos_run(
+                faults.effective_horizon,
+                arrival_interval=arrival_interval,
+                event_log=event_log,
+            )
+        self.last_monitor = monitor
+        elog = event_log if event_log is not None else (
+            monitor.events if monitor is not None else None
+        )
         if faults is not None:
             from repro.faults.chaos import ChaosController
 
-            self.last_chaos = ChaosController(sim, net, self.index, faults)
+            self.last_chaos = ChaosController(sim, net, self.index, faults,
+                                              event_log=elog)
             self.last_chaos.install()
+        if monitor is not None:
+            if self.last_chaos is not None:
+                monitor.backlog_fn = self.last_chaos.pending_repairs
+            last_arrival = max(0.0, (len(queries) - 1) * arrival_interval)
+            horizon = faults.effective_horizon if faults is not None else 0.0
+            stop_at = (
+                max(horizon, last_arrival)
+                + max(4.0 * monitor.interval, 4.0 * monitor.fast_window)
+            )
+            sim.spawn(monitor.tick_proc(sim, stop_at), name="health-monitor")
         entry = next((n for n in topo.nodes if n.alive), topo.nodes[0])
         locks = {node.node_id: Resource(sim, name=node.node_id)
                  for node in topo.nodes}
@@ -612,6 +655,16 @@ class QueryEngine:
                     holder["covered"].update(node.block_ids)
             if failed_here:
                 gspan.annotate(failed_nodes=",".join(sorted(failed_here)))
+                if elog is not None:
+                    elog.emit(
+                        "subquery_failed", group.group_id,
+                        f"{len(failed_here)} subquery failure(s) for "
+                        f"{query.seq_id}",
+                        sim_time=sim.now,
+                        trace_id=getattr(gspan, "trace_id", None),
+                        span_id=getattr(gspan, "span_id", None),
+                        nodes=",".join(sorted(failed_here)),
+                    )
             aspan = gspan.child("group_aggregate", sim_now=sim.now,
                                 actor=group.group_id)
             merged = merge_anchors(collected)
@@ -729,6 +782,28 @@ class QueryEngine:
             holders[index]["alignments"] = alignments
             holders[index]["completed_at"] = sim.now
             holders[index]["arrival"] = arrival
+            if monitor is not None or elog is not None:
+                holder = holders[index]
+                total, covered = holder["total"], holder["covered"]
+                coverage = (
+                    1.0 if not total else len(covered & total) / len(total)
+                )
+                turnaround = sim.now - arrival
+                trace_id = getattr(root, "trace_id", None)
+                if monitor is not None:
+                    monitor.observe_query(
+                        sim.now, turnaround, coverage,
+                        degraded=coverage < 1.0, trace_id=trace_id,
+                    )
+                if elog is not None:
+                    elog.emit(
+                        "query", entry.node_id,
+                        f"{query.seq_id} answered", sim_time=sim.now,
+                        trace_id=trace_id,
+                        coverage=round(coverage, 6),
+                        degraded=coverage < 1.0,
+                        turnaround=round(turnaround, 9),
+                    )
 
         done_events = [
             sim.spawn(system_proc(i, query, i * arrival_interval),

@@ -27,6 +27,7 @@ from repro.cluster.node import StorageNode
 from repro.faults.detector import FailureDetector
 from repro.faults.repair import RepairReport, ReReplicator
 from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.obs.events import EventLog
 from repro.obs.metrics import default_registry
 from repro.sim.engine import SimEvent, Simulation
 from repro.sim.network import Network
@@ -53,11 +54,13 @@ class ChaosController:
         net: Network,
         index,
         schedule: FaultSchedule,
+        event_log: EventLog | None = None,
     ) -> None:
         self.sim = sim
         self.net = net
         self.index = index
         self.schedule = schedule
+        self.events = event_log
         self.log: list[ChaosLogEntry] = []
         self.repairs = RepairReport()
         self.detector: FailureDetector | None = None
@@ -70,6 +73,7 @@ class ChaosController:
                 stop_at=schedule.effective_horizon,
                 on_dead=self._on_dead,
                 on_rejoin=self._on_rejoin,
+                event_log=event_log,
             )
         self.repairer = ReReplicator(index, is_alive=self._is_alive)
         self._repair_tail: dict[str, SimEvent] = {}
@@ -122,14 +126,14 @@ class ChaosController:
     def _apply_crash(self, event: FaultEvent) -> None:
         node = self._nodes[event.node]
         node.fail()
-        self._note("crash", f"{event.node} crash-stopped")
+        self._note("crash", f"{event.node} crash-stopped", actor=event.node)
 
     def _apply_restart(self, event: FaultEvent) -> None:
         node = self._nodes[event.node]
         node.recover()
         if self.detector is not None:
             self.detector.mark_recovered(node)
-        self._note("restart", f"{event.node} rejoined")
+        self._note("restart", f"{event.node} rejoined", actor=event.node)
         if self.schedule.auto_repair:
             self._schedule_repair(
                 self.index.topology.group(node.group_id),
@@ -139,7 +143,8 @@ class ChaosController:
     def _apply_slowdown(self, event: FaultEvent) -> None:
         node = self._nodes[event.node]
         node.slow_down(event.factor)
-        self._note("slowdown", f"{event.node} at {event.factor:g}x speed")
+        self._note("slowdown", f"{event.node} at {event.factor:g}x speed",
+                   actor=event.node)
         if event.duration is not None:
             self.sim.call_later(event.duration, self._restore_speed, node)
 
@@ -148,7 +153,8 @@ class ChaosController:
 
     def _restore_speed(self, node: StorageNode) -> None:
         node.restore_speed()
-        self._note("restore", f"{node.node_id} back to full speed")
+        self._note("restore", f"{node.node_id} back to full speed",
+                   actor=node.node_id)
 
     def _apply_drop_link(self, event: FaultEvent) -> None:
         self.net.set_link_fault(
@@ -177,7 +183,8 @@ class ChaosController:
 
     def _on_dead(self, node: StorageNode) -> None:
         truth = "dead" if not node.alive else "falsely suspected"
-        self._note("detected", f"{node.node_id} declared dead ({truth})")
+        self._note("detected", f"{node.node_id} declared dead ({truth})",
+                   actor=node.node_id)
         if self.schedule.auto_repair:
             self._schedule_repair(
                 self.index.topology.group(node.group_id),
@@ -185,7 +192,7 @@ class ChaosController:
             )
 
     def _on_rejoin(self, node: StorageNode) -> None:
-        self._note("rejoin", f"{node.node_id} acked again")
+        self._note("rejoin", f"{node.node_id} acked again", actor=node.node_id)
         if self.schedule.auto_repair:
             self._schedule_repair(
                 self.index.topology.group(node.group_id),
@@ -214,6 +221,7 @@ class ChaosController:
                 "repair",
                 f"{group.group_id}: {reason} — {report.blocks_streamed} streamed, "
                 f"{report.blocks_dropped} dropped, {report.blocks_lost} lost",
+                actor=group.group_id,
             )
 
         self._repair_tail[group.group_id] = self.sim.spawn(
@@ -222,9 +230,18 @@ class ChaosController:
 
     # -- observability ---------------------------------------------------------
 
-    def _note(self, kind: str, detail: str) -> None:
+    def _note(self, kind: str, detail: str, actor: str = "chaos") -> None:
         self.log.append(ChaosLogEntry(time=self.sim.now, kind=kind, detail=detail))
         self._m_events.labels(kind=kind).inc()
+        if self.events is not None:
+            self.events.emit(kind, actor, detail, sim_time=self.sim.now)
+
+    def pending_repairs(self) -> int:
+        """Repair chains scheduled but not yet finished — the backlog the
+        repair_backlog SLO watches."""
+        return sum(
+            1 for tail in self._repair_tail.values() if not tail.fired
+        )
 
     def summary(self) -> dict:
         """Counters for reports and the ``repro chaos`` CLI."""

@@ -22,6 +22,7 @@ from typing import Callable
 
 from repro.cluster.group import StorageGroup
 from repro.cluster.node import StorageNode
+from repro.obs.events import EventLog
 from repro.sim.engine import Simulation
 from repro.sim.network import Network
 
@@ -49,6 +50,7 @@ class FailureDetector:
     stop_at: float = float("inf")
     on_dead: Callable[[StorageNode], None] | None = None
     on_rejoin: Callable[[StorageNode], None] | None = None
+    event_log: EventLog | None = None
     stats: DetectorStats = field(default_factory=DetectorStats)
 
     def __post_init__(self) -> None:
@@ -121,6 +123,11 @@ class FailureDetector:
             return  # already declared; nothing more to say
         self._misses[node_id] = self._misses.get(node_id, 0) + 1
         member.suspected = True
+        if self._misses[node_id] == 1 and self.event_log is not None:
+            self.event_log.emit(
+                "suspect", node_id, "missed a heartbeat round",
+                sim_time=self.sim.now,
+            )
         if self._misses[node_id] >= self.miss_threshold:
             self._dead.add(node_id)
             member.suspected = False

@@ -23,6 +23,9 @@ from repro.core.framework import Mendel
 from repro.core.params import MendelConfig, QueryParams
 from repro.core.query import QueryReport
 from repro.faults.schedule import FaultSchedule, kill_and_recover
+from repro.obs.events import EventLog
+from repro.obs.health import HealthMonitor
+from repro.obs.trace import TraceContext
 from repro.seq import PROTEIN, random_set
 from repro.seq.mutate import mutate_to_identity
 
@@ -48,6 +51,16 @@ class ScenarioResult:
     chaos_summary: dict = field(default_factory=dict)
     #: chaos timeline, stringified for printing
     chaos_log: list[str] = field(default_factory=list)
+    #: the health monitor that rode the chaos run (SLIs, alert
+    #: transitions with correlated causes, event log) — ``None`` only if
+    #: monitoring was explicitly disabled
+    monitor: "HealthMonitor | None" = None
+
+    @property
+    def alert_transitions(self) -> list[dict]:
+        if self.monitor is None:
+            return []
+        return [t.to_dict() for t in self.monitor.slo_engine.transitions]
 
     @property
     def min_coverage(self) -> float:
@@ -117,6 +130,8 @@ def run_kill_recover_scenario(
     recover_at: float | None = None,
     subquery_deadline: float | None = None,
     params: QueryParams | None = None,
+    monitor: "HealthMonitor | None" = None,
+    event_log: "EventLog | None" = None,
 ) -> ScenarioResult:
     """Run the kill-one-node-per-group experiment; see the module docstring.
 
@@ -167,12 +182,27 @@ def run_kill_recover_scenario(
         seed=seed,
         heartbeat_interval=kill_at / 8,
     )
+    # Explicit, seed-derived trace ids: the process-global TraceContext
+    # counter would differ between two otherwise-identical runs, breaking
+    # the byte-identical event-log replay contract.
+    contexts = [
+        TraceContext(trace_id=f"chaos-{seed}-q{i}")
+        for i in range(probe_count)
+    ]
+    if monitor is None:
+        monitor = HealthMonitor.for_chaos_run(
+            schedule.effective_horizon,
+            arrival_interval=arrival_interval,
+            event_log=event_log if event_log is not None else EventLog(),
+        )
     reports = mendel.query_under_faults(
         probes,
         schedule,
         params=params,
         arrival_interval=arrival_interval,
         subquery_deadline=subquery_deadline,
+        trace_contexts=contexts,
+        monitor=monitor,
     )
     chaos = mendel.engine.last_chaos
     return ScenarioResult(
@@ -185,4 +215,5 @@ def run_kill_recover_scenario(
         baseline_recall=_recall(baseline, expected),
         chaos_summary=chaos.summary() if chaos is not None else {},
         chaos_log=[str(entry) for entry in chaos.log] if chaos is not None else [],
+        monitor=mendel.engine.last_monitor,
     )

@@ -1,4 +1,4 @@
-"""Observability: distributed tracing, metrics, and exporters.
+"""Observability: tracing, metrics, exporters, and continuous health.
 
 The paper's whole evaluation (section VI) is about *where time goes* —
 routing, intra-group fan-out, local vp-tree k-NN, extension, and two levels
@@ -11,6 +11,16 @@ of aggregation.  This package makes that visible on a live deployment:
 * :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges,
   and bucketed histograms with labels; one process-global default registry
   shared by the cluster hot paths and the serving gateway;
+* :mod:`repro.obs.events` — a bounded structured event log (node deaths,
+  repairs, slow queries, alerts) with trace-id correlation, replayable
+  deterministically under ``CHAOS_SEED``;
+* :mod:`repro.obs.health` — rolling-window SLI aggregation and the
+  :class:`HealthMonitor` that composes SLIs, SLOs, and the event log into
+  one continuously-evaluated health picture;
+* :mod:`repro.obs.slo` — declarative SLOs with multi-window burn-rate
+  alerting, every alert correlated with its suspected chaos-event cause;
+* :mod:`repro.obs.dashboard` — the plain-text frame renderer behind
+  ``repro watch``;
 * :mod:`repro.obs.export` — Prometheus text exposition and Chrome
   trace-event JSON (loadable in ``chrome://tracing`` / Perfetto);
 * :mod:`repro.obs.timer` — the one wall-clock primitive (and the benchmark
@@ -20,10 +30,17 @@ DESIGN.md's "three clocks" subsection explains how wall-clock time,
 sim-clock time, and trace timestamps relate.
 """
 
+from repro.obs.events import Event, EventLog, default_event_log
 from repro.obs.export import (
     chrome_trace_events,
     prometheus_text,
     write_chrome_trace,
+)
+from repro.obs.health import (
+    HealthMonitor,
+    RollingWindow,
+    SLIRecorder,
+    WindowStats,
 )
 from repro.obs.metrics import (
     Counter,
@@ -32,20 +49,32 @@ from repro.obs.metrics import (
     MetricsRegistry,
     default_registry,
 )
+from repro.obs.slo import SLO, AlertTransition, SLOEngine, default_slos
 from repro.obs.timer import Stopwatch, format_duration, wall_clock
 from repro.obs.trace import NO_SPAN, Span, TraceContext
 
 __all__ = [
+    "AlertTransition",
     "Counter",
+    "Event",
+    "EventLog",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "NO_SPAN",
+    "RollingWindow",
+    "SLIRecorder",
+    "SLO",
+    "SLOEngine",
     "Span",
     "Stopwatch",
     "TraceContext",
+    "WindowStats",
     "chrome_trace_events",
+    "default_event_log",
     "default_registry",
+    "default_slos",
     "format_duration",
     "prometheus_text",
     "wall_clock",

@@ -1,0 +1,202 @@
+"""Bounded structured event log with trace-id correlation.
+
+Spans (PR 3) answer "where did *this* query spend its time"; metrics answer
+"how much of everything happened".  Neither answers "what *happened to the
+system* around 12:03" — the question every alert investigation starts with.
+This module adds that layer: a bounded, thread-safe ring buffer of typed
+:class:`Event` records that the query engine, the serving gateway, the
+failure detector, the chaos controller, and the re-replicator all emit
+into.
+
+Design points:
+
+* **Dual clocks.**  Every event carries the wall clock and (when emitted
+  from inside a simulated run) the sim clock.  :meth:`Event.to_dict`
+  excludes the wall stamp, so two runs of the same ``CHAOS_SEED`` produce
+  byte-identical ``EventLog.to_dicts()`` — the same replayability contract
+  the span trees honour.
+* **Trace correlation.**  Events carry ``trace_id``/``span_id`` when the
+  emitting code path has one, so an alert or a slow-query log entry can be
+  joined against the span tree that explains it.
+* **Bounded.**  The log is a ring: emission never blocks and never grows
+  without bound; ``dropped`` counts evictions so consumers know when the
+  tail is incomplete.
+
+A process-global default log (:func:`default_event_log`) is shared the same
+way the default metrics registry is; deterministic tests pass their own
+:class:`EventLog` instance instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.obs.timer import wall_clock
+
+#: Event kinds considered *fault causes* when correlating an alert that
+#: starts firing (see :mod:`repro.obs.slo`).
+FAULT_KINDS = frozenset(
+    {"crash", "partition", "drop_link", "slowdown", "detected", "suspect",
+     "subquery_failed"}
+)
+
+#: Event kinds considered *recovery causes* when an alert resolves.
+RECOVERY_KINDS = frozenset(
+    {"restart", "rejoin", "repair", "heal", "heal_link", "restore"}
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log entry.
+
+    ``seq`` is the per-log emission index (monotone, including evicted
+    entries); ``sim_time`` is ``None`` for events emitted outside a
+    simulated run (e.g. by the wall-clock serving gateway).
+    """
+
+    seq: int
+    kind: str
+    actor: str
+    message: str
+    wall_time: float
+    sim_time: float | None = None
+    trace_id: str | None = None
+    span_id: str | None = None
+    fields: tuple[tuple[str, Any], ...] = ()
+
+    def to_dict(self, include_wall: bool = False) -> dict:
+        """JSON-friendly form; wall stamps excluded by default so identical
+        seeded runs serialise byte-identically."""
+        out: dict[str, Any] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "actor": self.actor,
+            "message": self.message,
+            "sim_time": self.sim_time,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "fields": dict(self.fields),
+        }
+        if include_wall:
+            out["wall_time"] = self.wall_time
+        return out
+
+    def __str__(self) -> str:
+        clock = (
+            f"{self.sim_time * 1e3:9.3f} ms" if self.sim_time is not None
+            else "     wall"
+        )
+        line = f"[{clock}] {self.kind:>16}  {self.actor}: {self.message}"
+        if self.trace_id:
+            line += f"  ({self.trace_id})"
+        return line
+
+
+class EventLog:
+    """Thread-safe bounded ring buffer of :class:`Event` entries."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def emit(
+        self,
+        kind: str,
+        actor: str,
+        message: str = "",
+        sim_time: float | None = None,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        **fields: Any,
+    ) -> Event:
+        """Append one event; returns it.  Never blocks, never raises on a
+        full ring (the oldest entry is evicted)."""
+        with self._lock:
+            event = Event(
+                seq=self._seq,
+                kind=kind,
+                actor=actor,
+                message=message,
+                wall_time=wall_clock(),
+                sim_time=sim_time,
+                trace_id=trace_id,
+                span_id=span_id,
+                fields=tuple(sorted(fields.items())),
+            )
+            self._seq += 1
+            self._events.append(event)
+            return event
+
+    # -- reading ---------------------------------------------------------------
+
+    def events(self) -> list[Event]:
+        with self._lock:
+            return list(self._events)
+
+    def tail(self, n: int = 20) -> list[Event]:
+        with self._lock:
+            if n <= 0:
+                return []
+            return list(self._events)[-n:]
+
+    def recent(
+        self,
+        kinds: Iterable[str],
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[Event]:
+        """Events of *kinds* whose sim time falls in ``(since, until]``
+        (untimed bounds match everything); oldest first."""
+        wanted = frozenset(kinds)
+        out = []
+        for event in self.events():
+            if event.kind not in wanted:
+                continue
+            when = event.sim_time
+            if since is not None and (when is None or when <= since):
+                continue
+            if until is not None and when is not None and when > until:
+                continue
+            out.append(event)
+        return out
+
+    def to_dicts(self, include_wall: bool = False) -> list[dict]:
+        return [event.to_dict(include_wall=include_wall) for event in self.events()]
+
+    def clear(self) -> None:
+        """Empty the ring and reset the sequence counter (test isolation)."""
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (evicted ones included)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        with self._lock:
+            return max(0, self._seq - len(self._events))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+_default = EventLog()
+
+
+def default_event_log() -> EventLog:
+    """The process-global event log the cluster and gateway share."""
+    return _default

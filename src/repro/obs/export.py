@@ -54,10 +54,13 @@ def _render_sample(sample: Sample) -> str:
 
 
 def _render_family(snap: FamilySnapshot) -> list[str]:
-    lines = []
-    if snap.help:
-        lines.append(f"# HELP {snap.name} {_escape_help(snap.help)}")
-    lines.append(f"# TYPE {snap.name} {snap.kind}")
+    # HELP and TYPE are emitted for *every* family, exactly once each —
+    # scrapers treat a repeated or missing TYPE as a malformed exposition,
+    # and an empty help string still gets its (bare) HELP line.
+    lines = [
+        f"# HELP {snap.name} {_escape_help(snap.help)}".rstrip(),
+        f"# TYPE {snap.name} {snap.kind}",
+    ]
     lines.extend(_render_sample(sample) for sample in snap.samples)
     return lines
 
@@ -78,6 +81,8 @@ def prometheus_text(*registries: MetricsRegistry) -> str:
                 )
             elif existing.kind == snap.kind:
                 existing.samples.extend(snap.samples)
+                if not existing.help and snap.help:
+                    existing.help = snap.help
     lines: list[str] = []
     for name in sorted(merged):
         lines.extend(_render_family(merged[name]))

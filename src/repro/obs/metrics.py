@@ -437,6 +437,23 @@ class MetricsRegistry:
             snaps.extend(fn())
         return sorted(snaps, key=lambda snap: snap.name)
 
+    def family_total(self, name: str) -> float:
+        """Sum of a family's children (histograms sum their observation
+        counts); 0.0 if the family does not exist yet.  This is what a
+        rolling-window fold samples: the label-agnostic total of a stream,
+        without creating families or children as a side effect."""
+        with self._lock:
+            family = self._families.get(name)
+        if family is None:
+            return 0.0
+        total = 0.0
+        for _labels, child in family._items():
+            if isinstance(child, HistogramChild):
+                total += child.count
+            else:
+                total += child.value  # type: ignore[union-attr]
+        return total
+
     def value(self, name: str, **labelvalues: object) -> float:
         """Test/debug helper: the current value of one counter/gauge child
         (0.0 if the family or child does not exist yet)."""

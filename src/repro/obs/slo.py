@@ -1,0 +1,359 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An SLO ("99.9% of queries complete non-degraded") turns a rolling SLI into
+an *error budget*: the tolerated bad fraction is ``1 - objective``, and the
+**burn rate** is how many times faster than budget the service is failing —
+``bad_fraction / (1 - objective)``.  Burn ``1.0`` exactly exhausts the
+budget over the objective period; burn ``1000`` means a 99.9% objective is
+being violated on essentially every observation.
+
+Single-window burn alerts are either slow (long window: pages arrive after
+the incident) or flappy (short window: one unlucky probe pages).  The
+standard fix (Google SRE workbook ch. 5) is **multi-window**: fire only
+when *both* a fast and a slow window burn hot — the fast window proves the
+problem is happening *now*, the slow window proves it is not a blip — and
+resolve on the fast window alone so recovery is visible quickly.
+
+:class:`SLOEngine` adds the piece dashboards never give you for free:
+**cause correlation**.  Every transition into a firing state scans the
+:class:`~repro.obs.events.EventLog` for recent fault-kind events (node
+crash, partition, detector suspicion) and attaches the most recent one as
+the alert's suspected cause, together with trace ids of recent bad
+observations — so the alert text already says *"availability critical,
+suspect: crash node-3, e.g. trace q-17"*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.events import (
+    FAULT_KINDS,
+    RECOVERY_KINDS,
+    Event,
+    EventLog,
+)
+
+#: Alert severity ordering for escalation decisions.
+_SEVERITY = {"ok": 0, "resolved": 0, "warning": 1, "critical": 2}
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over a named SLI.
+
+    With ``threshold`` unset, an observation is *bad* when it was recorded
+    with ``good=False`` (availability, coverage).  With ``threshold`` set,
+    an observation is bad when its **value** exceeds the threshold (p-style
+    latency objectives: "no more than 1% of turnarounds above 80 ms").
+
+    ``warn_burn`` / ``crit_burn`` are burn-rate trip points; ``1.0`` means
+    "burning budget exactly as fast as the objective tolerates".
+    ``max_severity="warning"`` caps ticket-grade objectives (repair
+    backlog) so they never page.
+    """
+
+    name: str
+    sli: str
+    objective: float
+    fast_window: float
+    slow_window: float
+    threshold: float | None = None
+    warn_burn: float = 1.0
+    crit_burn: float = 4.0
+    max_severity: str = "critical"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective}"
+            )
+        if self.fast_window > self.slow_window:
+            raise ValueError(
+                f"SLO {self.name!r}: fast window {self.fast_window} wider "
+                f"than slow window {self.slow_window}"
+            )
+        if self.max_severity not in ("warning", "critical"):
+            raise ValueError(
+                f"SLO {self.name!r}: max_severity must be warning|critical"
+            )
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+    def burn(self, window, now: float) -> float:
+        """Burn rate of one rolling window at *now*."""
+        if self.threshold is None:
+            bad = window.bad_fraction(now)
+        else:
+            bad = window.exceed_fraction(now, self.threshold)
+        return bad / self.budget
+
+
+@dataclass(frozen=True)
+class AlertTransition:
+    """One alert state change, with its correlated suspected cause."""
+
+    time: float
+    slo: str
+    frm: str
+    to: str
+    burn_fast: float
+    burn_slow: float
+    cause: dict | None = None
+    trace_ids: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "slo": self.slo,
+            "from": self.frm,
+            "to": self.to,
+            "burn_fast": round(self.burn_fast, 6),
+            "burn_slow": round(self.burn_slow, 6),
+            "cause": self.cause,
+            "trace_ids": list(self.trace_ids),
+        }
+
+    def __str__(self) -> str:
+        line = (
+            f"[{self.time * 1e3:9.3f} ms] alert {self.slo}: "
+            f"{self.frm} -> {self.to}  "
+            f"(burn fast={self.burn_fast:.1f} slow={self.burn_slow:.1f})"
+        )
+        if self.cause:
+            line += (
+                f"  suspect: {self.cause.get('kind')} "
+                f"{self.cause.get('actor')}"
+            )
+        if self.trace_ids:
+            line += f"  e.g. {self.trace_ids[0]}"
+        return line
+
+
+@dataclass
+class AlertState:
+    """Mutable per-SLO alert bookkeeping inside the engine."""
+
+    slo: SLO
+    state: str = "ok"
+    since: float = 0.0
+    fired_at: float | None = None
+    resolved_at: float | None = None
+    cause: dict | None = None
+    trace_ids: tuple[str, ...] = ()
+    burn_fast: float = 0.0
+    burn_slow: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo.name,
+            "sli": self.slo.sli,
+            "objective": self.slo.objective,
+            "state": self.state,
+            "since": self.since,
+            "burn_fast": round(self.burn_fast, 6),
+            "burn_slow": round(self.burn_slow, 6),
+            "cause": self.cause,
+            "trace_ids": list(self.trace_ids),
+        }
+
+
+class SLOEngine:
+    """Evaluates every SLO against a recorder; tracks alert lifecycles.
+
+    The lifecycle is ``ok → warning|critical → resolved → ok``: *resolved*
+    is a one-evaluation terminal acknowledgment (so dashboards and the CI
+    smoke job can observe that a previously-firing alert recovered) before
+    the state returns to *ok*.
+
+    Sparse-traffic guard: a fast window can legitimately empty out between
+    probe arrivals; an empty window burns 0, which must not instantly
+    resolve a real incident.  A firing alert therefore only resolves when
+    the fast window is cool *and* either it actually contains observations
+    or enough time (two fast widths) has passed since the last bad one.
+    """
+
+    def __init__(self, recorder, slos, event_log: EventLog,
+                 max_transitions: int = 256) -> None:
+        self.recorder = recorder
+        self.slos = tuple(slos)
+        self.events = event_log
+        self.states: dict[str, AlertState] = {
+            slo.name: AlertState(slo=slo) for slo in self.slos
+        }
+        self.transitions: deque[AlertTransition] = deque(maxlen=max_transitions)
+        self._transition_counts: dict[tuple[str, str], int] = {}
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, now: float) -> list[AlertTransition]:
+        """One evaluation pass over every SLO at *now*; returns (and
+        records) the alert transitions this pass produced."""
+        produced: list[AlertTransition] = []
+        for slo in self.slos:
+            state = self.states[slo.name]
+            sli = self.recorder.sli(slo.sli)
+            fast = sli.window(slo.fast_window)
+            slow = sli.window(slo.slow_window)
+            burn_fast = slo.burn(fast, now)
+            burn_slow = slo.burn(slow, now)
+            state.burn_fast = burn_fast
+            state.burn_slow = burn_slow
+
+            target: str | None = None
+            if fast.count(now) and slow.count(now):
+                if burn_fast >= slo.crit_burn and burn_slow >= slo.crit_burn:
+                    target = "critical"
+                elif burn_fast >= slo.warn_burn and burn_slow >= slo.warn_burn:
+                    target = "warning"
+            if target == "critical" and slo.max_severity == "warning":
+                target = "warning"
+
+            transition = self._step(state, target, now, sli)
+            if transition is not None:
+                produced.append(transition)
+        return produced
+
+    def _step(self, state: AlertState, target: str | None, now: float,
+              sli) -> AlertTransition | None:
+        current = state.state
+        firing = current in ("warning", "critical")
+
+        if target is not None:
+            if not firing or _SEVERITY[target] > _SEVERITY[current]:
+                # New firing or escalation: (re)correlate the cause.
+                cause, trace_ids = self._correlate(state.slo, sli, now,
+                                                   FAULT_KINDS)
+                state.cause = cause
+                state.trace_ids = trace_ids
+                if not firing:
+                    state.fired_at = now
+                return self._transition(state, target, now)
+            if _SEVERITY[target] < _SEVERITY[current]:
+                return self._transition(state, target, now)
+            return None  # holding steady at the same severity
+
+        # target is None: cool windows.
+        if firing:
+            if not self._may_resolve(state.slo, sli, now):
+                return None
+            cause, _ = self._correlate(state.slo, sli, now, RECOVERY_KINDS)
+            if cause is not None:
+                state.cause = cause
+            state.resolved_at = now
+            return self._transition(state, "resolved", now)
+        if current == "resolved":
+            return self._transition(state, "ok", now)
+        return None
+
+    def _may_resolve(self, slo: SLO, sli, now: float) -> bool:
+        fast = sli.window(slo.fast_window)
+        if fast.count(now):
+            return True
+        last_bad = sli.last_bad_at
+        return last_bad is None or now > last_bad + 2.0 * slo.fast_window
+
+    def _transition(self, state: AlertState, to: str,
+                    now: float) -> AlertTransition:
+        transition = AlertTransition(
+            time=now,
+            slo=state.slo.name,
+            frm=state.state,
+            to=to,
+            burn_fast=state.burn_fast,
+            burn_slow=state.burn_slow,
+            cause=state.cause,
+            trace_ids=state.trace_ids,
+        )
+        state.state = to
+        state.since = now
+        self.transitions.append(transition)
+        key = (state.slo.name, to)
+        self._transition_counts[key] = self._transition_counts.get(key, 0) + 1
+        self.events.emit(
+            "alert",
+            f"slo:{state.slo.name}",
+            f"{transition.frm} -> {to}",
+            sim_time=now,
+            trace_id=state.trace_ids[0] if state.trace_ids else None,
+            state=to,
+            burn_fast=round(state.burn_fast, 6),
+            burn_slow=round(state.burn_slow, 6),
+            cause_kind=(state.cause or {}).get("kind"),
+            cause_actor=(state.cause or {}).get("actor"),
+        )
+        return transition
+
+    def _correlate(self, slo: SLO, sli, now: float,
+                   kinds) -> tuple[dict | None, tuple[str, ...]]:
+        """The most recent *kinds* event inside the slow window, plus trace
+        ids of recent bad observations on the SLI."""
+        candidates = self.events.recent(
+            kinds, since=now - slo.slow_window, until=now
+        )
+        cause: Event | None = candidates[-1] if candidates else None
+        trace_ids = tuple(dict.fromkeys(sli.bad_trace_ids))
+        return (cause.to_dict() if cause is not None else None), trace_ids
+
+    # -- reading ---------------------------------------------------------------
+
+    def firing(self) -> list[str]:
+        """Names of SLOs currently in warning or critical."""
+        return sorted(
+            name for name, st in self.states.items()
+            if st.state in ("warning", "critical")
+        )
+
+    def states_dict(self, now: float | None = None) -> dict[str, dict]:
+        return {name: st.to_dict() for name, st in sorted(self.states.items())}
+
+    def transition_counts(self) -> dict[tuple[str, str], int]:
+        return dict(self._transition_counts)
+
+
+def default_slos(
+    windows, latency_threshold: float | None = None
+) -> tuple[SLO, ...]:
+    """The stock objectives for a Mendel cluster, over *windows* widths.
+
+    * **availability** — queries answered non-degraded (paper's core
+      promise: replication hides node loss).  99.9%, pages critical.
+    * **coverage** — full-coverage answers (every holder responded; Fig. 6
+      turnaround is only meaningful at full coverage).  99%.
+    * **turnaround** — only when a threshold is configured: fraction of
+      turnarounds above it (the Fig. 6 p99-style bound).  95%.
+    * **repair_backlog** — outstanding re-replication repairs; ticket-grade
+      (capped at warning: a backlog is work in flight, not an outage).
+    """
+    widths = tuple(sorted(set(float(w) for w in windows)))
+    fast, slow = widths[0], widths[-1]
+    slos = [
+        SLO(
+            name="availability", sli="availability", objective=0.999,
+            fast_window=fast, slow_window=slow,
+            description="queries answered without degradation",
+        ),
+        SLO(
+            name="coverage", sli="coverage", objective=0.99,
+            fast_window=fast, slow_window=slow,
+            description="answers reflecting every replica holder",
+        ),
+        SLO(
+            name="repair_backlog", sli="repair_backlog", objective=0.9,
+            fast_window=fast, slow_window=slow, max_severity="warning",
+            description="re-replication repairs outstanding",
+        ),
+    ]
+    if latency_threshold is not None:
+        slos.append(SLO(
+            name="turnaround", sli="turnaround", objective=0.95,
+            threshold=latency_threshold,
+            fast_window=fast, slow_window=slow,
+            description=f"turnaround above {latency_threshold}s",
+        ))
+    return tuple(slos)

@@ -186,6 +186,11 @@ class ServeClient:
         """METRICS op; ``response["metrics"]`` is Prometheus text."""
         return self.request({"op": "metrics"})
 
+    def alerts(self) -> dict:
+        """ALERTS op; the gateway monitor's full frame — SLI windows,
+        alert states with correlated causes, transitions, event tail."""
+        return self.request({"op": "alerts"})
+
     def __enter__(self) -> "ServeClient":
         self.connect()
         return self

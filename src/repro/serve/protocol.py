@@ -10,6 +10,7 @@ Requests::
     {"op": "stats"}
     {"op": "health"}
     {"op": "metrics"}
+    {"op": "alerts"}
 
 Responses::
 
@@ -25,6 +26,11 @@ for the request (``null`` when tracing is off or the answer was served
 from cache without a recorded trace); ``"trace": true`` additionally
 returns the span tree itself under ``"trace"``.  ``{"op": "metrics"}``
 returns the shared registry's Prometheus text exposition.
+``{"op": "health"}`` includes the firing-alert list (and flips ``status``
+to ``"alerting"`` when objectives are burning); ``{"op": "alerts"}``
+returns the gateway monitor's full frame — rolling SLI windows, per-SLO
+alert states with correlated causes and trace ids, recent transitions,
+and the event tail.
 
 ``{"op": "explain"}`` runs the query once with tracing attached (bypassing
 cache and batching) and returns the structured

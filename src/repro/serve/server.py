@@ -120,6 +120,8 @@ class QueryServer:
                 return {"id": request_id, "ok": True, "stats": self.service.snapshot()}
             if op == "health":
                 return {"id": request_id, "ok": True, **self.service.health()}
+            if op == "alerts":
+                return {"id": request_id, "ok": True, **self.service.alerts()}
             if op == "metrics":
                 return {
                     "id": request_id,

@@ -34,7 +34,9 @@ from dataclasses import dataclass, field
 from repro.core.framework import Mendel
 from repro.core.params import QueryParams
 from repro.core.query import QueryReport
+from repro.obs.events import EventLog
 from repro.obs.export import prometheus_text
+from repro.obs.health import HealthMonitor
 from repro.obs.metrics import FamilySnapshot, MetricsRegistry, Sample, default_registry
 from repro.obs.trace import TraceContext
 from repro.seq.records import SequenceRecord
@@ -110,6 +112,15 @@ class QueryService:
     registry:
         Metrics registry to account into; defaults to the process-global
         one (so one METRICS scrape covers cluster and gateway).
+    monitor:
+        The wall-clock :class:`~repro.obs.health.HealthMonitor` backing the
+        HEALTH/ALERTS verbs; auto-created (1s/10s/60s windows, latency SLO
+        at the slow-query threshold when one is set) unless given.  Ticked
+        lazily whenever health/alerts/stats are read, so an idle gateway
+        spends nothing on it.
+    event_log:
+        Event log the service emits into (slow queries, alerts); defaults
+        to the process-global log shared with the cluster.
     """
 
     def __init__(
@@ -129,6 +140,8 @@ class QueryService:
         slow_query_threshold: float | None = None,
         slow_log_size: int = 32,
         registry: MetricsRegistry | None = None,
+        monitor: HealthMonitor | None = None,
+        event_log: EventLog | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -177,6 +190,17 @@ class QueryService:
         # against index.version so scrapes stay cheap.
         self._balance = mendel._balance_auditor()
         self._balance.install(self.registry)
+        # Continuous health on the gateway's wall clock: request latencies
+        # and degradation feed the SLIs; ticking happens lazily on reads.
+        if monitor is None:
+            monitor = HealthMonitor(
+                windows=(1.0, 10.0, 60.0),
+                latency_threshold=slow_query_threshold,
+                event_log=event_log,
+                label=self.stats.service,
+            )
+        self.monitor = monitor
+        self.monitor.install(self.registry)
 
     # -- submission ------------------------------------------------------------
 
@@ -405,6 +429,10 @@ class QueryService:
                 self.cache.put(request.cache_key, report)
             latency = done - request.submitted_at
             self.stats.record_latency(latency)
+            self.monitor.observe_request(
+                done, latency, degraded=report.degraded,
+                trace_id=report.trace_id,
+            )
             if (
                 self.slow_query_threshold is not None
                 and latency > self.slow_query_threshold
@@ -436,6 +464,18 @@ class QueryService:
         with self._lock:
             self._slow_log.append(entry)
         self._m_slow.inc()
+        # The same entry, joinable: the event log row carries the trace id
+        # the slow-log entry does, so a slow query, its span tree, and any
+        # alert it contributed to all meet on one key.
+        self.monitor.events.emit(
+            "slow_query",
+            self.stats.service,
+            f"{request.record.seq_id} took {latency * 1e3:.1f} ms",
+            trace_id=report.trace_id,
+            latency_ms=round(latency * 1e3, 3),
+            turnaround_ms=round(report.stats.turnaround * 1e3, 3),
+            degraded=report.degraded,
+        )
 
     # -- lifecycle & introspection --------------------------------------------
 
@@ -484,6 +524,8 @@ class QueryService:
         with self._lock:
             out["slow_queries"] = list(self._slow_log)
         out["balance"] = self._balance.report().summary()
+        self.monitor.tick(self._clock())
+        out["alerts_firing"] = self.monitor.alerts_firing()
         return out
 
     def metrics_text(self) -> str:
@@ -539,6 +581,10 @@ class QueryService:
             status = "degraded"
         else:
             status = "ok"
+        self.monitor.tick(self._clock())
+        firing = self.monitor.alerts_firing()
+        if status == "ok" and firing:
+            status = "alerting"
         return {
             "status": status,
             "queue_depth": self.queue_depth,
@@ -546,7 +592,18 @@ class QueryService:
             "index_version": self.mendel.index_version,
             "cluster": cluster,
             "balance": self._balance.report().summary(),
+            "alerts_firing": firing,
+            "alerts": self.monitor.slo_engine.states_dict(),
         }
+
+    def alerts(self) -> dict:
+        """The ALERTS verb: the monitor's full frame — SLI windows, alert
+        states with correlated causes, recent transitions, event tail."""
+        now = self._clock()
+        self.monitor.tick(now)
+        out = self.monitor.snapshot(now)
+        out["firing"] = self.monitor.alerts_firing()
+        return out
 
     def close(self) -> None:
         """Stop admitting work, flush pending batches, release the pool."""
@@ -555,6 +612,7 @@ class QueryService:
         self._closed = True
         self.registry.unregister_callback(self._collect_cb)
         self._balance.uninstall()
+        self.monitor.uninstall()
         self._batcher.close()
         self._pool.shutdown(wait=True)
 

@@ -1,0 +1,108 @@
+"""Tests for the bounded structured event log (repro.obs.events)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    FAULT_KINDS,
+    RECOVERY_KINDS,
+    Event,
+    EventLog,
+    default_event_log,
+)
+
+
+class TestEvent:
+    def test_to_dict_excludes_wall_time_by_default(self):
+        log = EventLog()
+        log.emit("crash", "node-1", "boom", sim_time=1.5, trace_id="t1",
+                 blocks=3)
+        event = log.events()[0]
+        d = event.to_dict()
+        assert "wall_time" not in d
+        assert d["kind"] == "crash"
+        assert d["actor"] == "node-1"
+        assert d["sim_time"] == 1.5
+        assert d["trace_id"] == "t1"
+        assert d["fields"] == {"blocks": 3}
+        assert "wall_time" in event.to_dict(include_wall=True)
+
+    def test_events_are_frozen(self):
+        log = EventLog()
+        log.emit("crash", "node-1")
+        with pytest.raises(AttributeError):
+            log.events()[0].kind = "other"
+
+
+class TestEventLog:
+    def test_sequence_numbers_are_monotonic(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("query", f"n{i}")
+        seqs = [e.seq for e in log.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_capacity_bounds_memory_and_counts_drops(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("query", f"n{i}")
+        assert len(log.events()) == 4
+        assert log.emitted == 10
+        assert log.dropped == 6
+        # Oldest events fall off; newest survive.
+        assert [e.actor for e in log.events()] == ["n6", "n7", "n8", "n9"]
+
+    def test_tail_returns_newest(self):
+        log = EventLog()
+        for i in range(6):
+            log.emit("query", f"n{i}")
+        assert [e.actor for e in log.tail(2)] == ["n4", "n5"]
+
+    def test_recent_filters_by_kind_and_sim_time(self):
+        log = EventLog()
+        log.emit("crash", "a", sim_time=1.0)
+        log.emit("restart", "a", sim_time=2.0)
+        log.emit("crash", "b", sim_time=3.0)
+        log.emit("crash", "untimed")  # no sim_time
+        hits = log.recent({"crash"}, since=1.0, until=3.0)
+        # (since, until] — the sim_time=1.0 crash is excluded, untimed
+        # events are excluded whenever `since` is given.
+        assert [e.actor for e in hits] == ["b"]
+        assert [e.actor for e in log.recent({"crash"})] == ["a", "b", "untimed"]
+
+    def test_clear_resets_ring_and_sequence(self):
+        log = EventLog()
+        log.emit("crash", "a")
+        log.clear()
+        assert log.events() == []
+        assert log.emitted == 0
+        assert log.emit("crash", "b").seq == 0
+
+    def test_emit_is_thread_safe(self):
+        log = EventLog(capacity=10_000)
+
+        def worker(tag):
+            for i in range(200):
+                log.emit("query", f"{tag}-{i}")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.emitted == 800
+        seqs = [e.seq for e in log.events()]
+        assert len(set(seqs)) == 800
+
+    def test_default_event_log_is_a_process_singleton(self):
+        assert default_event_log() is default_event_log()
+
+    def test_fault_and_recovery_kind_sets_are_disjoint(self):
+        assert not FAULT_KINDS & RECOVERY_KINDS
+        assert "crash" in FAULT_KINDS
+        assert "repair" in RECOVERY_KINDS

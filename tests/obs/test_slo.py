@@ -1,0 +1,212 @@
+"""Tests for SLO burn-rate alerting (repro.obs.slo) and the end-to-end
+chaos-scenario alert lifecycle, including the ``CHAOS_SEED`` determinism
+contract: two identical seeded runs must serialise a byte-identical event
+log (wall stamps excluded)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.health import SLIRecorder
+from repro.obs.slo import SLO, SLOEngine, default_slos
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def _engine(slo: SLO, log: EventLog | None = None):
+    recorder = SLIRecorder(windows=(slo.fast_window, slo.slow_window))
+    # NB: an empty EventLog is falsy (len 0), so test `is None` explicitly.
+    return recorder, SLOEngine(recorder, (slo,),
+                               log if log is not None else EventLog())
+
+
+def _slo(**overrides) -> SLO:
+    base = dict(name="avail", sli="availability", objective=0.99,
+                fast_window=1.0, slow_window=10.0)
+    base.update(overrides)
+    return SLO(**base)
+
+
+class TestSLO:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _slo(objective=1.0)
+        with pytest.raises(ValueError):
+            _slo(fast_window=20.0)
+        with pytest.raises(ValueError):
+            _slo(max_severity="page-me")
+
+    def test_budget_and_burn(self):
+        slo = _slo(objective=0.9)
+        assert slo.budget == pytest.approx(0.1)
+        recorder = SLIRecorder(windows=(1.0, 10.0))
+        for i in range(10):
+            recorder.observe("availability", 0.5, 1.0, good=i >= 5)
+        window = recorder.sli("availability").window(1.0)
+        # bad_fraction 0.5 against a 0.1 budget: burning 5x.
+        assert slo.burn(window, 0.5) == pytest.approx(5.0)
+
+    def test_threshold_mode_burns_on_value(self):
+        slo = _slo(name="lat", sli="turnaround", objective=0.9, threshold=0.1)
+        recorder = SLIRecorder(windows=(1.0, 10.0))
+        for value in (0.05, 0.05, 0.2, 0.2):
+            recorder.observe("turnaround", 0.5, value)
+        window = recorder.sli("turnaround").window(1.0)
+        assert slo.burn(window, 0.5) == pytest.approx(5.0)
+
+
+class TestSLOEngineLifecycle:
+    def test_requires_both_windows_hot(self):
+        recorder, engine = _engine(_slo())
+        # Fast window hot, slow window empty -> no firing.
+        assert engine.evaluate(0.0) == []
+        recorder.observe("availability", 0.5, 0.0, good=False)
+        transitions = engine.evaluate(0.5)
+        # One bad sample sits in both windows -> fires.
+        assert [t.to for t in transitions] == ["critical"]
+
+    def test_empty_windows_never_fire(self):
+        _recorder, engine = _engine(_slo())
+        assert engine.evaluate(5.0) == []
+        assert engine.firing() == []
+
+    def test_full_lifecycle_with_cause_correlation(self):
+        log = EventLog()
+        recorder, engine = _engine(_slo(), log)
+        log.emit("crash", "node-7", sim_time=0.2)
+        for i in range(4):
+            recorder.observe("availability", 0.3 + i * 0.1, 0.0, good=False,
+                             trace_id=f"q{i}")
+        fired = engine.evaluate(0.7)
+        assert [t.to for t in fired] == ["critical"]
+        assert fired[0].cause["kind"] == "crash"
+        assert fired[0].cause["actor"] == "node-7"
+        assert "q0" in fired[0].trace_ids
+        assert engine.firing() == ["avail"]
+
+        log.emit("repair", "g01", sim_time=5.0)
+        for i in range(8):
+            recorder.observe("availability", 5.0 + i * 0.1, 1.0, good=True)
+        resolved = engine.evaluate(5.9)
+        assert [t.to for t in resolved] == ["resolved"]
+        assert resolved[0].cause["kind"] == "repair"
+        assert engine.firing() == []
+        assert [t.to for t in engine.evaluate(6.0)] == ["ok"]
+        # Transition counts drive the Prometheus counter.
+        counts = engine.transition_counts()
+        assert counts[("avail", "critical")] == 1
+        assert counts[("avail", "resolved")] == 1
+
+    def test_sparse_traffic_does_not_flap_resolve(self):
+        recorder, engine = _engine(_slo())
+        recorder.observe("availability", 0.5, 0.0, good=False)
+        assert [t.to for t in engine.evaluate(0.5)] == ["critical"]
+        # Fast window empties (no traffic at all) shortly after the bad
+        # sample: burn reads 0 but the incident must keep firing.
+        assert engine.evaluate(2.0) == []
+        assert engine.firing() == ["avail"]
+        # After two fast widths of silence past the last bad sample the
+        # alert may finally resolve.
+        assert [t.to for t in engine.evaluate(2.6)] == ["resolved"]
+
+    def test_warning_escalates_to_critical(self):
+        slo = _slo(objective=0.9, warn_burn=1.0, crit_burn=4.0)
+        recorder, engine = _engine(slo)
+        for i in range(8):
+            recorder.observe("availability", 0.5, 1.0, good=i != 0)
+        assert [t.to for t in engine.evaluate(0.5)] == ["warning"]
+        for _ in range(8):
+            recorder.observe("availability", 0.6, 0.0, good=False)
+        transitions = engine.evaluate(0.6)
+        assert [t.to for t in transitions] == ["critical"]
+        assert transitions[0].frm == "warning"
+
+    def test_max_severity_caps_paging(self):
+        slo = _slo(max_severity="warning")
+        recorder, engine = _engine(slo)
+        recorder.observe("availability", 0.5, 0.0, good=False)
+        assert [t.to for t in engine.evaluate(0.5)] == ["warning"]
+
+    def test_transitions_emit_alert_events(self):
+        log = EventLog()
+        recorder, engine = _engine(_slo(), log)
+        recorder.observe("availability", 0.5, 0.0, good=False)
+        engine.evaluate(0.5)
+        alerts = [e for e in log.events() if e.kind == "alert"]
+        assert len(alerts) == 1
+        assert alerts[0].actor == "slo:avail"
+        assert dict(alerts[0].fields)["state"] == "critical"
+
+
+class TestDefaultSLOs:
+    def test_stock_objectives(self):
+        slos = {s.name: s for s in default_slos((1.0, 10.0, 60.0))}
+        assert sorted(slos) == ["availability", "coverage", "repair_backlog"]
+        assert slos["availability"].objective == 0.999
+        assert slos["repair_backlog"].max_severity == "warning"
+        assert slos["availability"].fast_window == 1.0
+        assert slos["availability"].slow_window == 60.0
+
+    def test_turnaround_only_with_threshold(self):
+        names = {s.name for s in default_slos((1.0, 60.0),
+                                              latency_threshold=0.08)}
+        assert "turnaround" in names
+
+
+class TestChaosScenarioAlerts:
+    """End-to-end: a node kill under replication=1 drives the availability
+    and coverage SLOs through fire -> resolve, with a correlated fault
+    cause and joinable trace ids — and the whole event log replays
+    byte-identically under one ``CHAOS_SEED``."""
+
+    @staticmethod
+    def _run():
+        from repro.faults.scenario import run_kill_recover_scenario
+
+        return run_kill_recover_scenario(replication=1, group_count=3,
+                                         group_size=3, probe_count=6,
+                                         seed=SEED)
+
+    def test_kill_fires_then_resolves_availability(self):
+        result = self._run()
+        monitor = result.monitor
+        assert monitor is not None
+        by_slo: dict[str, list[str]] = {}
+        for t in monitor.slo_engine.transitions:
+            by_slo.setdefault(t.slo, []).append(t.to)
+        for slo in ("availability", "coverage"):
+            assert "critical" in by_slo.get(slo, []), by_slo
+            assert "resolved" in by_slo.get(slo, []), by_slo
+        fired = next(t for t in monitor.slo_engine.transitions
+                     if t.slo == "availability" and t.to == "critical")
+        # The correlated cause is a fault-kind event from the chaos run.
+        assert fired.cause is not None
+        assert fired.cause["kind"] in ("crash", "detected", "suspect",
+                                       "subquery_failed")
+        # At least one bad observation carried its deterministic trace id.
+        assert any(t.startswith(f"chaos-{SEED}-q") for t in fired.trace_ids)
+        # Nothing left firing once the cluster recovered.
+        assert monitor.alerts_firing() == []
+
+    def test_event_log_replays_byte_identically(self):
+        first = self._run().monitor.events.to_dicts()
+        second = self._run().monitor.events.to_dicts()
+        assert (json.dumps(first, sort_keys=True)
+                == json.dumps(second, sort_keys=True))
+        # And the log actually recorded the story: faults, queries, alerts.
+        kinds = {e["kind"] for e in first}
+        assert {"crash", "query", "alert"} <= kinds
+
+    def test_alert_events_join_spans_via_trace_id(self):
+        result = self._run()
+        events = result.monitor.events.events()
+        query_traces = {e.trace_id for e in events
+                        if e.kind == "query" and e.trace_id}
+        alert_traces = {e.trace_id for e in events
+                        if e.kind == "alert" and e.trace_id}
+        assert alert_traces, "alert events should carry trace ids"
+        assert alert_traces <= query_traces
