@@ -133,6 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slow-query log length surfaced via STATS")
     serve.add_argument("--no-tracing", action="store_true",
                        help="disable per-request span recording")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="attach the elastic autoscaler (lazily ticked "
+                            "from HEALTH/ALERTS/STATS/SCALE reads)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -173,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     call = sub.add_parser("call", help="call a running gateway")
     call.add_argument("op",
                       choices=("query", "explain", "stats", "health",
-                               "metrics", "alerts"))
+                               "metrics", "alerts", "scale"))
     call.add_argument("--host", default="127.0.0.1")
     call.add_argument("--port", type=int, default=7766)
     call.add_argument("--seq", default=None,
@@ -218,6 +221,32 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--assert-cycle", default=None, metavar="SLO",
                        help="exit nonzero unless SLO fired and then "
                             "resolved during the run (CI smoke assertion)")
+
+    autoscale = sub.add_parser(
+        "autoscale",
+        help="drive the elastic control loop through a traffic scenario",
+    )
+    autoscale.add_argument("--scenario", choices=("flash", "diurnal"),
+                           default="flash",
+                           help="flash: calm/burst/tail overload; diurnal: "
+                                "two sinusoidal day/night cycles")
+    autoscale.add_argument("--seed", type=int, default=None,
+                           help="scenario seed (default: $CHAOS_SEED or 0)")
+    autoscale.add_argument("--no-controller", action="store_true",
+                           help="run the same traffic without the scaler "
+                                "(the ablation baseline)")
+    autoscale.add_argument("--format", choices=("text", "json"),
+                           default="text")
+    autoscale.add_argument("--event-log", default=None,
+                           help="write the run's event log JSON here "
+                                "(artifact)")
+    autoscale.add_argument("--bench-out", default=None,
+                           help="write a BENCH-schema summary JSON here "
+                                "(artifact)")
+    autoscale.add_argument("--assert-loop", action="store_true",
+                           help="exit nonzero unless an alert fired, the "
+                                "scaler acted, and the alert resolved "
+                                "(CI smoke assertion)")
 
     trace = sub.add_parser(
         "trace",
@@ -387,6 +416,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         slow_query_threshold=args.slow_query_threshold,
         slow_log_size=args.slow_log_size,
     )
+    if args.autoscale:
+        service.enable_autoscaler()
 
     async def _run() -> None:
         server = QueryServer(service, host=args.host, port=args.port)
@@ -522,6 +553,8 @@ def _cmd_call(args: argparse.Namespace, out) -> int:
             return 1
         if args.op == "alerts":
             response = client.alerts()
+        elif args.op == "scale":
+            response = client.scale()
         elif args.op == "stats":
             response = client.stats()
         else:
@@ -625,6 +658,108 @@ def _watch_gateway(args: argparse.Namespace, out) -> int:
         client.close()
 
 
+def _cmd_autoscale(args: argparse.Namespace, out) -> int:
+    import json
+    import os
+    import platform
+
+    from repro.scale import (
+        run_diurnal_scenario,
+        run_flash_crowd_scenario,
+    )
+
+    seed = (
+        args.seed if args.seed is not None
+        else int(os.environ.get("CHAOS_SEED", "0"))
+    )
+    runner = (
+        run_flash_crowd_scenario if args.scenario == "flash"
+        else run_diurnal_scenario
+    )
+    result = runner(seed=seed, controller=not args.no_controller)
+
+    if args.event_log:
+        with open(args.event_log, "w", encoding="utf-8") as handle:
+            json.dump(result.event_log.to_dicts(), handle, indent=2,
+                      sort_keys=True)
+    if args.bench_out:
+        degraded = sum(1 for r in result.reports if r.degraded)
+        bench = {
+            "python": platform.python_version(),
+            "schema_version": 1,
+            "seed": seed,
+            "suite": "repro-autoscale",
+            "workloads": {
+                f"autoscale-{result.scenario}": {
+                    "metrics": {
+                        "loop_closed": {
+                            "direction": "stable", "tolerance": 0.0,
+                            "unit": "bool",
+                            "value": 1.0 if result.loop_closed() else 0.0,
+                        },
+                        "scale_actions": {
+                            "direction": "stable", "tolerance": 0.0,
+                            "unit": "count",
+                            "value": float(len(result.actions)),
+                        },
+                        "degraded_queries": {
+                            "direction": "lower", "tolerance": 0.0,
+                            "unit": "count", "value": float(degraded),
+                        },
+                        "mean_turnaround": {
+                            "direction": "lower", "tolerance": 0.25,
+                            "unit": "s", "value": result.mean_turnaround,
+                        },
+                    },
+                },
+            },
+        }
+        with open(args.bench_out, "w", encoding="utf-8") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+
+    if args.format == "json":
+        frame = {
+            "scenario": result.scenario,
+            "seed": seed,
+            "controller": result.controller_enabled,
+            "loop_closed": result.loop_closed(),
+            "fired_at": result.fired_at(),
+            "resolved_at": result.resolved_at(),
+            "actions": result.actions,
+            "topology_events": result.topology_events,
+            "alert_transitions": result.alert_transitions,
+            "final_topology": result.final_topology,
+            "mean_turnaround": result.mean_turnaround,
+            "max_turnaround": result.p_max_turnaround,
+        }
+        print(json.dumps(frame, indent=2, sort_keys=True), file=out)
+    else:
+        width = max(len(k) for k, _ in result.summary_rows())
+        for key, value in result.summary_rows():
+            print(f"{key:<{width}}  {value}", file=out)
+        if result.actions:
+            print("", file=out)
+            print("topology actions:", file=out)
+            for action in result.actions:
+                extra = f" -> {action['target']}" if action.get("target") else ""
+                print(
+                    f"  t={action['at'] * 1e3:9.3f} ms  "
+                    f"{action['action']:<12} {action['group']}{extra}  "
+                    f"[{action['cause']}]",
+                    file=out,
+                )
+
+    if args.assert_loop and not result.loop_closed():
+        print(
+            f"ASSERT FAIL: autoscale loop did not close "
+            f"(fired={result.fired_at()} resolved={result.resolved_at()} "
+            f"actions={len(result.actions)})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace, out) -> int:
     from repro.obs.export import prometheus_text, write_chrome_trace
     from repro.obs.metrics import default_registry
@@ -676,6 +811,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "chaos": _cmd_chaos,
         "call": _cmd_call,
         "watch": _cmd_watch,
+        "autoscale": _cmd_autoscale,
         "trace": _cmd_trace,
         "explain": _cmd_explain,
     }

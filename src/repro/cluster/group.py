@@ -13,18 +13,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster.hashring import FlatHash
+from repro.cluster.hashring import FlatHash, HashRing
 from repro.cluster.node import StorageNode
 from repro.obs.metrics import default_registry
 
 
 @dataclass
 class StorageGroup:
-    """A named set of nodes plus the intra-group placement hash."""
+    """A named set of nodes plus the intra-group placement hash.
+
+    ``use_ring=True`` swaps the flat ``SHA-1 mod N`` placement for a
+    consistent-hashing ring, so membership changes (the autoscaler's
+    scale-out/scale-in) move only ~``1/N`` of the group's blocks instead
+    of reshuffling almost all of them.  The default stays flat — the
+    paper's evaluated configuration.
+    """
 
     group_id: str
     nodes: list[StorageNode]
-    _flat: FlatHash = field(init=False, repr=False)
+    use_ring: bool = False
+    _flat: FlatHash | HashRing = field(init=False, repr=False)
     _by_id: dict[str, StorageNode] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -39,7 +47,7 @@ class StorageGroup:
                     f"node {node.node_id!r} belongs to group {node.group_id!r}, "
                     f"not {self.group_id!r}"
                 )
-        self._flat = FlatHash(ids)
+        self._flat = self._make_placer(ids)
         self._by_id = {node.node_id: node for node in self.nodes}
         registry = default_registry()
         self._m_elections = registry.counter(
@@ -52,6 +60,9 @@ class StorageGroup:
             "Coordinator selections that skipped a dead first-choice node",
             ("group",),
         ).labels(group=self.group_id)
+
+    def _make_placer(self, ids: tuple[str, ...]) -> FlatHash | HashRing:
+        return HashRing(ids) if self.use_ring else FlatHash(ids)
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -76,8 +87,28 @@ class StorageGroup:
         if node.node_id in self._by_id:
             raise ValueError(f"duplicate node id {node.node_id!r}")
         self.nodes.append(node)
-        self._flat = FlatHash(tuple(n.node_id for n in self.nodes))
+        self._flat = self._make_placer(tuple(n.node_id for n in self.nodes))
         self._by_id[node.node_id] = node
+
+    def remove_node(self, node_id: str) -> StorageNode:
+        """Shrink the group by one member (elastic scale-in).
+
+        Rebuilds the intra-group placement hash; the caller is responsible
+        for draining the node's blocks to the survivors *first* (see
+        ``MendelIndex.remove_node`` for the safe-drain orchestration).
+        Removing the last member is refused — a group with assigned prefixes
+        must stay addressable.
+        """
+        if node_id not in self._by_id:
+            raise KeyError(f"no node {node_id!r} in group {self.group_id!r}")
+        if len(self.nodes) == 1:
+            raise ValueError(
+                f"cannot remove the last node of group {self.group_id!r}"
+            )
+        node = self._by_id.pop(node_id)
+        self.nodes.remove(node)
+        self._flat = self._make_placer(tuple(n.node_id for n in self.nodes))
+        return node
 
     def place(self, key: bytes) -> StorageNode:
         """Primary node for the block identified by *key* (flat SHA-1)."""

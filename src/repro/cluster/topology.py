@@ -42,6 +42,7 @@ class ClusterSpec:
     group_size: int = 5
     heterogeneous: bool = True
     bucket_capacity: int = 32
+    ring_placement: bool = False
 
     def __post_init__(self) -> None:
         if self.group_count < 1:
@@ -151,7 +152,10 @@ class ClusterTopology:
                     )
                 )
                 node_counter += 1
-            self.groups.append(StorageGroup(group_id=group_id, nodes=nodes))
+            self.groups.append(
+                StorageGroup(group_id=group_id, nodes=nodes,
+                             use_ring=spec.ring_placement)
+            )
 
         self._groups_by_id = {group.group_id: group for group in self.groups}
         self.prefix_assignment = build_prefix_assignment(
@@ -176,6 +180,73 @@ class ClusterTopology:
             nearest = min(self._sorted_prefixes, key=lambda p: abs(p - prefix))
             group_id = self.prefix_assignment[nearest]
         return self._groups_by_id[group_id]
+
+    def prefixes_of(self, group_id: str) -> list[int]:
+        """The prefixes assigned to *group_id*, in frontier (in-order)
+        order — adjacent entries are adjacent metric regions, so a split
+        that cuts this list stays contiguous."""
+        if group_id not in self._groups_by_id:
+            raise KeyError(f"no group {group_id!r}")
+        return [
+            prefix
+            for prefix in self.prefix_tree.all_prefixes()
+            if self.prefix_assignment.get(prefix) == group_id
+        ]
+
+    # -- elastic topology mutation -------------------------------------------
+
+    def next_group_id(self) -> str:
+        """The next unused ``gNN`` id (new groups from autoscaler splits)."""
+        highest = max(int(g.group_id[1:]) for g in self.groups)
+        return f"g{highest + 1:02d}"
+
+    def add_group(self, group: StorageGroup) -> None:
+        """Register a new (already built) group; it owns no prefixes until
+        :meth:`reassign_prefixes` routes some to it."""
+        if group.group_id in self._groups_by_id:
+            raise ValueError(f"duplicate group id {group.group_id!r}")
+        self.groups.append(group)
+        self._groups_by_id[group.group_id] = group
+
+    def remove_group(self, group_id: str) -> StorageGroup:
+        """Drop a group from the topology.  Its prefixes must have been
+        reassigned first (a prefix without an owner would break routing)."""
+        group = self._groups_by_id.get(group_id)
+        if group is None:
+            raise KeyError(f"no group {group_id!r}")
+        owned = [p for p, g in self.prefix_assignment.items() if g == group_id]
+        if owned:
+            raise ValueError(
+                f"group {group_id!r} still owns prefixes {sorted(owned)}; "
+                "reassign them before removal"
+            )
+        if len(self.groups) == 1:
+            raise ValueError("cannot remove the last group")
+        self.groups.remove(group)
+        del self._groups_by_id[group_id]
+        return group
+
+    def reassign_prefixes(self, prefixes: Sequence[int], group_id: str) -> None:
+        """Atomically route *prefixes* to *group_id* (the split/merge routing
+        update).  New queries consult the updated table immediately; the
+        caller moves the blocks."""
+        if group_id not in self._groups_by_id:
+            raise KeyError(f"no group {group_id!r}")
+        for prefix in prefixes:
+            self.prefix_assignment[prefix] = group_id
+        self._sorted_prefixes = sorted(self.prefix_assignment)
+
+    def retire_prefix(self, prefix: int, replacements: Sequence[int],
+                      group_id: str) -> None:
+        """Replace a refined *prefix* with its children in the routing table
+        (both initially owned by *group_id*).  Pairs with
+        :meth:`~repro.vptree.prefix.VPPrefixTree.refine`."""
+        if group_id not in self._groups_by_id:
+            raise KeyError(f"no group {group_id!r}")
+        self.prefix_assignment.pop(prefix, None)
+        for child in replacements:
+            self.prefix_assignment[child] = group_id
+        self._sorted_prefixes = sorted(self.prefix_assignment)
 
     # -- placement -----------------------------------------------------------------
 

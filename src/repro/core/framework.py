@@ -255,6 +255,37 @@ class Mendel:
         within the group only); returns the new node."""
         return self.index.add_node(group_id)
 
+    def remove_node(self, node_id: str):
+        """Safely drain and remove one node (refused if the group would
+        drop below the replication factor); returns the node."""
+        return self.index.remove_node(node_id)
+
+    def split_group(self, group_id: str):
+        """Split an overloaded group: half its tier-1 region moves to a
+        brand-new group (refining the vp-prefix frontier when the group
+        owns a single prefix); returns the settled
+        :class:`~repro.core.index.TopologyChange`."""
+        return self.index.split_group(group_id)
+
+    def merge_groups(self, source_id: str, target_id: str):
+        """Merge an underloaded group into another and retire it; returns
+        the settled :class:`~repro.core.index.TopologyChange`."""
+        return self.index.merge_groups(source_id, target_id)
+
+    def autoscaler(self, monitor=None, **kwargs) -> "AutoScaler":
+        """An :class:`~repro.scale.controller.AutoScaler` watching this
+        deployment.  *monitor* defaults to the engine's most recent
+        health monitor, or a fresh sim-clock one when none exists;
+        keyword arguments pass through to the controller."""
+        from repro.obs.health import HealthMonitor
+        from repro.scale.controller import AutoScaler
+
+        if monitor is None:
+            monitor = getattr(self.engine, "last_monitor", None)
+        if monitor is None:
+            monitor = HealthMonitor()
+        return AutoScaler(index=self.index, monitor=monitor, **kwargs)
+
     # -- failure handling ------------------------------------------------------
 
     def fail_node(self, node_id: str, rereplicate: bool = False):

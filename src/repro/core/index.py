@@ -17,13 +17,16 @@ so the makespan is the slowest node's service time plus dispersal costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro.cluster.group import StorageGroup
 from repro.cluster.node import StorageNode
 from repro.cluster.topology import ClusterSpec, ClusterTopology
 from repro.core.blocks import BlockStore
 from repro.core.params import MendelConfig
+from repro.obs.metrics import default_registry
 from repro.seq.distance import default_distance
 from repro.seq.records import SequenceSet
 from repro.util.rng import as_generator
@@ -39,6 +42,38 @@ class IndexStats:
     insert_evals: int = 0
     simulated_makespan: float = 0.0
     per_node_blocks: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class TopologyChange:
+    """Handle for an online split/merge of storage groups.
+
+    The routing-table update and the block copies onto the destination are
+    applied atomically (between simulation events), but the *source* group
+    keeps its copies of the moved blocks until :meth:`settle` — a
+    dual-ownership window during which queries routed before the change
+    still find every block where they expect it, so in-flight answers stay
+    complete.  The autoscaler settles a change on its next tick; offline
+    callers settle immediately (the default).
+    """
+
+    kind: str  # "node_added" | "group_split" | "group_merged"
+    source: str
+    target: str
+    moved_blocks: int
+    #: the (left, right) child prefixes when a single-prefix group was
+    #: sharpened one level deeper in the vp-prefix tree, else ``None``
+    refined: tuple[int, int] | None = None
+    settled: bool = False
+    _settle_fn: Callable[[], None] | None = field(default=None, repr=False)
+
+    def settle(self) -> None:
+        """Drop the source group's retained copies (idempotent)."""
+        if self.settled:
+            return
+        self.settled = True
+        if self._settle_fn is not None:
+            self._settle_fn()
 
 
 class MendelIndex:
@@ -95,6 +130,7 @@ class MendelIndex:
             group_size=config.group_size,
             heterogeneous=config.heterogeneous,
             bucket_capacity=config.bucket_capacity,
+            ring_placement=config.ring_placement,
         )
         self.topology = ClusterTopology(
             spec=spec,
@@ -212,45 +248,41 @@ class MendelIndex:
             return repairer.sync_all()
         return repairer.sync_group(self.topology.group(group_id))
 
-    def add_node(self, group_id: str) -> StorageNode:
-        """Elastically grow one storage group by a node and redistribute.
+    # -- elastic topology mutation ----------------------------------------------
 
-        The DHT story of section IV-A — "commodity hardware can be added
-        incrementally if there is demand for additional storage or
-        processing" — applied to one group: a new node joins, the group's
-        flat hash is rebuilt, and the group's blocks are re-placed under the
-        new membership.  Only this group's data moves; the tier-1
-        prefix->group assignment is untouched, so the rest of the cluster is
-        unaffected.
-        """
+    def _new_node(self, group_id: str, number: int) -> StorageNode:
+        """A deterministically seeded node for elastic growth."""
         from repro.cluster.node import HP_DL160, SUNFIRE_X4100
 
-        group = self.topology.group(group_id)  # KeyError for unknown groups
-        new_number = len(group.nodes)
         profile = (
-            (HP_DL160, SUNFIRE_X4100)[new_number % 2]
+            (HP_DL160, SUNFIRE_X4100)[number % 2]
             if self.config.heterogeneous
             else HP_DL160
         )
-        node = StorageNode(
-            node_id=f"{group_id}.n{new_number}",
+        return StorageNode(
+            node_id=f"{group_id}.n{number}",
             group_id=group_id,
             metric_factory=self._metric_factory,
             segment_length=self.config.segment_length,
             profile=profile,
             bucket_capacity=self.config.bucket_capacity,
-            rng_seed=new_number + 1,
+            rng_seed=number + 1,
         )
-        group.add_node(node)
 
-        # Re-place every distinct block of the group under the new hash.
-        group_blocks = sorted(
-            {block_id for member in group.nodes for block_id in member.block_ids}
-        )
+    def _replace_group(
+        self, group: StorageGroup, block_ids: list[int] | None = None
+    ) -> None:
+        """Re-place *block_ids* (default: the group's current union) over the
+        group's current membership — the canonical layout every mutation
+        converges to."""
+        if block_ids is None:
+            block_ids = sorted(
+                {bid for member in group.nodes for bid in member.block_ids}
+            )
         for member in group.nodes:
             member.reset_storage()
         per_node: dict[str, list[int]] = {n.node_id: [] for n in group.nodes}
-        for block_id in group_blocks:
+        for block_id in block_ids:
             replicas = group.place_replicas(
                 self.store.block_key(block_id), self.config.replication
             )
@@ -258,12 +290,258 @@ class MendelIndex:
                 per_node[replica.node_id].append(block_id)
             self.node_of_block[block_id] = replicas[0].node_id
         for member in group.nodes:
-            block_ids = per_node[member.node_id]
-            if block_ids:
-                member.store_blocks(self.store.codes_matrix(block_ids), block_ids)
-            self.stats.per_node_blocks[member.node_id] = len(block_ids)
+            ids = per_node[member.node_id]
+            if ids:
+                member.store_blocks(self.store.codes_matrix(ids), ids)
+            self.stats.per_node_blocks[member.node_id] = len(ids)
+
+    def _place_on_group(
+        self, group: StorageGroup, block_ids: list[int]
+    ) -> None:
+        """Add *block_ids* to *group* under its placement hash (without
+        touching what the group already holds)."""
+        per_node: dict[str, list[int]] = {n.node_id: [] for n in group.nodes}
+        for block_id in block_ids:
+            replicas = group.place_replicas(
+                self.store.block_key(block_id), self.config.replication
+            )
+            for replica in replicas:
+                per_node[replica.node_id].append(block_id)
+            self.node_of_block[block_id] = replicas[0].node_id
+        for member in group.nodes:
+            ids = per_node[member.node_id]
+            if ids:
+                member.store_blocks(self.store.codes_matrix(ids), ids)
+            self.stats.per_node_blocks[member.node_id] = (
+                self.stats.per_node_blocks.get(member.node_id, 0) + len(ids)
+            )
+
+    def expand_group(
+        self, group_id: str, settle: bool = True
+    ) -> TopologyChange:
+        """Elastically grow one storage group by a node and redistribute.
+
+        The DHT story of section IV-A — "commodity hardware can be added
+        incrementally if there is demand for additional storage or
+        processing" — applied to one group: a new node joins, the group's
+        placement hash is rebuilt, and blocks whose placement changed are
+        *copied* to their new holders (the streaming block transfer).  The
+        old copies survive until :meth:`TopologyChange.settle`, so queries
+        fanned out under either membership find every block; offline
+        callers settle immediately (the default), converging to the
+        canonical layout.  Only this group's data moves; the tier-1
+        prefix->group assignment is untouched, so the rest of the cluster
+        is unaffected.
+        """
+        group = self.topology.group(group_id)  # KeyError for unknown groups
+        node = self._new_node(group_id, len(group.nodes))
+        held_before = {
+            member.node_id: set(member.block_ids) for member in group.nodes
+        }
+        blocks = sorted(
+            set().union(*held_before.values()) if held_before else set()
+        )
+        group.add_node(node)
+        per_node_add: dict[str, list[int]] = {n.node_id: [] for n in group.nodes}
+        for block_id in blocks:
+            replicas = group.place_replicas(
+                self.store.block_key(block_id), self.config.replication
+            )
+            self.node_of_block[block_id] = replicas[0].node_id
+            for replica in replicas:
+                if block_id not in held_before.get(replica.node_id, set()):
+                    per_node_add[replica.node_id].append(block_id)
+        streamed = 0
+        for member in group.nodes:
+            added = per_node_add[member.node_id]
+            if added:
+                member.store_blocks(self.store.codes_matrix(added), added)
+                streamed += len(added)
+            self.stats.per_node_blocks[member.node_id] = member.block_count
+        self.version += 1
+
+        def _drop_stale() -> None:
+            self._replace_group(group)
+            self.version += 1
+
+        change = TopologyChange(
+            kind="node_added",
+            source=group_id,
+            target=node.node_id,
+            moved_blocks=streamed,
+            _settle_fn=_drop_stale,
+        )
+        if settle:
+            change.settle()
+        return change
+
+    def add_node(self, group_id: str) -> StorageNode:
+        """Grow *group_id* by one node and settle immediately (the offline
+        convenience wrapper around :meth:`expand_group`)."""
+        change = self.expand_group(group_id)
+        return self.topology.group(group_id).node(change.target)
+
+    def remove_node(self, node_id: str) -> StorageNode:
+        """Safely drain and remove one node (elastic scale-in).
+
+        The replication factor is never violated: the group's full block
+        set (including what only the leaving node holds) is captured first,
+        membership shrinks, and every block is re-placed over the survivors
+        before the leaving node's storage is released.  Removal is refused
+        when it would leave the group below the replication factor.
+        """
+        node = self.node(node_id)  # KeyError for unknown nodes
+        group = self.topology.group(node.group_id)
+        if len(group.nodes) - 1 < self.config.replication:
+            raise ValueError(
+                f"removing {node_id!r} would leave group {group.group_id!r} "
+                f"with {len(group.nodes) - 1} node(s), below the replication "
+                f"factor {self.config.replication}"
+            )
+        blocks = sorted(
+            {bid for member in group.nodes for bid in member.block_ids}
+        )
+        group.remove_node(node_id)
+        self._replace_group(group, blocks)
+        node.reset_storage()
+        self.stats.per_node_blocks.pop(node_id, None)
+        # Satellite of the scale-in path: the drained node's labelled metric
+        # series would otherwise sit in the exposition forever.
+        default_registry().purge_labels(node=node_id)
         self.version += 1
         return node
+
+    def split_group(self, group_id: str, settle: bool = True) -> TopologyChange:
+        """Split an overloaded group: half its tier-1 region (and blocks)
+        moves to a brand-new group of ``config.group_size`` fresh nodes.
+
+        A group owning several prefixes is cut along the frontier into two
+        contiguous runs of ~equal block mass (the same rule the initial
+        assignment uses).  A single-prefix group is first *refined* one
+        level deeper in the vp-prefix tree
+        (:meth:`~repro.vptree.prefix.VPPrefixTree.refine`), partitioning its
+        region along the tree's own ball boundary.
+
+        The routing table flips atomically and the moved blocks are stored
+        on the new group before the old copies are dropped, so queries
+        routed at any moment find every block: pre-split routes still hit
+        the retained copies, post-split routes hit the new group.  With
+        ``settle=False`` the retained copies survive until
+        :meth:`TopologyChange.settle` (the online, in-simulation mode).
+        """
+        group = self.topology.group(group_id)
+        owned = self.topology.prefixes_of(group_id)
+        if not owned:
+            raise ValueError(f"group {group_id!r} owns no prefixes to split")
+        refined: tuple[int, int] | None = None
+        if len(owned) < 2:
+            refined = self.prefix_tree.refine(owned[0])
+            self.topology.retire_prefix(owned[0], refined, group_id)
+            owned = self.topology.prefixes_of(group_id)
+
+        group_blocks = sorted(
+            {bid for member in group.nodes for bid in member.block_ids}
+        )
+        per_prefix: dict[int, list[int]] = {p: [] for p in owned}
+        for block_id in group_blocks:
+            prefix = self.prefix_tree.hash_one(
+                self.store.codes_of(block_id)
+            ).prefix
+            per_prefix.setdefault(prefix, []).append(block_id)
+
+        # Contiguous cut of the frontier run closest to half the mass.
+        total = len(group_blocks)
+        best_cut, best_gap = 1, None
+        running = 0
+        for cut in range(1, len(owned)):
+            running += len(per_prefix[owned[cut - 1]])
+            gap = abs(2 * running - total)
+            if best_gap is None or gap < best_gap:
+                best_gap, best_cut = gap, cut
+        moved_prefixes = owned[best_cut:]
+
+        new_gid = self.topology.next_group_id()
+        new_group = StorageGroup(
+            group_id=new_gid,
+            nodes=[
+                self._new_node(new_gid, i)
+                for i in range(self.config.group_size)
+            ],
+            use_ring=self.config.ring_placement,
+        )
+        self.topology.add_group(new_group)
+        self.topology.reassign_prefixes(moved_prefixes, new_gid)
+        moved = [bid for p in moved_prefixes for bid in per_prefix[p]]
+        self._place_on_group(new_group, moved)
+        self.version += 1
+
+        moved_set = set(moved)
+
+        def _drop_retained() -> None:
+            remaining = sorted(
+                {bid for member in group.nodes for bid in member.block_ids}
+                - moved_set
+            )
+            self._replace_group(group, remaining)
+            self.version += 1
+
+        change = TopologyChange(
+            kind="group_split",
+            source=group_id,
+            target=new_gid,
+            moved_blocks=len(moved),
+            refined=refined,
+            _settle_fn=_drop_retained,
+        )
+        if settle:
+            change.settle()
+        return change
+
+    def merge_groups(
+        self, source_id: str, target_id: str, settle: bool = True
+    ) -> TopologyChange:
+        """Merge an underloaded group into another and retire it.
+
+        The source's prefixes re-route to the target and its blocks are
+        placed under the target's hash before the source leaves the
+        topology; until :meth:`TopologyChange.settle`, the source nodes keep
+        serving their retained copies to queries routed pre-merge.  After
+        settle, the source nodes are drained and their labelled metric
+        series purged.
+        """
+        if source_id == target_id:
+            raise ValueError(f"cannot merge group {source_id!r} into itself")
+        source = self.topology.group(source_id)
+        target = self.topology.group(target_id)
+        moved = sorted(
+            {bid for member in source.nodes for bid in member.block_ids}
+        )
+        self.topology.reassign_prefixes(
+            self.topology.prefixes_of(source_id), target_id
+        )
+        self._place_on_group(target, moved)
+        self.topology.remove_group(source_id)
+        self.version += 1
+
+        def _drain_source() -> None:
+            registry = default_registry()
+            for member in source.nodes:
+                member.reset_storage()
+                self.stats.per_node_blocks.pop(member.node_id, None)
+                registry.purge_labels(node=member.node_id)
+            registry.purge_labels(group=source_id)
+            self.version += 1
+
+        change = TopologyChange(
+            kind="group_merged",
+            source=source_id,
+            target=target_id,
+            moved_blocks=len(moved),
+            _settle_fn=_drain_source,
+        )
+        if settle:
+            change.settle()
+        return change
 
     def insert_sequences(self, new_sequences: SequenceSet) -> None:
         """Incrementally index additional reference sequences.

@@ -175,6 +175,10 @@ class MendelConfig:
     #: copies of each block within its group (1 = no replication; the
     #: fault-tolerance extension of section VII-B future work)
     replication: int = 1
+    #: intra-group placement: False = the paper's flat ``SHA-1 mod N``,
+    #: True = a consistent-hashing ring, so elastic membership changes move
+    #: only ~1/N of a group's blocks (the autoscaler-friendly mode)
+    ring_placement: bool = False
     #: master seed for all derived randomness
     seed: int = 42
 

@@ -287,11 +287,15 @@ class QueryEngine:
         trace_contexts: "list[TraceContext] | None" = None,
         monitor: HealthMonitor | None = None,
         event_log: EventLog | None = None,
+        arrival_times: "list[float] | None" = None,
+        autoscaler=None,
     ) -> list[QueryReport]:
         """Evaluate *queries* concurrently on one simulated cluster.
 
         Query ``i`` arrives at simulated time ``i * arrival_interval``
-        (0 = all at once).  Overlapping queries contend for each node's CPU
+        (0 = all at once); *arrival_times* overrides the uniform spacing
+        with an explicit non-decreasing schedule (one entry per query) —
+        how the autoscale scenarios shape diurnal and flash-crowd load.  Overlapping queries contend for each node's CPU
         through a FIFO :class:`~repro.sim.resource.Resource`, so per-query
         turnarounds reflect queueing under load — the throughput story a
         storage framework lives or dies by.  A single-query batch reduces
@@ -328,6 +332,13 @@ class QueryEngine:
         emission without a full monitor (``None`` + no faults = no event
         overhead at all, keeping the traced/untraced fig6a comparison
         clean).
+
+        *autoscaler* spawns an :class:`~repro.scale.controller.AutoScaler`
+        tick process on the same clock and horizon as the monitor, closing
+        the loop: alerts fire, the scaler mutates the topology mid-run
+        (nodes added lazily acquire CPU locks on first contact), and the
+        alerts resolve.  When the scaler brings its own monitor and none
+        is passed here, that monitor is attached to the run.
         """
         from repro.sim.resource import Resource
 
@@ -341,6 +352,16 @@ class QueryEngine:
             raise ValueError(
                 f"arrival_interval must be non-negative, got {arrival_interval}"
             )
+        if arrival_times is not None:
+            if len(arrival_times) != len(queries):
+                raise ValueError(
+                    f"{len(arrival_times)} arrival times for "
+                    f"{len(queries)} queries"
+                )
+            if any(t < 0 for t in arrival_times):
+                raise ValueError("arrival times must be non-negative")
+            if any(b < a for a, b in zip(arrival_times, arrival_times[1:])):
+                raise ValueError("arrival times must be non-decreasing")
         if subquery_deadline is not None and subquery_deadline <= 0:
             raise ValueError(
                 f"subquery_deadline must be positive, got {subquery_deadline}"
@@ -362,6 +383,8 @@ class QueryEngine:
         # created, horizon-scaled) unless the caller brought one; without
         # faults monitoring is strictly opt-in so the plain fig6a read
         # path stays byte-for-byte what the overhead gate compares.
+        if monitor is None and autoscaler is not None:
+            monitor = autoscaler.monitor
         if monitor is None and faults is not None:
             monitor = HealthMonitor.for_chaos_run(
                 faults.effective_horizon,
@@ -378,19 +401,33 @@ class QueryEngine:
             self.last_chaos = ChaosController(sim, net, self.index, faults,
                                               event_log=elog)
             self.last_chaos.install()
+        if arrival_times is not None:
+            last_arrival = max(arrival_times) if arrival_times else 0.0
+        else:
+            last_arrival = max(0.0, (len(queries) - 1) * arrival_interval)
         if monitor is not None:
             if self.last_chaos is not None:
                 monitor.backlog_fn = self.last_chaos.pending_repairs
-            last_arrival = max(0.0, (len(queries) - 1) * arrival_interval)
             horizon = faults.effective_horizon if faults is not None else 0.0
             stop_at = (
                 max(horizon, last_arrival)
                 + max(4.0 * monitor.interval, 4.0 * monitor.fast_window)
             )
             sim.spawn(monitor.tick_proc(sim, stop_at), name="health-monitor")
+            if autoscaler is not None:
+                sim.spawn(autoscaler.tick_proc(sim, stop_at),
+                          name="autoscaler")
         entry = next((n for n in topo.nodes if n.alive), topo.nodes[0])
-        locks = {node.node_id: Resource(sim, name=node.node_id)
-                 for node in topo.nodes}
+        # CPU locks are created on demand: the autoscaler can add nodes
+        # mid-run, and those must contend like any seed node.
+        locks: dict[str, Resource] = {}
+
+        def lock_for(node_id: str) -> Resource:
+            lock = locks.get(node_id)
+            if lock is None:
+                lock = Resource(sim, name=node_id)
+                locks[node_id] = lock
+            return lock
         radius = self.search_radius(params)
         tolerance = (
             params.tolerance
@@ -402,6 +439,23 @@ class QueryEngine:
         holders: list[dict] = [
             {"covered": set(), "total": set(), "failed": set()} for _ in queries
         ]
+        if autoscaler is not None:
+            # The scaler holds a topology change's dual-ownership window
+            # open until every query that arrived before the change has
+            # completed — the precise condition for mid-rebalance answers
+            # to match a quiesced cluster.
+            def _inflight_before(cutoff: float) -> int:
+                count = 0
+                for qi in range(len(queries)):
+                    at = (
+                        arrival_times[qi] if arrival_times is not None
+                        else qi * arrival_interval
+                    )
+                    if at < cutoff and "completed_at" not in holders[qi]:
+                        count += 1
+                return count
+
+            autoscaler.inflight_before = _inflight_before
         traces: list[list[TraceEvent]] = [[] for _ in queries]
         roots: list = [NO_SPAN] * len(queries)
 
@@ -466,7 +520,7 @@ class QueryEngine:
             if not delivered or not node.alive:
                 return _NodeFailure(node.node_id, "unreachable")
             # Acquire the node CPU: concurrent queries queue FIFO here.
-            lock = locks[node.node_id]
+            lock = lock_for(node.node_id)
             yield lock.request()
             try:
                 anchors: list[Anchor] = []
@@ -806,8 +860,14 @@ class QueryEngine:
                     )
 
         done_events = [
-            sim.spawn(system_proc(i, query, i * arrival_interval),
-                      name=f"q{i}:system-entry")
+            sim.spawn(
+                system_proc(
+                    i, query,
+                    arrival_times[i] if arrival_times is not None
+                    else i * arrival_interval,
+                ),
+                name=f"q{i}:system-entry",
+            )
             for i, query in enumerate(queries)
         ]
         sim.run()

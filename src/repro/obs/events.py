@@ -43,9 +43,19 @@ FAULT_KINDS = frozenset(
      "subquery_failed"}
 )
 
+#: Topology-change kinds emitted by the elastic autoscaler
+#: (:mod:`repro.scale`) — scale-out, splits, merges, and safe drains.
+TOPOLOGY_KINDS = frozenset(
+    {"node_added", "node_drained", "group_split", "group_merged"}
+)
+
 #: Event kinds considered *recovery causes* when an alert resolves.
-RECOVERY_KINDS = frozenset(
-    {"restart", "rejoin", "repair", "heal", "heal_link", "restore"}
+#: Topology changes count: an alert that clears right after a scale-out
+#: should cite the scale-out, closing the alert -> action -> resolution
+#: loop in the transition record.
+RECOVERY_KINDS = (
+    frozenset({"restart", "rejoin", "repair", "heal", "heal_link", "restore"})
+    | TOPOLOGY_KINDS
 )
 
 

@@ -120,6 +120,32 @@ class _Family:
             )
         return self.labels()
 
+    def remove(self, **labelvalues: object) -> bool:
+        """Drop the child for this exact label combination; returns whether
+        one existed.  Used when the labelled entity (a node, a group) leaves
+        the topology, so the exposition does not grow without bound."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            return self._children.pop(key, None) is not None
+
+    def purge_label(self, label: str, value: str) -> int:
+        """Drop every child whose *label* equals *value*; returns the count
+        removed (0 when the family does not carry that label at all)."""
+        if label not in self.labelnames:
+            return 0
+        position = self.labelnames.index(label)
+        value = str(value)
+        with self._lock:
+            doomed = [key for key in self._children if key[position] == value]
+            for key in doomed:
+                del self._children[key]
+        return len(doomed)
+
     def _items(self) -> list[tuple[tuple[tuple[str, str], ...], object]]:
         with self._lock:
             return [
@@ -453,6 +479,25 @@ class MetricsRegistry:
             else:
                 total += child.value  # type: ignore[union-attr]
         return total
+
+    def purge_labels(self, **labelvalues: object) -> int:
+        """Drop, across every family, all children whose labels match any of
+        the given ``label=value`` pairs; returns the number of series
+        removed.
+
+        The topology-change hook: when a node is drained or a group merged
+        away, its labelled counters/gauges would otherwise live in the
+        exposition forever, growing the scrape output unboundedly across
+        scale events.  Families that do not carry a given label name are
+        untouched.
+        """
+        with self._lock:
+            families = list(self._families.values())
+        removed = 0
+        for family in families:
+            for label, value in labelvalues.items():
+                removed += family.purge_label(label, str(value))
+        return removed
 
     def value(self, name: str, **labelvalues: object) -> float:
         """Test/debug helper: the current value of one counter/gauge child

@@ -1,0 +1,41 @@
+"""repro.scale — the elastic autoscaling control plane.
+
+Watches SLO burn rates, admission-queue depth, and group skew
+(:mod:`repro.obs.health`, :mod:`repro.cluster.balance`) and executes
+topology actions on a live :class:`~repro.core.index.MendelIndex`:
+tier-2 node add/drain and tier-1 group split/merge, with two-phase
+settles so in-flight queries stay correct and the replication factor
+is never violated mid-action.
+"""
+
+from repro.scale.controller import AutoScaler
+from repro.scale.policy import (
+    ACTION_ADD_NODE,
+    ACTION_HOLD,
+    ACTION_MERGE_GROUPS,
+    ACTION_REMOVE_NODE,
+    ACTION_SPLIT_GROUP,
+    ScaleDecision,
+    ScalerPolicy,
+    ScaleSignals,
+)
+from repro.scale.scenario import (
+    ScaleScenarioResult,
+    run_diurnal_scenario,
+    run_flash_crowd_scenario,
+)
+
+__all__ = [
+    "ACTION_ADD_NODE",
+    "ACTION_HOLD",
+    "ACTION_MERGE_GROUPS",
+    "ACTION_REMOVE_NODE",
+    "ACTION_SPLIT_GROUP",
+    "AutoScaler",
+    "ScaleDecision",
+    "ScalerPolicy",
+    "ScaleSignals",
+    "ScaleScenarioResult",
+    "run_diurnal_scenario",
+    "run_flash_crowd_scenario",
+]

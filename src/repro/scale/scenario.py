@@ -1,0 +1,360 @@
+"""Autoscaling scenarios: traffic shapes that exercise the control loop.
+
+Two canonical load stories drive the :class:`~repro.scale.controller.
+AutoScaler` end to end on the simulation clock:
+
+* **flash crowd** (:func:`run_flash_crowd_scenario`) — a calm warm-up,
+  then a sustained burst arriving faster than the seed topology can
+  serve.  Turnarounds blow past the latency objective, the SLO burns,
+  the scaler splits/grows the hot group, throughput rises, the backlog
+  drains, and the alert resolves *while the burst is still arriving* —
+  the closed loop with no human input.
+* **diurnal** (:func:`run_diurnal_scenario`) — sinusoidal arrival
+  spacing over two day/night cycles: scale-out at the peaks, and (once
+  enough calm ticks accumulate) merge/drain at the troughs, never below
+  the deployment's configured shape.
+
+Timing derives from a *calibration* run: a throwaway, identically seeded
+deployment measures the single-query turnaround ``t_base``; the latency
+objective and every arrival interval are multiples of it, so the story
+holds across hardware profiles and parameter tweaks.  Everything else
+derives from ``seed`` — two equal calls produce byte-identical event
+logs (the ``CHAOS_SEED`` replay contract).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.framework import Mendel
+from repro.core.params import MendelConfig, QueryParams
+from repro.core.query import QueryReport
+from repro.obs.events import EventLog, TOPOLOGY_KINDS
+from repro.obs.health import HealthMonitor
+from repro.obs.trace import TraceContext
+from repro.scale.controller import AutoScaler
+from repro.scale.policy import ScalerPolicy
+from repro.seq import PROTEIN, random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+@dataclass
+class ScaleScenarioResult:
+    """Outcome of one autoscaling experiment."""
+
+    #: scenario name ("flash_crowd" or "diurnal")
+    scenario: str
+    seed: int
+    #: whether the controller was enabled for this run
+    controller_enabled: bool
+    #: per-query reports, in arrival order
+    reports: list[QueryReport]
+    #: the arrival schedule that was replayed (simulated seconds)
+    arrival_times: list[float]
+    #: calibrated single-query turnaround and latency objective
+    t_base: float
+    latency_threshold: float
+    monitor: HealthMonitor
+    event_log: EventLog
+    #: the controller (``None`` when disabled)
+    scaler: AutoScaler | None = None
+    #: final topology: group id -> {"nodes": int, "blocks": int}
+    final_topology: dict = field(default_factory=dict)
+
+    @property
+    def alert_transitions(self) -> list[dict]:
+        return [t.to_dict() for t in self.monitor.slo_engine.transitions]
+
+    @property
+    def actions(self) -> list[dict]:
+        return list(self.scaler.actions) if self.scaler is not None else []
+
+    @property
+    def topology_events(self) -> list[dict]:
+        return [
+            e for e in self.event_log.to_dicts()
+            if e["kind"] in TOPOLOGY_KINDS
+        ]
+
+    def fired_at(self) -> float | None:
+        """Time the first alert started firing, if any."""
+        for t in self.alert_transitions:
+            if t["to"] in ("warning", "critical"):
+                return t["time"]
+        return None
+
+    def resolved_at(self) -> float | None:
+        """Time the last firing alert resolved, if it did."""
+        fired = self.fired_at()
+        if fired is None:
+            return None
+        out = None
+        for t in self.alert_transitions:
+            if t["time"] >= fired and t["to"] in ("resolved", "ok"):
+                out = t["time"]
+        return out
+
+    def loop_closed(self) -> bool:
+        """The tentpole contract: an alert fired, the scaler acted, and
+        the alert resolved afterwards with no human input."""
+        fired = self.fired_at()
+        resolved = self.resolved_at()
+        if fired is None or resolved is None:
+            return False
+        acted = [a["at"] for a in self.actions if fired <= a["at"] <= resolved]
+        return bool(acted)
+
+    @property
+    def mean_turnaround(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.stats.turnaround for r in self.reports) / len(self.reports)
+
+    @property
+    def p_max_turnaround(self) -> float:
+        return max((r.stats.turnaround for r in self.reports), default=0.0)
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """Key/value rows for tabular display (CLI and example)."""
+        fired = self.fired_at()
+        resolved = self.resolved_at()
+        return [
+            ("scenario", self.scenario),
+            ("seed", str(self.seed)),
+            ("controller", "on" if self.controller_enabled else "off"),
+            ("queries", str(len(self.reports))),
+            ("t_base", f"{self.t_base * 1e3:.3f} ms"),
+            ("latency objective", f"{self.latency_threshold * 1e3:.3f} ms"),
+            ("alert fired", f"{fired * 1e3:.3f} ms" if fired is not None
+             else "never"),
+            ("alert resolved", f"{resolved * 1e3:.3f} ms"
+             if resolved is not None else "never"),
+            ("scale actions", str(len(self.actions))),
+            ("loop closed", "yes" if self.loop_closed() else "no"),
+            ("mean turnaround", f"{self.mean_turnaround * 1e3:.3f} ms"),
+            ("max turnaround", f"{self.p_max_turnaround * 1e3:.3f} ms"),
+            ("final topology", ", ".join(
+                f"{gid}:{info['nodes']}n/{info['blocks']}b"
+                for gid, info in sorted(self.final_topology.items())
+            )),
+        ]
+
+
+def _build(seed: int, group_count: int, group_size: int,
+           database_size: int, sequence_length: int,
+           replication: int) -> Mendel:
+    database = random_set(
+        count=database_size,
+        length=sequence_length,
+        alphabet=PROTEIN,
+        rng=seed + 1,
+        id_prefix="ref",
+    )
+    config = MendelConfig(
+        group_count=group_count,
+        group_size=group_size,
+        replication=replication,
+        sample_size=256,
+        seed=seed + 2,
+    )
+    return Mendel.build(database, config)
+
+
+def _calibrate(seed: int, group_count: int, group_size: int,
+               database_size: int, sequence_length: int,
+               replication: int, params: QueryParams) -> float:
+    """Single-query turnaround on a throwaway identically-seeded
+    deployment (keeps the scenario run's metrics and events clean)."""
+    mendel = _build(seed, group_count, group_size, database_size,
+                    sequence_length, replication)
+    probe = mutate_to_identity(
+        mendel.index.database.records[0], 0.9, rng=seed + 9,
+        seq_id="calibrate",
+    )
+    report = mendel.engine.run_batch([probe], params)[0]
+    return max(report.stats.turnaround, 1e-9)
+
+
+def _run(
+    scenario: str,
+    arrival_times: list[float],
+    *,
+    seed: int,
+    controller: bool,
+    group_count: int,
+    group_size: int,
+    database_size: int,
+    sequence_length: int,
+    replication: int,
+    params: QueryParams,
+    t_base: float,
+    latency_threshold: float,
+    policy: ScalerPolicy | None,
+    fast_window: float,
+) -> ScaleScenarioResult:
+    mendel = _build(seed, group_count, group_size, database_size,
+                    sequence_length, replication)
+    database = mendel.index.database
+    count = len(arrival_times)
+    probes = [
+        mutate_to_identity(
+            database.records[i % database_size], 0.9,
+            rng=seed + 100 + i, seq_id=f"probe-{i}",
+        )
+        for i in range(count)
+    ]
+    contexts = [
+        TraceContext(trace_id=f"scale-{scenario}-{seed}-q{i}")
+        for i in range(count)
+    ]
+    event_log = EventLog()
+    horizon = arrival_times[-1] if arrival_times else 1.0
+    slow = max(horizon, 4.0 * fast_window)
+    monitor = HealthMonitor(
+        windows=(fast_window, slow),
+        latency_threshold=latency_threshold,
+        event_log=event_log,
+        label=f"scale-{scenario}",
+    )
+    scaler = None
+    if controller:
+        scaler = AutoScaler(
+            index=mendel.index,
+            monitor=monitor,
+            policy=policy or ScalerPolicy(
+                cooldown_ticks=1,
+                idle_ticks_before_scale_in=3,
+                split_min_blocks=32,
+            ),
+            event_log=event_log,
+        )
+    reports = mendel.engine.run_batch(
+        probes,
+        params,
+        arrival_times=arrival_times,
+        trace_contexts=contexts,
+        monitor=monitor,
+        autoscaler=scaler,
+    )
+    return ScaleScenarioResult(
+        scenario=scenario,
+        seed=seed,
+        controller_enabled=controller,
+        reports=reports,
+        arrival_times=list(arrival_times),
+        t_base=t_base,
+        latency_threshold=latency_threshold,
+        monitor=monitor,
+        event_log=event_log,
+        scaler=scaler,
+        final_topology={
+            g.group_id: {"nodes": len(g.nodes), "blocks": g.block_count}
+            for g in mendel.index.topology.groups
+        },
+    )
+
+
+def run_flash_crowd_scenario(
+    seed: int = 0,
+    controller: bool = True,
+    group_count: int = 1,
+    group_size: int = 2,
+    database_size: int = 12,
+    sequence_length: int = 120,
+    replication: int = 1,
+    calm_queries: int = 4,
+    burst_queries: int = 28,
+    tail_queries: int = 8,
+    params: QueryParams | None = None,
+    policy: ScalerPolicy | None = None,
+) -> ScaleScenarioResult:
+    """Sustained overload: calm warm-up, a burst arriving at ``0.55 *
+    t_base`` — faster than the seed topology serves, slower than the
+    scaled one — then a decaying tail.  With the controller on, the
+    alert fires early in the burst, the scaler splits and grows, the
+    backlog drains, and the alert resolves while tail traffic is still
+    arriving.
+    """
+    params = params or QueryParams(k=4, n=6, i=0.7)
+    t_base = _calibrate(seed, group_count, group_size, database_size,
+                        sequence_length, replication, params)
+    theta = 1.5 * t_base
+    calm_interval = 8.0 * t_base
+    burst_interval = 0.55 * t_base
+    tail_interval = 2.5 * t_base
+    arrivals: list[float] = [i * calm_interval for i in range(calm_queries)]
+    burst_start = arrivals[-1] + calm_interval if arrivals else 0.0
+    arrivals += [
+        burst_start + i * burst_interval for i in range(burst_queries)
+    ]
+    tail_start = arrivals[-1] + tail_interval if arrivals else 0.0
+    arrivals += [
+        tail_start + i * tail_interval for i in range(tail_queries)
+    ]
+    fast_window = 6.0 * burst_interval
+    return _run(
+        "flash_crowd", arrivals,
+        seed=seed, controller=controller,
+        group_count=group_count, group_size=group_size,
+        database_size=database_size, sequence_length=sequence_length,
+        replication=replication, params=params,
+        t_base=t_base, latency_threshold=theta,
+        policy=policy, fast_window=fast_window,
+    )
+
+
+def run_diurnal_scenario(
+    seed: int = 0,
+    controller: bool = True,
+    group_count: int = 2,
+    group_size: int = 2,
+    database_size: int = 12,
+    sequence_length: int = 120,
+    replication: int = 1,
+    queries_per_cycle: int = 20,
+    cycles: int = 2,
+    params: QueryParams | None = None,
+    policy: ScalerPolicy | None = None,
+) -> ScaleScenarioResult:
+    """Two day/night cycles: arrival spacing swings sinusoidally between
+    ``0.6 * t_base`` (peak) and ``8 * t_base`` (trough), so the scaler
+    grows node-by-node at the peaks and — after enough calm ticks —
+    drains back down at the troughs, never below the configured shape.
+    Splits are disabled by the default policy here: diurnal load is a
+    *throughput* swing, not a skew change, so tier-2 elasticity is the
+    right (and reversible) response.
+    """
+    params = params or QueryParams(k=4, n=6, i=0.7)
+    if policy is None:
+        policy = ScalerPolicy(
+            split_min_blocks=1_000_000_000,  # tier-2 only: add/drain nodes
+            cooldown_ticks=1,
+            idle_ticks_before_scale_in=2,
+        )
+    t_base = _calibrate(seed, group_count, group_size, database_size,
+                        sequence_length, replication, params)
+    theta = 1.5 * t_base
+    lo, hi = 0.6 * t_base, 8.0 * t_base
+    count = queries_per_cycle * cycles
+    arrivals: list[float] = []
+    now = 0.0
+    for i in range(count):
+        # Phase runs trough -> peak -> trough each cycle; spacing is the
+        # sinusoid's value at the *departure* point, so the peak packs
+        # queries densely and the trough spreads them out.
+        phase = 2.0 * math.pi * (i / queries_per_cycle)
+        level = 0.5 * (1.0 - math.cos(phase))  # 0 at trough, 1 at peak
+        interval = hi + (lo - hi) * level
+        arrivals.append(now)
+        now += interval
+    fast_window = 5.0 * lo
+    return _run(
+        "diurnal", arrivals,
+        seed=seed, controller=controller,
+        group_count=group_count, group_size=group_size,
+        database_size=database_size, sequence_length=sequence_length,
+        replication=replication, params=params,
+        t_base=t_base, latency_threshold=theta,
+        policy=policy, fast_window=fast_window,
+    )

@@ -191,6 +191,11 @@ class ServeClient:
         alert states with correlated causes, transitions, event tail."""
         return self.request({"op": "alerts"})
 
+    def scale(self) -> dict:
+        """SCALE op; the gateway autoscaler's status frame (or
+        ``enabled: false``).  Reading it ticks the lazy control loop."""
+        return self.request({"op": "scale"})
+
     def __enter__(self) -> "ServeClient":
         self.connect()
         return self

@@ -11,6 +11,7 @@ Requests::
     {"op": "health"}
     {"op": "metrics"}
     {"op": "alerts"}
+    {"op": "scale"}
 
 Responses::
 
@@ -30,7 +31,10 @@ returns the shared registry's Prometheus text exposition.
 to ``"alerting"`` when objectives are burning); ``{"op": "alerts"}``
 returns the gateway monitor's full frame — rolling SLI windows, per-SLO
 alert states with correlated causes and trace ids, recent transitions,
-and the event tail.
+and the event tail.  ``{"op": "scale"}`` returns the autoscaler's status
+frame (decision history, executed topology actions, current topology) or
+``{"enabled": false}`` when the gateway runs without one; reading it also
+ticks the lazy control loop, like HEALTH/ALERTS tick the monitor.
 
 ``{"op": "explain"}`` runs the query once with tracing attached (bypassing
 cache and batching) and returns the structured

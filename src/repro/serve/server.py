@@ -122,6 +122,11 @@ class QueryServer:
                 return {"id": request_id, "ok": True, **self.service.health()}
             if op == "alerts":
                 return {"id": request_id, "ok": True, **self.service.alerts()}
+            if op == "scale":
+                return {
+                    "id": request_id, "ok": True,
+                    **self.service.scale_status(),
+                }
             if op == "metrics":
                 return {
                     "id": request_id,

@@ -201,6 +201,48 @@ class QueryService:
             )
         self.monitor = monitor
         self.monitor.install(self.registry)
+        #: optional elastic control loop (see :meth:`enable_autoscaler`)
+        self.scaler = None
+
+    # -- elasticity ------------------------------------------------------------
+
+    def enable_autoscaler(self, policy=None, **kwargs) -> "AutoScaler":
+        """Attach an :class:`~repro.scale.controller.AutoScaler` to this
+        gateway.
+
+        The scaler shares the service's wall-clock monitor, registry, and
+        event log, reads the admission queue for pressure, and is ticked
+        lazily from the same read paths that tick the monitor
+        (:meth:`snapshot` / :meth:`health` / :meth:`alerts` /
+        :meth:`scale_status`) — no extra thread.  Keyword arguments pass
+        through to the controller."""
+        from repro.scale.controller import AutoScaler
+
+        if self.scaler is None:
+            self.scaler = AutoScaler(
+                index=self.mendel.index,
+                monitor=self.monitor,
+                queue_depth_fn=lambda: self.queue_depth,
+                queue_capacity=self.max_pending,
+                registry=self.registry,
+                wall=True,
+                **({"policy": policy} if policy is not None else {}),
+                **kwargs,
+            )
+        return self.scaler
+
+    def _maybe_scale(self, now: float) -> None:
+        if self.scaler is not None:
+            self.scaler.maybe_tick(now)
+
+    def scale_status(self) -> dict:
+        """The SCALE verb: autoscaler state, or ``enabled: False``."""
+        if self.scaler is None:
+            return {"enabled": False}
+        now = self._clock()
+        self.monitor.tick(now)
+        self._maybe_scale(now)
+        return {"enabled": True, **self.scaler.status()}
 
     # -- submission ------------------------------------------------------------
 
@@ -524,7 +566,9 @@ class QueryService:
         with self._lock:
             out["slow_queries"] = list(self._slow_log)
         out["balance"] = self._balance.report().summary()
-        self.monitor.tick(self._clock())
+        now = self._clock()
+        self.monitor.tick(now)
+        self._maybe_scale(now)
         out["alerts_firing"] = self.monitor.alerts_firing()
         return out
 
@@ -581,7 +625,9 @@ class QueryService:
             status = "degraded"
         else:
             status = "ok"
-        self.monitor.tick(self._clock())
+        now = self._clock()
+        self.monitor.tick(now)
+        self._maybe_scale(now)
         firing = self.monitor.alerts_firing()
         if status == "ok" and firing:
             status = "alerting"
@@ -601,6 +647,7 @@ class QueryService:
         states with correlated causes, recent transitions, event tail."""
         now = self._clock()
         self.monitor.tick(now)
+        self._maybe_scale(now)
         out = self.monitor.snapshot(now)
         out["firing"] = self.monitor.alerts_firing()
         return out

@@ -92,10 +92,64 @@ class VPPrefixTree:
             raise ValueError(f"depth_threshold must be >= 1, got {depth_threshold}")
         self.depth_threshold = int(depth_threshold)
         self.segment_length = int(sample.shape[1])
+        #: Prefixes whose traversal continues one level past the cutoff
+        #: (see :meth:`refine`).  Empty by default, so hashing is exactly
+        #: the paper's fixed-threshold behaviour unless a group split
+        #: deliberately sharpens one region.
+        self._refined: set[int] = set()
 
     @property
     def tree_depth(self) -> int:
         return self._tree.depth
+
+    @property
+    def refined_prefixes(self) -> frozenset[int]:
+        return frozenset(self._refined)
+
+    def refine(self, prefix: int) -> tuple[int, int]:
+        """Descend the frontier one level deeper at *prefix*.
+
+        After refinement, elements that previously hashed to *prefix* hash
+        to one of its two children instead — the mechanism behind splitting
+        an overloaded single-prefix group (the autoscaler's ``group_split``
+        action): the parent region is partitioned along the vp-tree's own
+        ball boundary, so the two halves remain metrically coherent.
+
+        Returns ``(left_prefix, right_prefix)``.  Raises :class:`KeyError`
+        if *prefix* is not on the current frontier and :class:`ValueError`
+        if the frontier vertex is a leaf (no deeper structure to expose).
+        Refinement is cumulative and deterministic: the same sequence of
+        refinements yields byte-identical hashes on every node.
+        """
+        node = self._frontier_node(prefix)
+        if node is None:
+            raise KeyError(f"prefix {prefix} is not on the hash frontier")
+        if node.is_leaf:
+            raise ValueError(
+                f"prefix {prefix} is a leaf bucket and cannot be refined"
+            )
+        self._refined.add(prefix)
+        return (node.left.prefix, node.right.prefix)
+
+    def _frontier_node(self, prefix: int) -> VPNode | None:
+        """The frontier vertex carrying *prefix*, or ``None``."""
+        stack: list[tuple[VPNode, int]] = [(self._tree.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if self._at_frontier(node, depth):
+                if node.prefix == prefix:
+                    return node
+                continue
+            stack.append((node.left, depth + 1))
+            stack.append((node.right, depth + 1))
+        return None
+
+    def _at_frontier(self, node: VPNode, depth: int) -> bool:
+        """Whether the walk stops at *node*: a leaf, or at/past the cutoff
+        without a refinement pushing the frontier one level further."""
+        if node.is_leaf:
+            return True
+        return depth >= self.depth_threshold and node.prefix not in self._refined
 
     # -- hashing ------------------------------------------------------------
 
@@ -104,7 +158,7 @@ class VPPrefixTree:
         point = self._check(point)
         node = self._tree.root
         depth = 0
-        while not node.is_leaf and depth < self.depth_threshold:
+        while not self._at_frontier(node, depth):
             dist = self._tree.adapter.pair(point, self._tree.points[node.vantage_index])
             node = node.left if dist <= node.mu else node.right
             depth += 1
@@ -139,7 +193,7 @@ class VPPrefixTree:
         depth: int,
         out: list[PrefixHash],
     ) -> None:
-        if node.is_leaf or depth >= self.depth_threshold:
+        if self._at_frontier(node, depth):
             out.append(PrefixHash(prefix=node.prefix, depth=depth))
             return
         dist = self._tree.adapter.pair(point, self._tree.points[node.vantage_index])
@@ -163,7 +217,7 @@ class VPPrefixTree:
         return out
 
     def _enumerate(self, node: VPNode, depth: int, out: list[int]) -> None:
-        if node.is_leaf or depth >= self.depth_threshold:
+        if self._at_frontier(node, depth):
             out.append(node.prefix)
             return
         self._enumerate(node.left, depth + 1, out)

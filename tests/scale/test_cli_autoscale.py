@@ -1,0 +1,70 @@
+"""The ``repro autoscale`` subcommand: scenario runner + CI artifacts."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["autoscale"])
+        assert args.command == "autoscale"
+        assert args.scenario == "flash"
+        assert args.seed is None
+        assert args.format == "text"
+        assert not args.no_controller
+        assert not args.assert_loop
+
+    def test_call_accepts_scale(self):
+        args = build_parser().parse_args(["call", "scale"])
+        assert args.op == "scale"
+
+
+class TestRun:
+    def test_flash_json_with_artifacts(self, tmp_path):
+        events_path = tmp_path / "events.json"
+        bench_path = tmp_path / "bench.json"
+        out = io.StringIO()
+        code = main(
+            ["autoscale", "--seed", "0", "--format", "json",
+             "--assert-loop",
+             "--event-log", str(events_path),
+             "--bench-out", str(bench_path)],
+            out=out,
+        )
+        assert code == 0
+        frame = json.loads(out.getvalue())
+        assert frame["loop_closed"]
+        assert frame["seed"] == 0
+        assert frame["actions"]
+        kinds = {e["kind"] for e in frame["topology_events"]}
+        assert kinds & {"node_added", "group_split", "node_drained"}
+
+        events = json.loads(events_path.read_text())
+        assert {e["kind"] for e in events} >= {"query", "alert"} | kinds
+        bench = json.loads(bench_path.read_text())
+        assert bench["schema_version"] == 1
+        assert bench["suite"] == "repro-autoscale"
+        metrics = bench["workloads"]["autoscale-flash_crowd"]["metrics"]
+        assert metrics["loop_closed"]["value"] == 1.0
+        assert metrics["degraded_queries"]["value"] == 0.0
+
+    def test_text_renders_summary_and_actions(self):
+        out = io.StringIO()
+        code = main(["autoscale", "--seed", "0"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "loop closed" in text
+        assert "topology actions:" in text
+
+    def test_assert_loop_fails_without_controller(self, capsys):
+        out = io.StringIO()
+        code = main(
+            ["autoscale", "--seed", "0", "--no-controller", "--assert-loop"],
+            out=out,
+        )
+        assert code == 1
+        assert "ASSERT FAIL" in capsys.readouterr().err

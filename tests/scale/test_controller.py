@@ -1,0 +1,202 @@
+"""Controller tests: clocking, cooldown, two-phase settles, events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Mendel, MendelConfig
+from repro.obs.events import EventLog
+from repro.obs.health import HealthMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.scale import AutoScaler, ScalerPolicy
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+
+
+def build_mendel(group_count=2, group_size=2, replication=1):
+    db = random_set(count=12, length=100, alphabet=PROTEIN, rng=601,
+                    id_prefix="s")
+    return Mendel.build(
+        db,
+        MendelConfig(group_count=group_count, group_size=group_size,
+                     replication=replication, sample_size=128, seed=43),
+    )
+
+
+def build_scaler(mendel, *, hot=False, wall=False, policy=None, **kwargs):
+    monitor = HealthMonitor(windows=(1.0, 10.0), event_log=EventLog())
+    return AutoScaler(
+        index=mendel.index,
+        monitor=monitor,
+        policy=policy or ScalerPolicy(cooldown_ticks=2,
+                                      idle_ticks_before_scale_in=2),
+        queue_depth_fn=(lambda: 10) if hot else (lambda: 0),
+        queue_capacity=10,
+        registry=MetricsRegistry(),
+        wall=wall,
+        **kwargs,
+    )
+
+
+class TestTicking:
+    def test_interval_defaults_to_twice_the_monitor(self):
+        scaler = build_scaler(build_mendel())
+        assert scaler.interval == pytest.approx(2.0 * scaler.monitor.interval)
+
+    def test_maybe_tick_is_lazy(self):
+        scaler = build_scaler(build_mendel())
+        assert scaler.maybe_tick(0.0)
+        assert not scaler.maybe_tick(scaler.interval * 0.5)
+        assert scaler.maybe_tick(scaler.interval * 1.5)
+        assert len(scaler.decisions) == 2
+
+    def test_idle_ticks_accumulate_and_reset(self):
+        mendel = build_mendel()
+        scaler = build_scaler(mendel)
+        hot = {"v": False}
+        scaler.queue_depth_fn = lambda: 10 if hot["v"] else 0
+        scaler.tick(0.0)
+        scaler.tick(1.0)
+        assert scaler.status()["idle_ticks"] == 2
+        hot["v"] = True
+        scaler.tick(2.0)
+        assert scaler.status()["idle_ticks"] == 0
+
+
+class TestCooldown:
+    def test_one_action_then_cooldown(self):
+        mendel = build_mendel()
+        scaler = build_scaler(mendel, hot=True)
+        scaler.tick(0.0)  # acts
+        assert len(scaler.actions) == 1
+        scaler.tick(1.0)  # wants to act again, gated
+        scaler.tick(2.0)
+        assert len(scaler.actions) == 1
+        held = [d for _, d in scaler.decisions if "cooldown" in d.reason]
+        assert len(held) == 2
+        scaler.tick(3.0)  # cooldown expired
+        assert len(scaler.actions) == 2
+
+
+class TestTwoPhaseSettle:
+    def test_sim_mode_defers_the_drop(self):
+        mendel = build_mendel(group_count=1)
+        scaler = build_scaler(
+            mendel, hot=True, settle_ticks=2,
+            policy=ScalerPolicy(cooldown_ticks=0, split_min_blocks=1,
+                                split_load_fraction=0.5),
+        )
+        before = {n.node_id: n.block_count
+                  for n in mendel.index.topology.nodes}
+        scaler.tick(0.0)  # split g00 -> g01, copies retained
+        assert scaler.status()["pending_settles"] == 1
+        group = mendel.index.topology.group("g00")
+        # Source still holds everything it held before the split.
+        assert sum(n.block_count for n in group.nodes) == sum(
+            before.values()
+        )
+        scaler.queue_depth_fn = lambda: 0  # calm: no new actions
+        scaler.tick(1.0)
+        scaler.tick(2.0)
+        assert scaler.status()["pending_settles"] == 0
+        assert sum(n.block_count for n in group.nodes) < sum(before.values())
+
+    def test_inflight_queries_block_the_settle(self):
+        mendel = build_mendel(group_count=1)
+        scaler = build_scaler(
+            mendel, hot=True, settle_ticks=1,
+            policy=ScalerPolicy(cooldown_ticks=0, split_min_blocks=1,
+                                split_load_fraction=0.5),
+        )
+        straddlers = {"n": 1}
+        scaler.inflight_before = lambda cutoff: straddlers["n"]
+        scaler.tick(0.0)
+        scaler.queue_depth_fn = lambda: 0
+        for t in (1.0, 2.0, 3.0):
+            scaler.tick(t)
+        assert scaler.status()["pending_settles"] == 1  # query still in flight
+        straddlers["n"] = 0
+        scaler.tick(4.0)
+        assert scaler.status()["pending_settles"] == 0
+
+    def test_flush_forces_settles(self):
+        mendel = build_mendel(group_count=1)
+        scaler = build_scaler(
+            mendel, hot=True, settle_ticks=100,
+            policy=ScalerPolicy(cooldown_ticks=0, split_min_blocks=1,
+                                split_load_fraction=0.5),
+        )
+        scaler.inflight_before = lambda cutoff: 5
+        scaler.tick(0.0)
+        assert scaler.status()["pending_settles"] == 1
+        scaler.flush(1.0)
+        assert scaler.status()["pending_settles"] == 0
+
+    def test_wall_mode_settles_immediately(self):
+        mendel = build_mendel(group_count=1)
+        scaler = build_scaler(
+            mendel, hot=True, wall=True,
+            policy=ScalerPolicy(cooldown_ticks=0, split_min_blocks=1,
+                                split_load_fraction=0.5),
+        )
+        scaler.tick(0.0)
+        assert scaler.status()["pending_settles"] == 0
+
+
+class TestEventsAndMetrics:
+    def test_actions_emit_topology_events(self):
+        mendel = build_mendel()
+        scaler = build_scaler(
+            mendel, hot=True,
+            policy=ScalerPolicy(cooldown_ticks=0),
+        )
+        scaler.tick(0.0)
+        kinds = {e["kind"] for e in scaler.event_log.to_dicts()}
+        assert "node_added" in kinds
+        [event] = [e for e in scaler.event_log.to_dicts()
+                   if e["kind"] == "node_added"]
+        assert event["fields"]["group"] == "g00"
+        assert event["fields"]["cause"] == "queue"
+        assert event["sim_time"] == 0.0
+
+    def test_merge_emits_drained_nodes_at_settle(self):
+        mendel = build_mendel()
+        mendel.split_group("g00")  # makes a third group to merge away
+        scaler = build_scaler(
+            mendel, settle_ticks=1,
+            policy=ScalerPolicy(cooldown_ticks=0,
+                                idle_ticks_before_scale_in=0,
+                                merge_load_fraction=0.9),
+        )
+        scaler.tick(0.0)
+        assert [a["action"] for a in scaler.actions] == ["merge_groups"]
+        scaler.tick(1.0)  # settle: source nodes drained
+        events = scaler.event_log.to_dicts()
+        assert any(e["kind"] == "group_merged" for e in events)
+        drained = [e for e in events if e["kind"] == "node_drained"]
+        assert len(drained) == 2  # both members of the merged-away group
+        assert all(e["fields"]["phase"] == "settle" for e in drained)
+
+    def test_counters_and_gauges(self):
+        mendel = build_mendel()
+        scaler = build_scaler(mendel, hot=True,
+                              policy=ScalerPolicy(cooldown_ticks=0))
+        scaler.tick(0.0)
+        scaler.tick(1.0)
+        from repro.obs.export import prometheus_text
+
+        text = prometheus_text(scaler.registry)
+        assert "repro_scaler_ticks_total 2" in text
+        assert 'repro_scaler_decisions_total{action="add_node"}' in text
+        assert 'repro_scaler_actions_total{action="add_node"}' in text
+        assert "repro_scaler_nodes" in text
+
+    def test_status_frame(self):
+        mendel = build_mendel()
+        scaler = build_scaler(mendel)
+        scaler.tick(0.0)
+        status = scaler.status()
+        assert status["ticks"] == 1
+        assert status["last_decision"]["action"] == "hold"
+        assert set(status["topology"]) == {"g00", "g01"}
+        assert status["index_version"] == mendel.index.version

@@ -1,0 +1,179 @@
+"""Unit tests for the pure autoscaling decision ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scale import (
+    ACTION_ADD_NODE,
+    ACTION_HOLD,
+    ACTION_MERGE_GROUPS,
+    ACTION_REMOVE_NODE,
+    ACTION_SPLIT_GROUP,
+    ScaleDecision,
+    ScalerPolicy,
+    ScaleSignals,
+)
+
+
+def frame(**overrides) -> ScaleSignals:
+    base = dict(
+        now=1.0,
+        group_blocks={"g00": 100, "g01": 100},
+        group_sizes={"g00": 2, "g01": 2},
+        baseline_group_size=2,
+        baseline_group_count=2,
+        replication=1,
+    )
+    base.update(overrides)
+    return ScaleSignals(**base)
+
+
+class TestClassification:
+    def test_calm_by_default(self):
+        assert not ScalerPolicy().is_hot(frame())
+
+    def test_firing_alert_is_hot(self):
+        assert ScalerPolicy().is_hot(frame(firing=("availability",)))
+
+    def test_queue_occupancy_is_hot(self):
+        policy = ScalerPolicy(hot_queue_fraction=0.8)
+        assert policy.is_hot(frame(queue_depth=8, queue_capacity=10))
+        assert not policy.is_hot(frame(queue_depth=7, queue_capacity=10))
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ScalerPolicy(hot_queue_fraction=0.0)
+        with pytest.raises(ValueError):
+            ScalerPolicy(merge_load_fraction=1.0)
+        with pytest.raises(ValueError):
+            ScalerPolicy(cooldown_ticks=-1)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleDecision("explode")
+
+
+class TestScaleOut:
+    def test_skewed_group_splits(self):
+        policy = ScalerPolicy(split_load_fraction=0.6, split_min_blocks=10)
+        decision = policy.decide(
+            frame(firing=("turnaround",),
+                  group_blocks={"g00": 90, "g01": 10})
+        )
+        assert decision.action == ACTION_SPLIT_GROUP
+        assert decision.group == "g00"
+
+    def test_balanced_load_adds_a_node(self):
+        decision = ScalerPolicy().decide(frame(firing=("turnaround",)))
+        assert decision.action == ACTION_ADD_NODE
+        assert decision.group == "g01"  # tie broken by group id (highest)
+
+    def test_hottest_group_is_per_node_load(self):
+        # g01 has more blocks but also more nodes; g00 is hotter per node.
+        decision = ScalerPolicy().decide(
+            frame(firing=("x",),
+                  group_blocks={"g00": 60, "g01": 80},
+                  group_sizes={"g00": 2, "g01": 4})
+        )
+        assert decision.action == ACTION_ADD_NODE
+        assert decision.group == "g00"
+
+    def test_small_group_never_splits(self):
+        policy = ScalerPolicy(split_min_blocks=1000)
+        decision = policy.decide(
+            frame(firing=("x",), group_blocks={"g00": 90, "g01": 10})
+        )
+        assert decision.action == ACTION_ADD_NODE
+
+    def test_max_group_size_falls_back_to_split(self):
+        policy = ScalerPolicy(max_group_size=2, split_min_blocks=10)
+        decision = policy.decide(frame(firing=("x",)))
+        assert decision.action == ACTION_SPLIT_GROUP
+
+    def test_both_ceilings_hold(self):
+        policy = ScalerPolicy(max_group_size=2, max_groups=2)
+        decision = policy.decide(frame(firing=("x",)))
+        assert decision.action == ACTION_HOLD
+        assert "max_group" in decision.reason
+
+    def test_unhealthy_group_never_scaled(self):
+        decision = ScalerPolicy().decide(
+            frame(firing=("x",),
+                  group_blocks={"g00": 90, "g01": 10},
+                  unhealthy_groups=frozenset({"g00"}))
+        )
+        assert decision.group == "g01"
+
+    def test_all_unhealthy_holds(self):
+        decision = ScalerPolicy().decide(
+            frame(firing=("x",),
+                  unhealthy_groups=frozenset({"g00", "g01"}))
+        )
+        assert decision.action == ACTION_HOLD
+
+
+class TestScaleIn:
+    def test_requires_sustained_calm(self):
+        decision = ScalerPolicy(idle_ticks_before_scale_in=4).decide(
+            frame(idle_ticks=3, group_sizes={"g00": 3, "g01": 2})
+        )
+        assert decision.action == ACTION_HOLD
+        assert "idle ticks" in decision.reason
+
+    def test_drains_most_overprovisioned_group(self):
+        decision = ScalerPolicy(idle_ticks_before_scale_in=2).decide(
+            frame(idle_ticks=2, group_sizes={"g00": 3, "g01": 3},
+                  group_blocks={"g00": 150, "g01": 30})
+        )
+        assert decision.action == ACTION_REMOVE_NODE
+        assert decision.group == "g01"
+
+    def test_never_below_baseline_or_replication(self):
+        policy = ScalerPolicy(idle_ticks_before_scale_in=0)
+        # At baseline shape: nothing to drain.
+        assert policy.decide(frame(idle_ticks=1)).action == ACTION_HOLD
+        # Above baseline size but at the replication floor.
+        decision = policy.decide(
+            frame(idle_ticks=1, baseline_group_size=1, replication=2)
+        )
+        assert decision.action == ACTION_HOLD
+
+    def test_surplus_empty_group_merges(self):
+        policy = ScalerPolicy(idle_ticks_before_scale_in=0,
+                              merge_load_fraction=0.05)
+        decision = policy.decide(
+            frame(idle_ticks=1,
+                  group_blocks={"g00": 100, "g01": 100, "g02": 3},
+                  group_sizes={"g00": 2, "g01": 2, "g02": 2})
+        )
+        assert decision.action == ACTION_MERGE_GROUPS
+        assert decision.group == "g02"
+        assert decision.target == "g00"  # emptiest survivor, ties by id
+
+    def test_baseline_group_count_never_merged(self):
+        policy = ScalerPolicy(idle_ticks_before_scale_in=0)
+        decision = policy.decide(
+            frame(idle_ticks=1, group_blocks={"g00": 100, "g01": 1})
+        )
+        assert decision.action != ACTION_MERGE_GROUPS
+
+    def test_scale_in_switch(self):
+        policy = ScalerPolicy(enable_scale_in=False,
+                              idle_ticks_before_scale_in=0)
+        decision = policy.decide(
+            frame(idle_ticks=9, group_sizes={"g00": 5, "g01": 5})
+        )
+        assert decision.action == ACTION_HOLD
+
+
+class TestDeterminism:
+    def test_equal_frames_equal_decisions(self):
+        policy = ScalerPolicy()
+        frames = [
+            frame(firing=("availability", "turnaround")),
+            frame(idle_ticks=9, group_sizes={"g00": 4, "g01": 4}),
+            frame(firing=("x",), group_blocks={"g00": 500, "g01": 10}),
+        ]
+        for f in frames:
+            assert policy.decide(f) == policy.decide(f)

@@ -1,0 +1,96 @@
+"""End-to-end autoscaling scenarios: the alert->action->resolve loop."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scale import run_diurnal_scenario, run_flash_crowd_scenario
+
+
+def small_flash(seed=0, controller=True):
+    return run_flash_crowd_scenario(
+        seed=seed, controller=controller, database_size=10,
+        calm_queries=3, burst_queries=18, tail_queries=6,
+    )
+
+
+def replication_holds(result):
+    index = None
+    if result.scaler is not None:
+        index = result.scaler.index
+    if index is None:
+        return True
+    holders: dict[int, int] = {}
+    for node in index.topology.nodes:
+        for bid in node.block_ids:
+            holders[bid] = holders.get(bid, 0) + 1
+    replication = index.config.replication
+    return (
+        set(holders) == set(index.node_of_block)
+        and all(c >= replication for c in holders.values())
+    )
+
+
+class TestFlashCrowd:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_loop_closes_autonomously(self, seed):
+        result = small_flash(seed=seed)
+        assert result.fired_at() is not None, "overload never tripped an SLO"
+        assert result.resolved_at() is not None, "alert never resolved"
+        assert result.loop_closed()
+        actions = [a["action"] for a in result.actions]
+        assert any(a in ("split_group", "add_node") for a in actions)
+
+    def test_no_query_degrades_mid_rebalance(self):
+        result = small_flash(seed=0)
+        assert all(not r.degraded for r in result.reports)
+        assert all(r.coverage == 1.0 for r in result.reports)
+
+    def test_replication_never_violated(self):
+        result = small_flash(seed=0)
+        assert replication_holds(result)
+
+    def test_controller_off_is_the_control(self):
+        result = small_flash(seed=0, controller=False)
+        assert result.scaler is None
+        assert result.actions == []
+        assert result.fired_at() is not None  # same overload happens...
+        assert not result.loop_closed()  # ...but nobody fixes it
+
+    def test_topology_events_cite_the_cause(self):
+        result = small_flash(seed=0)
+        events = result.topology_events
+        assert events, "scaling actions must land in the event log"
+        primaries = [e for e in events
+                     if e["fields"].get("phase") != "settle"]
+        assert all("cause" in e["fields"] for e in primaries)
+
+    def test_event_log_is_byte_deterministic(self):
+        a = small_flash(seed=7)
+        b = small_flash(seed=7)
+        assert json.dumps(a.event_log.to_dicts(), sort_keys=True) == \
+            json.dumps(b.event_log.to_dicts(), sort_keys=True)
+        assert a.actions == b.actions
+
+    def test_summary_rows_render(self):
+        result = small_flash(seed=0)
+        rows = dict(result.summary_rows())
+        assert rows["loop closed"] == "yes"
+        assert rows["scenario"] == "flash_crowd"
+
+
+class TestDiurnal:
+    def test_breathes_with_the_load(self):
+        result = run_diurnal_scenario(seed=0)
+        actions = [a["action"] for a in result.actions]
+        assert "add_node" in actions
+        assert "remove_node" in actions
+        assert result.loop_closed()
+        assert all(not r.degraded for r in result.reports)
+        # Ends back at (or near) the configured baseline shape.
+        sizes = sorted(
+            info["nodes"] for info in result.final_topology.values()
+        )
+        assert sizes == [2, 2]
