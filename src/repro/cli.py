@@ -176,7 +176,8 @@ def build_parser() -> argparse.ArgumentParser:
     call = sub.add_parser("call", help="call a running gateway")
     call.add_argument("op",
                       choices=("query", "explain", "stats", "health",
-                               "metrics", "alerts", "scale"))
+                               "metrics", "alerts", "scale", "scrub",
+                               "recover"))
     call.add_argument("--host", default="127.0.0.1")
     call.add_argument("--port", type=int, default=7766)
     call.add_argument("--seq", default=None,
@@ -191,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="alignments to return per query")
     call.add_argument("--timeout", type=float, default=30.0)
     call.add_argument("--retries", type=int, default=3)
+    call.add_argument("--node", default=None,
+                      help="node to restart (op=recover; default: all dead)")
+    call.add_argument("--no-heal", action="store_true",
+                      help="detect without healing (op=scrub)")
 
     watch = sub.add_parser(
         "watch",
@@ -247,6 +252,57 @@ def build_parser() -> argparse.ArgumentParser:
                            help="exit nonzero unless an alert fired, the "
                                 "scaler acted, and the alert resolved "
                                 "(CI smoke assertion)")
+
+    recover = sub.add_parser(
+        "recover",
+        help="crash-recovery experiment: crash nodes mid-batch, restart "
+             "from snapshot+WAL, prove answers byte-identical to an "
+             "uncrashed control",
+    )
+    recover.add_argument("--replication", type=int, default=2)
+    recover.add_argument("--groups", type=int, default=3)
+    recover.add_argument("--group-size", type=int, default=3)
+    recover.add_argument("--sequences", type=int, default=18,
+                         help="synthetic reference sequences")
+    recover.add_argument("--probes", type=int, default=6)
+    recover.add_argument("--seed", type=int, default=None,
+                         help="scenario seed (default: $CHAOS_SEED or 0)")
+    recover.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    recover.add_argument("--event-log", default=None,
+                         help="write the run's event log JSON here "
+                              "(artifact)")
+    recover.add_argument("--log", action="store_true",
+                         help="print the chaos timeline")
+    recover.add_argument("--assert-identical", action="store_true",
+                         help="exit nonzero unless the recovered cluster "
+                              "answered byte-identically to the control "
+                              "(CI smoke assertion)")
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="anti-entropy experiment: inject silent bit rot, scrub it "
+             "out, prove no query served rotted bytes",
+    )
+    scrub.add_argument("--replication", type=int, default=2)
+    scrub.add_argument("--groups", type=int, default=2)
+    scrub.add_argument("--group-size", type=int, default=3)
+    scrub.add_argument("--sequences", type=int, default=12,
+                       help="synthetic reference sequences")
+    scrub.add_argument("--probes", type=int, default=6)
+    scrub.add_argument("--flips", type=int, default=2,
+                       help="bit flips injected into durable blocks")
+    scrub.add_argument("--seed", type=int, default=None,
+                       help="scenario seed (default: $CHAOS_SEED or 0)")
+    scrub.add_argument("--format", choices=("text", "json"), default="text")
+    scrub.add_argument("--event-log", default=None,
+                       help="write the run's event log JSON here (artifact)")
+    scrub.add_argument("--log", action="store_true",
+                       help="print the chaos timeline")
+    scrub.add_argument("--assert-resolved", action="store_true",
+                       help="exit nonzero unless every flip was detected, "
+                            "healed, and verified clean with zero wrong "
+                            "answers (CI smoke assertion)")
 
     trace = sub.add_parser(
         "trace",
@@ -555,6 +611,10 @@ def _cmd_call(args: argparse.Namespace, out) -> int:
             response = client.alerts()
         elif args.op == "scale":
             response = client.scale()
+        elif args.op == "scrub":
+            response = client.scrub(heal=not args.no_heal)
+        elif args.op == "recover":
+            response = client.recover(node=args.node)
         elif args.op == "stats":
             response = client.stats()
         else:
@@ -760,6 +820,125 @@ def _cmd_autoscale(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace, out) -> int:
+    import json
+    import os
+
+    from repro.store.scenario import run_durability_scenario
+
+    seed = (
+        args.seed if args.seed is not None
+        else int(os.environ.get("CHAOS_SEED", "0"))
+    )
+    result = run_durability_scenario(
+        replication=args.replication,
+        group_count=args.groups,
+        group_size=args.group_size,
+        database_size=args.sequences,
+        probe_count=args.probes,
+        seed=seed,
+    )
+    if args.event_log and result.monitor is not None:
+        with open(args.event_log, "w", encoding="utf-8") as handle:
+            json.dump(result.monitor.events.to_dicts(), handle, indent=2,
+                      sort_keys=True)
+    if args.format == "json":
+        frame = {
+            "seed": seed,
+            "victims": result.victims,
+            "identical": result.identical,
+            "mismatched_queries": result.mismatched_queries,
+            "blocks_recovered": result.blocks_recovered,
+            "recovery": result.recovery,
+            "recall": result.recall,
+            "control_recall": result.control_recall,
+        }
+        print(json.dumps(frame, indent=2, sort_keys=True), file=out)
+    else:
+        rows = [{"metric": key, "value": value}
+                for key, value in result.summary_rows()]
+        print(format_table(
+            rows, title="crash, recover from snapshot+WAL, compare"),
+            file=out)
+    if args.log:
+        for line in result.chaos_log:
+            print(line, file=out)
+    if args.assert_identical and not result.identical:
+        print(
+            f"ASSERT FAIL: recovered cluster diverged from control on "
+            f"{len(result.mismatched_queries)} queries "
+            f"({','.join(result.mismatched_queries)})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_scrub(args: argparse.Namespace, out) -> int:
+    import json
+    import os
+
+    from repro.store.scenario import run_scrub_scenario
+
+    seed = (
+        args.seed if args.seed is not None
+        else int(os.environ.get("CHAOS_SEED", "0"))
+    )
+    result = run_scrub_scenario(
+        replication=args.replication,
+        group_count=args.groups,
+        group_size=args.group_size,
+        database_size=args.sequences,
+        probe_count=args.probes,
+        flip_count=args.flips,
+        seed=seed,
+    )
+    if args.event_log and result.monitor is not None:
+        with open(args.event_log, "w", encoding="utf-8") as handle:
+            json.dump(result.monitor.events.to_dicts(), handle, indent=2,
+                      sort_keys=True)
+    if args.format == "json":
+        frame = {
+            "seed": seed,
+            "flips": [{"node": n, "block": b} for n, b in result.flips],
+            "corruptions_detected": result.corruptions_detected,
+            "heals_requested": result.heals_requested,
+            "unhealed": result.unhealed,
+            "wrong_answers": result.wrong_answers,
+            "resolved": result.resolved,
+            "event_chain": result.event_chain(),
+            "recall": result.recall,
+            "control_recall": result.control_recall,
+        }
+        print(json.dumps(frame, indent=2, sort_keys=True), file=out)
+    else:
+        rows = [{"metric": key, "value": value}
+                for key, value in result.summary_rows()]
+        print(format_table(
+            rows, title="inject bit rot, scrub, heal, verify"), file=out)
+    if args.log:
+        for line in result.chaos_log:
+            print(line, file=out)
+    if args.assert_resolved:
+        chain = result.event_chain()
+        ordered = all(
+            kind in chain for kind in
+            ("bit_flip", "corruption_detected", "scrub_heal")
+        ) and chain.index("bit_flip") < chain.index("corruption_detected")
+        if not (result.resolved and ordered and not result.wrong_answers):
+            print(
+                f"ASSERT FAIL: scrub loop did not close "
+                f"(detected={result.corruptions_detected}/"
+                f"{len(result.flips)} heals={result.heals_requested} "
+                f"unhealed={result.unhealed} "
+                f"wrong_answers={len(result.wrong_answers)} "
+                f"chain={chain})",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace, out) -> int:
     from repro.obs.export import prometheus_text, write_chrome_trace
     from repro.obs.metrics import default_registry
@@ -812,6 +991,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "call": _cmd_call,
         "watch": _cmd_watch,
         "autoscale": _cmd_autoscale,
+        "recover": _cmd_recover,
+        "scrub": _cmd_scrub,
         "trace": _cmd_trace,
         "explain": _cmd_explain,
     }

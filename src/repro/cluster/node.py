@@ -21,6 +21,8 @@ from typing import Callable
 import numpy as np
 
 from repro.obs.metrics import default_registry
+from repro.store.disk import NodeDisk
+from repro.store.durable import DurableNodeState
 from repro.util.validation import check_positive
 from repro.vptree.dynamic import DynamicVPTree
 
@@ -54,6 +56,11 @@ class NodeStats:
     queries_served: int = 0
     evals_charged: int = 0
     busy_seconds: float = 0.0
+    #: durability-layer counters (survive crashes: they describe what the
+    #: experiment observed, not what the node's RAM held)
+    blocks_recovered: int = 0
+    recoveries: int = 0
+    corrupt_reads: int = 0
 
 
 class StorageNode:
@@ -108,9 +115,38 @@ class StorageNode:
         )
         #: block ids stored locally, in insertion order
         self.block_ids: list[int] = []
+        #: the node's local block device and its crash-consistent durable
+        #: state (snapshot + WAL); survives :meth:`fail`, which only kills
+        #: the in-RAM index
+        self.disk = NodeDisk()
+        self.durable = DurableNodeState(self.disk, node_id)
+        #: set when a durable append went unacknowledged (torn write, full
+        #: disk): the node serves from RAM but its WAL is behind
+        self.durability_degraded = False
+        #: replay report of the last :meth:`recover`, for introspection
+        self.last_recovery: dict | None = None
         # Observability: children resolved once so the per-search cost is a
         # lock-and-add, not a registry lookup.
         registry = default_registry()
+        self._registry = registry
+        # Node-labelled durability series are resolved through the family
+        # (not cached children): a crash wipe purges them via
+        # ``purge_labels`` and the next touch must re-create the series.
+        self._g_durable = registry.gauge(
+            "repro_node_durable_blocks",
+            "Blocks durably recorded in each node's snapshot + WAL",
+            ("node",),
+        )
+        self._c_wal = registry.counter(
+            "repro_node_wal_records_total",
+            "Acknowledged WAL records (inserts and drops) per node",
+            ("node",),
+        )
+        self._c_unacked = registry.counter(
+            "repro_node_wal_unacked_total",
+            "Durable appends that failed acknowledgement per node",
+            ("node",),
+        )
         self._m_evals = registry.counter(
             "repro_distance_evaluations_total",
             "Logical segment-distance evaluations performed by local vp-trees",
@@ -130,7 +166,13 @@ class StorageNode:
     # -- storage -------------------------------------------------------------
 
     def store_blocks(self, codes: np.ndarray, block_ids: list[int]) -> None:
-        """Index a batch of blocks (rows of *codes*) in the local vp-tree."""
+        """Index a batch of blocks (rows of *codes*) in the local vp-tree
+        and journal each insert to the node's write-ahead log.
+
+        An insert is *acknowledged* only once its WAL record is fully on
+        the device; appends a torn write or full disk refused leave the
+        node serving from RAM with :attr:`durability_degraded` set (the
+        cluster layer re-replicates the gap after a restart)."""
         if codes.ndim == 1:
             codes = codes[None, :]
         if codes.shape[0] != len(block_ids):
@@ -140,6 +182,30 @@ class StorageNode:
         self.tree.insert_batch(codes, payloads=block_ids)
         self.block_ids.extend(block_ids)
         self.stats.blocks_stored += len(block_ids)
+        acked = 0
+        for row, block_id in enumerate(block_ids):
+            if self.durable.append_insert(block_id, codes[row]):
+                acked += 1
+            else:
+                self.durability_degraded = True
+                self._c_unacked.labels(node=self.node_id).inc()
+        if acked:
+            self._c_wal.labels(node=self.node_id).inc(acked)
+        self._g_durable.labels(node=self.node_id).set(
+            float(self.durable.block_count)
+        )
+
+    def verify_block(self, block_id: int) -> bool:
+        """Verified read gate: does this node's durable copy of *block_id*
+        still match its acknowledged content digest?  ``True`` when no
+        durable record exists (nothing to distrust — e.g. a block indexed
+        during a degraded-durability window)."""
+        if self.durable.digest(block_id) is None:
+            return True
+        if self.durable.verify(block_id):
+            return True
+        self.stats.corrupt_reads += 1
+        return False
 
     # -- local search with time accounting ------------------------------------
 
@@ -191,8 +257,16 @@ class StorageNode:
         return self.profile.speed_factor * self.speed_multiplier
 
     def reset_storage(self) -> None:
-        """Drop all locally indexed blocks (used when the group reshuffles
-        placement after membership changes)."""
+        """Drop all locally indexed blocks — RAM index *and* durable state
+        (used when the group reshuffles placement after membership changes;
+        the caller re-stores the canonical set, re-journalling it)."""
+        self._wipe_ram()
+        self.durable.reset()
+        self.durability_degraded = False
+        self._g_durable.labels(node=self.node_id).set(0.0)
+
+    def _wipe_ram(self) -> None:
+        """Fresh empty vp-tree; durable state untouched."""
         metric = self.tree.adapter.metric
         self.tree = DynamicVPTree(
             metric=metric,
@@ -203,15 +277,22 @@ class StorageNode:
         self.block_ids = []
 
     def fail(self) -> None:
-        """Crash-stop the node (its on-disk data stays in place for
-        recovery; the process is gone, so it answers nothing)."""
+        """Crash-stop the node: the process (and with it every in-RAM
+        structure) is gone; only :attr:`disk` survives.  The node's
+        labelled metric series are purged — a restarted process starts
+        its gauges from what durable state says, not from stale RAM."""
         self.alive = False
         self.suspected = False
+        self._wipe_ram()
+        self._registry.purge_labels(node=self.node_id)
 
     def recover(self) -> None:
-        """Bring a failed node back with its local index intact.
+        """Restart a crashed node strictly from its durable state.
 
-        The local index may be *stale*: if re-replication moved this node's
+        RAM was wiped by :meth:`fail`; the local index is rebuilt by
+        replaying the snapshot + WAL (torn tails truncated, the last
+        replay's report kept in :attr:`last_recovery`).  The replayed
+        placement may be *stale*: if re-replication moved this node's
         blocks to successors while it was down, rejoining with the old
         placement leaves blocks over-replicated (and misses blocks indexed
         during the outage).  Callers that manage placement should prefer
@@ -221,6 +302,22 @@ class StorageNode:
         self.alive = True
         self.suspected = False
         self.restore_speed()
+        rep = self.durable.replay()
+        self._wipe_ram()
+        if rep.codes is not None and len(rep.block_ids):
+            self.tree.insert_batch(rep.codes, payloads=rep.block_ids)
+            self.block_ids = list(rep.block_ids)
+        self.last_recovery = rep.to_dict()
+        self.stats.recoveries += 1
+        self.stats.blocks_recovered += len(rep.block_ids)
+        self._g_durable.labels(node=self.node_id).set(
+            float(self.durable.block_count)
+        )
+
+    def flush_durable(self) -> bool:
+        """Checkpoint the WAL into the snapshot (drain/decommission path);
+        returns ``False`` when the device refused the write."""
+        return self.durable.checkpoint()
 
     def slow_down(self, multiplier: float) -> None:
         """Straggler injection: scale this node's effective speed by
@@ -234,6 +331,15 @@ class StorageNode:
     @property
     def block_count(self) -> int:
         return len(self.block_ids)
+
+    @property
+    def known_block_ids(self) -> list[int]:
+        """Placement records for repair planning: live RAM contents while
+        the node is up; the durable manifest once it has crashed (a dead
+        process answers nothing, but its disk still says what it held)."""
+        if self.alive:
+            return self.block_ids
+        return self.durable.manifest_ids()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

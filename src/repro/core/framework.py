@@ -303,6 +303,24 @@ class Mendel:
         all); returns the :class:`~repro.faults.repair.RepairReport`."""
         return self.index.rereplicate(group_id)
 
+    # -- durability and integrity ----------------------------------------------
+
+    def scrub(self, heal: bool = True):
+        """One anti-entropy pass over every replica copy: digest-verify,
+        quarantine what rotted, and (by default) heal it back from verified
+        replicas.  Returns the :class:`~repro.store.scrub.ScrubReport`."""
+        return self.index.scrub(heal=heal)
+
+    def flush_durable(self) -> int:
+        """Checkpoint every node's WAL into its snapshot; returns the
+        number of nodes that acknowledged."""
+        return self.index.flush_durable()
+
+    def durability(self) -> dict:
+        """Per-node durable-state status (snapshot + WAL depth, unacked
+        writes, degraded flags) plus cluster rollups."""
+        return self.index.durability_report()
+
     def cluster_health(self) -> dict:
         """Liveness snapshot: node counts by state plus the per-group
         breakdown the serving HEALTH endpoint reports."""

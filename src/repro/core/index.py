@@ -248,6 +248,61 @@ class MendelIndex:
             return repairer.sync_all()
         return repairer.sync_group(self.topology.group(group_id))
 
+    # -- durability and integrity -----------------------------------------------
+
+    def scrub(self, heal: bool = True, event_log=None):
+        """One full anti-entropy pass: digest-verify every replica copy,
+        quarantine confirmed-corrupt ones and (with ``heal=True``) stream
+        them back from verified replicas immediately.  Returns the
+        :class:`~repro.store.scrub.ScrubReport`."""
+        from repro.faults.repair import ReReplicator
+        from repro.store.scrub import IntegrityScrubber
+
+        repairer = ReReplicator(self)
+        scrubber = IntegrityScrubber(
+            self,
+            event_log=event_log,
+            heal=(lambda group, findings: repairer.sync_group(group))
+            if heal
+            else None,
+        )
+        scrubber.scrub_all()
+        self.version += 1
+        return scrubber.report
+
+    def flush_durable(self) -> int:
+        """Checkpoint every node's WAL into its snapshot; returns how many
+        nodes acknowledged the checkpoint."""
+        return sum(1 for node in self.topology.nodes if node.flush_durable())
+
+    def durability_report(self) -> dict:
+        """Per-node durable-state status plus cluster-wide rollups."""
+        nodes = {
+            node.node_id: dict(
+                node.durable.status(),
+                alive=node.alive,
+                degraded=node.durability_degraded,
+                ram_blocks=node.block_count,
+                recoveries=node.stats.recoveries,
+                corrupt_reads=node.stats.corrupt_reads,
+            )
+            for node in self.topology.nodes
+        }
+        return {
+            "nodes": nodes,
+            "durable_blocks": sum(
+                status["blocks"] for status in nodes.values()
+            ),
+            "wal_records": sum(
+                status["wal_records"] for status in nodes.values()
+            ),
+            "degraded_nodes": sorted(
+                node_id
+                for node_id, status in nodes.items()
+                if status["degraded"]
+            ),
+        }
+
     # -- elastic topology mutation ----------------------------------------------
 
     def _new_node(self, group_id: str, number: int) -> StorageNode:
@@ -277,7 +332,7 @@ class MendelIndex:
         converges to."""
         if block_ids is None:
             block_ids = sorted(
-                {bid for member in group.nodes for bid in member.block_ids}
+                {bid for member in group.nodes for bid in member.known_block_ids}
             )
         for member in group.nodes:
             member.reset_storage()
@@ -336,7 +391,8 @@ class MendelIndex:
         group = self.topology.group(group_id)  # KeyError for unknown groups
         node = self._new_node(group_id, len(group.nodes))
         held_before = {
-            member.node_id: set(member.block_ids) for member in group.nodes
+            member.node_id: set(member.known_block_ids)
+            for member in group.nodes
         }
         blocks = sorted(
             set().union(*held_before.values()) if held_before else set()
@@ -398,8 +454,9 @@ class MendelIndex:
                 f"with {len(group.nodes) - 1} node(s), below the replication "
                 f"factor {self.config.replication}"
             )
+        node.flush_durable()  # compact the WAL before the manifest is read
         blocks = sorted(
-            {bid for member in group.nodes for bid in member.block_ids}
+            {bid for member in group.nodes for bid in member.known_block_ids}
         )
         group.remove_node(node_id)
         self._replace_group(group, blocks)
@@ -440,7 +497,7 @@ class MendelIndex:
             owned = self.topology.prefixes_of(group_id)
 
         group_blocks = sorted(
-            {bid for member in group.nodes for bid in member.block_ids}
+            {bid for member in group.nodes for bid in member.known_block_ids}
         )
         per_prefix: dict[int, list[int]] = {p: [] for p in owned}
         for block_id in group_blocks:
@@ -479,7 +536,7 @@ class MendelIndex:
 
         def _drop_retained() -> None:
             remaining = sorted(
-                {bid for member in group.nodes for bid in member.block_ids}
+                {bid for member in group.nodes for bid in member.known_block_ids}
                 - moved_set
             )
             self._replace_group(group, remaining)
@@ -513,8 +570,10 @@ class MendelIndex:
             raise ValueError(f"cannot merge group {source_id!r} into itself")
         source = self.topology.group(source_id)
         target = self.topology.group(target_id)
+        for member in source.nodes:
+            member.flush_durable()  # compact WALs before the drain reads them
         moved = sorted(
-            {bid for member in source.nodes for bid in member.block_ids}
+            {bid for member in source.nodes for bid in member.known_block_ids}
         )
         self.topology.reassign_prefixes(
             self.topology.prefixes_of(source_id), target_id

@@ -11,17 +11,29 @@ to a single file; :func:`load_index` reconstructs a live deployment from it
 indexing cost — by replaying the saved placement directly into per-node
 batch inserts.
 
-Format: a compressed ``numpy`` archive holding the concatenated residue
-codes, per-sequence offsets/ids, the per-block node assignment, and a JSON
-header with the config.  The prefix tree is rebuilt deterministically from
-the saved config seed, so hashes of *future* insertions remain consistent
-with the saved deployment.
+Format: a self-verifying container — magic ``MENDELIX``, a format version,
+and a whole-payload CRC32 — around a compressed ``numpy`` archive holding
+the concatenated residue codes, per-sequence offsets/ids, the per-block
+node assignment, and a JSON header with the config.  The prefix tree is
+rebuilt deterministically from the saved config seed, so hashes of *future*
+insertions remain consistent with the saved deployment.
+
+Durability contract (mirrors :mod:`repro.store`): writes go through a
+temporary file and an atomic ``os.replace``, so a crash mid-save leaves any
+previous archive intact; loads verify magic, version, and checksum before a
+single byte is parsed, raising a typed :class:`PersistError` —
+:class:`CorruptArchiveError` for damage, never a confusing decode error
+deep inside ``numpy``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
+import os
+import struct
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -31,11 +43,24 @@ from repro.core.params import MendelConfig
 from repro.seq.alphabet import alphabet_for
 from repro.seq.records import SequenceRecord, SequenceSet
 
-FORMAT_VERSION = 1
+#: v2 wrapped the archive in the checksummed ``MENDELIX`` container.
+FORMAT_VERSION = 2
+
+MAGIC = b"MENDELIX"
+_CONTAINER_HEAD = struct.Struct("<8sHI")  # magic, version, payload crc32
+
+
+class PersistError(Exception):
+    """Base class for index save/load failures."""
+
+
+class CorruptArchiveError(PersistError):
+    """The archive failed its integrity checks (magic, version, CRC)."""
 
 
 def save_index(index: MendelIndex, path: str | Path) -> None:
-    """Serialise *index* (database + config + placement) to *path*."""
+    """Serialise *index* (database + config + placement) to *path*
+    atomically (tmp file + ``os.replace``)."""
     records = list(index.database)
     lengths = np.array([len(r) for r in records], dtype=np.int64)
     concat = (
@@ -59,13 +84,25 @@ def save_index(index: MendelIndex, path: str | Path) -> None:
         "descriptions": [r.description for r in records],
         "node_ids": [n.node_id for n in index.topology.nodes],
     }
+    buffer = io.BytesIO()
     np.savez_compressed(
-        path,
+        buffer,
         header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
         concat=concat,
         lengths=lengths,
         placement=placement,
     )
+    payload = buffer.getvalue()
+    head = _CONTAINER_HEAD.pack(MAGIC, FORMAT_VERSION, zlib.crc32(payload))
+    target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_suffix(target.suffix + ".npz")
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        tmp.write_bytes(head + payload)
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load_index(path: str | Path) -> MendelIndex:
@@ -74,11 +111,16 @@ def load_index(path: str | Path) -> MendelIndex:
     The cluster shell and prefix tree are rebuilt deterministically from the
     saved config; block placement is replayed from the archive instead of
     re-hashing, so loading is dominated by the per-node batch inserts.
+
+    Raises :class:`CorruptArchiveError` when the container fails its
+    integrity checks and :class:`PersistError` for a missing file or an
+    unsupported format version.
     """
-    with np.load(_with_suffix(path), allow_pickle=False) as archive:
+    payload = _read_verified(_with_suffix(path))
+    with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
         header = json.loads(bytes(archive["header"]).decode())
         if header["version"] != FORMAT_VERSION:
-            raise ValueError(
+            raise PersistError(
                 f"unsupported index format version {header['version']}"
             )
         concat = archive["concat"]
@@ -183,6 +225,37 @@ def _rebuild_from_placement(index, database, config, header, placement) -> None:
                 index.store.codes_matrix(block_ids), block_ids
             )
         index.stats.per_node_blocks[node_id] = len(block_ids)
+
+
+def _read_verified(path: Path) -> bytes:
+    """Read an archive and verify magic, version, and payload CRC; returns
+    the wrapped ``npz`` payload bytes."""
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError as exc:
+        raise PersistError(f"no index archive at {path}") from exc
+    if len(raw) < _CONTAINER_HEAD.size:
+        raise CorruptArchiveError(
+            f"{path} is {len(raw)} bytes — shorter than the container header"
+        )
+    magic, version, payload_crc = _CONTAINER_HEAD.unpack_from(raw, 0)
+    if magic != MAGIC:
+        raise CorruptArchiveError(
+            f"{path} is not a Mendel index archive (bad magic {magic!r}; "
+            "pre-v2 archives must be rebuilt)"
+        )
+    if version > FORMAT_VERSION:
+        raise PersistError(
+            f"{path} uses container version {version}; this build reads "
+            f"up to {FORMAT_VERSION}"
+        )
+    payload = raw[_CONTAINER_HEAD.size:]
+    if zlib.crc32(payload) != payload_crc:
+        raise CorruptArchiveError(
+            f"{path} failed its checksum: the archive is truncated or "
+            "corrupted"
+        )
+    return payload
 
 
 def _with_suffix(path: str | Path) -> Path:

@@ -398,8 +398,10 @@ class QueryEngine:
         if faults is not None:
             from repro.faults.chaos import ChaosController
 
-            self.last_chaos = ChaosController(sim, net, self.index, faults,
-                                              event_log=elog)
+            self.last_chaos = ChaosController(
+                sim, net, self.index, faults, event_log=elog,
+                recorder=monitor.recorder if monitor is not None else None,
+            )
             self.last_chaos.install()
         if arrival_times is not None:
             last_arrival = max(arrival_times) if arrival_times else 0.0
@@ -537,6 +539,14 @@ class QueryEngine:
                     stats.candidate_hits += len(hits)
                     candidates += len(hits)
                     for _dist, block_id in hits:
+                        # Verified read: a hit whose durable copy fails its
+                        # content digest is skipped — the query's fan-out to
+                        # the block's other replicas answers from a healthy
+                        # copy instead of serving rotted bytes.
+                        if not node.verify_block(block_id):
+                            note(node.node_id, "corrupt_skip",
+                                 f"block {block_id} failed digest check")
+                            continue
                         candidate = store.codes_of(block_id)
                         score = evaluate_candidate(
                             window.codes, candidate,
@@ -675,10 +685,12 @@ class QueryEngine:
                 ).wire_bytes(),
             )
             # Coverage denominators: every distinct block this group knows
-            # about is in scope for the routed subqueries.
+            # about is in scope for the routed subqueries (a crashed
+            # member's durable manifest still counts — its blocks are in
+            # scope even though its RAM is gone).
             dead_members = []
             for member in group.nodes:
-                holder["total"].update(member.block_ids)
+                holder["total"].update(member.known_block_ids)
                 if not member.alive:
                     holder["failed"].add(member.node_id)
                     dead_members.append(member.node_id)

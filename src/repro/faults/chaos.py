@@ -31,6 +31,7 @@ from repro.obs.events import EventLog
 from repro.obs.metrics import default_registry
 from repro.sim.engine import SimEvent, Simulation
 from repro.sim.network import Network
+from repro.store.scrub import IntegrityScrubber, ScrubFinding
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,7 @@ class ChaosController:
         index,
         schedule: FaultSchedule,
         event_log: EventLog | None = None,
+        recorder=None,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -76,6 +78,15 @@ class ChaosController:
                 event_log=event_log,
             )
         self.repairer = ReReplicator(index, is_alive=self._is_alive)
+        self.scrubber: IntegrityScrubber | None = None
+        if schedule.scrub_interval > 0:
+            self.scrubber = IntegrityScrubber(
+                index,
+                is_alive=self._is_alive,
+                event_log=event_log,
+                recorder=recorder,
+                heal=self._scrub_heal if schedule.scrub_auto_heal else None,
+            )
         self._repair_tail: dict[str, SimEvent] = {}
         self._nodes = {node.node_id: node for node in index.topology.nodes}
         registry = default_registry()
@@ -107,6 +118,15 @@ class ChaosController:
                     self.detector.monitor_proc(group),
                     name=f"heartbeat:{group.group_id}",
                 )
+        if self.scrubber is not None:
+            self.sim.spawn(
+                self.scrubber.scrub_proc(
+                    self.sim,
+                    self.schedule.scrub_interval,
+                    self.schedule.effective_horizon,
+                ),
+                name="scrubber",
+            )
 
     def _is_alive(self, node: StorageNode) -> bool:
         """Placement liveness: ground truth intersected with the detector's
@@ -179,6 +199,48 @@ class ChaosController:
         self.net.clear_partition()
         self._note("heal", "partition healed")
 
+    def _apply_bit_flip(self, event: FaultEvent) -> None:
+        node = self._nodes[event.node]
+        try:
+            node.durable.corrupt_block(event.block, event.bit)
+        except KeyError:
+            # The target block never landed on (or already left) this node's
+            # durable state; cosmic rays don't get to pick their victim.
+            self._note(
+                "bit_flip",
+                f"{event.node}: block {event.block} not held durably "
+                "(flip missed)",
+                actor=event.node,
+            )
+            return
+        self._note(
+            "bit_flip",
+            f"{event.node}: bit {event.bit} of durable block "
+            f"{event.block} flipped",
+            actor=event.node,
+        )
+
+    def _apply_torn_write(self, event: FaultEvent) -> None:
+        node = self._nodes[event.node]
+        node.disk.tear_next_append()
+        self._note(
+            "torn_write",
+            f"{event.node}: next durable append will tear",
+            actor=event.node,
+        )
+
+    def _apply_disk_full(self, event: FaultEvent) -> None:
+        node = self._nodes[event.node]
+        node.disk.full = True
+        self._note("disk_full", f"{event.node}: device out of space",
+                   actor=event.node)
+
+    def _apply_disk_free(self, event: FaultEvent) -> None:
+        node = self._nodes[event.node]
+        node.disk.full = False
+        self._note("disk_free", f"{event.node}: device space restored",
+                   actor=event.node)
+
     # -- detection callbacks ---------------------------------------------------
 
     def _on_dead(self, node: StorageNode) -> None:
@@ -198,6 +260,25 @@ class ChaosController:
                 self.index.topology.group(node.group_id),
                 f"reconcile after {node.node_id} rejoin",
             )
+
+    # -- scrub healing ---------------------------------------------------------
+
+    def _scrub_heal(
+        self, group: StorageGroup, findings: list[ScrubFinding]
+    ) -> None:
+        """The scrubber quarantined corrupt copies: chain their heal onto
+        the group's repair tail (re-replication streams each block back
+        from a replica that still verifies)."""
+        blocks = sorted({finding.block_id for finding in findings})
+        self._note(
+            "scrub_heal",
+            f"{group.group_id}: healing {len(blocks)} quarantined "
+            f"block(s) {blocks[:8]}",
+            actor=group.group_id,
+        )
+        self._schedule_repair(
+            group, f"scrub heal of {len(blocks)} corrupt copies"
+        )
 
     # -- repair chaining -------------------------------------------------------
 
@@ -261,6 +342,17 @@ class ChaosController:
                     "deaths_declared": self.detector.stats.deaths_declared,
                     "rejoins_detected": self.detector.stats.rejoins_detected,
                     "false_suspicions": self.detector.stats.false_suspicions,
+                }
+            )
+        if self.scrubber is not None:
+            report = self.scrubber.report
+            out.update(
+                {
+                    "scrub_passes": report.passes,
+                    "replicas_checked": report.replicas_checked,
+                    "corruptions_detected": report.mismatches,
+                    "blocks_quarantined": report.quarantined,
+                    "heals_requested": report.heals_requested,
                 }
             )
         return out

@@ -111,10 +111,11 @@ class ReReplicator:
 
     def group_blocks(self, group: StorageGroup) -> list[int]:
         """Every block the group knows about (union over member metadata,
-        dead members included — their placement records survive the crash)."""
+        dead members included — a crashed node's RAM is gone but its durable
+        manifest still records what it held)."""
         known: set[int] = set()
         for node in group.nodes:
-            known.update(node.block_ids)
+            known.update(node.known_block_ids)
         return sorted(known)
 
     def desired_placement(self, group: StorageGroup) -> dict[str, set[int]]:
@@ -129,7 +130,7 @@ class ReReplicator:
                 # Whole group down (from the detector's view): leave placement
                 # untouched; nothing can move anyway.
                 for node in group.nodes:
-                    if block_id in node.block_ids:
+                    if block_id in node.known_block_ids:
                         desired[node.node_id].add(block_id)
                 continue
             for node in holders:
@@ -144,7 +145,9 @@ class ReReplicator:
         on dead nodes are kept for the eventual rejoin).
         """
         desired = self.desired_placement(group)
-        current = {node.node_id: set(node.block_ids) for node in group.nodes}
+        current = {
+            node.node_id: set(node.known_block_ids) for node in group.nodes
+        }
         alive_holders: dict[int, list[str]] = {}
         for node in group.nodes:
             if self.is_alive(node) and node.alive:

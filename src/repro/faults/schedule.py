@@ -24,6 +24,15 @@ Event kinds:
     clear it.
 ``partition`` / ``heal_partition``
     Split the cluster into disjoint sides / reconnect everything.
+``bit_flip``
+    Silent bit rot: flip one bit of a node's durable copy of ``block``
+    (no error is raised — only digest verification can catch it).
+``torn_write``
+    Arm a one-shot torn append on a node's device: the next WAL record
+    persists only a prefix (replay truncates it away).
+``disk_full`` / ``disk_free``
+    Set / clear a node's device ENOSPC flag: durable appends fail cleanly
+    and the node serves from RAM with degraded durability.
 """
 
 from __future__ import annotations
@@ -43,6 +52,10 @@ _KINDS = frozenset(
         "heal_link",
         "partition",
         "heal_partition",
+        "bit_flip",
+        "torn_write",
+        "disk_full",
+        "disk_free",
     }
 )
 
@@ -65,14 +78,22 @@ class FaultEvent:
     drop: float = 0.0
     extra_delay: float = 0.0
     sides: tuple[frozenset, ...] = ()
+    #: corruption targeting (``bit_flip``): which durable block, which bit
+    block: int | None = None
+    bit: int = 0
 
     def __post_init__(self) -> None:
         check_non_negative("at", self.at)
         if self.kind not in _KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
-        if self.kind in ("crash", "restart", "slowdown", "restore_speed"):
+        if self.kind in (
+            "crash", "restart", "slowdown", "restore_speed",
+            "bit_flip", "torn_write", "disk_full", "disk_free",
+        ):
             if not self.node:
                 raise ValueError(f"{self.kind} event needs a node id")
+        if self.kind == "bit_flip" and self.block is None:
+            raise ValueError("bit_flip event needs a block id")
         if self.kind in ("drop_link", "heal_link"):
             if not self.src or not self.dst:
                 raise ValueError(f"{self.kind} event needs src and dst node ids")
@@ -135,6 +156,24 @@ class FaultEvent:
     def heal_partition(cls, at: float) -> "FaultEvent":
         return cls(at=at, kind="heal_partition")
 
+    @classmethod
+    def bit_flip(
+        cls, at: float, node: str, block: int, bit: int = 0
+    ) -> "FaultEvent":
+        return cls(at=at, kind="bit_flip", node=node, block=block, bit=bit)
+
+    @classmethod
+    def torn_write(cls, at: float, node: str) -> "FaultEvent":
+        return cls(at=at, kind="torn_write", node=node)
+
+    @classmethod
+    def disk_full(cls, at: float, node: str) -> "FaultEvent":
+        return cls(at=at, kind="disk_full", node=node)
+
+    @classmethod
+    def disk_free(cls, at: float, node: str) -> "FaultEvent":
+        return cls(at=at, kind="disk_free", node=node)
+
 
 @dataclass(frozen=True)
 class FaultSchedule:
@@ -156,6 +195,12 @@ class FaultSchedule:
     auto_repair:
         Re-replicate a dead node's blocks from surviving replicas once the
         detector declares it dead.
+    scrub_interval:
+        Simulated seconds between anti-entropy scrub rounds (one group per
+        round, round-robin); 0 disables background scrubbing.
+    scrub_auto_heal:
+        Let the scrubber chain quarantined blocks into the repair path
+        (``False`` detects and quarantines without healing).
     horizon:
         Simulated time at which heartbeat monitoring stops (the simulation
         cannot drain while monitors loop).  Defaults to the last scripted
@@ -167,11 +212,14 @@ class FaultSchedule:
     heartbeat_interval: float = 0.002
     miss_threshold: int = 3
     auto_repair: bool = True
+    scrub_interval: float = 0.0
+    scrub_auto_heal: bool = True
     horizon: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
         check_non_negative("heartbeat_interval", self.heartbeat_interval)
+        check_non_negative("scrub_interval", self.scrub_interval)
         if self.miss_threshold < 1:
             raise ValueError(
                 f"miss_threshold must be >= 1, got {self.miss_threshold}"

@@ -40,7 +40,8 @@ from repro.obs.timer import wall_clock
 #: starts firing (see :mod:`repro.obs.slo`).
 FAULT_KINDS = frozenset(
     {"crash", "partition", "drop_link", "slowdown", "detected", "suspect",
-     "subquery_failed"}
+     "subquery_failed", "bit_flip", "torn_write", "disk_full",
+     "corruption_detected"}
 )
 
 #: Topology-change kinds emitted by the elastic autoscaler
@@ -54,7 +55,8 @@ TOPOLOGY_KINDS = frozenset(
 #: should cite the scale-out, closing the alert -> action -> resolution
 #: loop in the transition record.
 RECOVERY_KINDS = (
-    frozenset({"restart", "rejoin", "repair", "heal", "heal_link", "restore"})
+    frozenset({"restart", "rejoin", "repair", "heal", "heal_link", "restore",
+               "scrub_heal", "disk_free"})
     | TOPOLOGY_KINDS
 )
 

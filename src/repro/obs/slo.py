@@ -329,6 +329,10 @@ def default_slos(
       turnarounds above it (the Fig. 6 p99-style bound).  95%.
     * **repair_backlog** — outstanding re-replication repairs; ticket-grade
       (capped at warning: a backlog is work in flight, not an outage).
+    * **integrity** — replica copies passing the scrubber's digest
+      verification.  99.9%, pages critical: silent corruption is data
+      loss in waiting.  (The SLI only receives observations when the
+      scrubber runs, so non-scrubbing runs never burn it.)
     """
     widths = tuple(sorted(set(float(w) for w in windows)))
     fast, slow = widths[0], widths[-1]
@@ -347,6 +351,11 @@ def default_slos(
             name="repair_backlog", sli="repair_backlog", objective=0.9,
             fast_window=fast, slow_window=slow, max_severity="warning",
             description="re-replication repairs outstanding",
+        ),
+        SLO(
+            name="integrity", sli="integrity", objective=0.999,
+            fast_window=fast, slow_window=slow,
+            description="replica copies passing digest verification",
         ),
     ]
     if latency_threshold is not None:

@@ -261,6 +261,22 @@ class AutoScaler:
                 )
         self._pending = keep
 
+    def _flush_changed(self, *group_ids: str | None) -> None:
+        """Checkpoint the WALs of every group a scale action touched.
+
+        A topology change moves blocks in bulk; flushing folds that burst
+        of WAL inserts into a compact snapshot so a node that crashes right
+        after the change recovers the *new* placement cheaply instead of
+        replaying the whole migration."""
+        for group_id in {g for g in group_ids if g is not None}:
+            try:
+                group = self.index.topology.group(group_id)
+            except KeyError:
+                continue  # merged-away source group no longer exists
+            for node in group.nodes:
+                if node.alive:
+                    node.flush_durable()
+
     def _execute(
         self, now: float, decision: ScaleDecision, frame: ScaleSignals
     ) -> None:
@@ -322,6 +338,10 @@ class AutoScaler:
             )
         else:  # pragma: no cover - the ladder never emits other actions
             raise ValueError(f"unexpected scale action {action!r}")
+        self._flush_changed(
+            decision.group, decision.target,
+            change.target if action == ACTION_SPLIT_GROUP else None,
+        )
         self._m_actions.labels(action=action).inc()
         self.actions.append(
             {"at": now, "cause": cause, **decision.to_dict()}

@@ -191,6 +191,19 @@ class ServeClient:
         alert states with correlated causes, transitions, event tail."""
         return self.request({"op": "alerts"})
 
+    def scrub(self, heal: bool = True) -> dict:
+        """SCRUB op; one anti-entropy pass over every replica copy.
+        ``heal=False`` audits (detects) without quarantining heals."""
+        return self.request({"op": "scrub", "heal": heal})
+
+    def recover(self, node: str | None = None) -> dict:
+        """RECOVER op; restart *node* (or every dead node when ``None``)
+        from durable state and return the per-node replay reports."""
+        message: dict = {"op": "recover"}
+        if node is not None:
+            message["node"] = node
+        return self.request(message)
+
     def scale(self) -> dict:
         """SCALE op; the gateway autoscaler's status frame (or
         ``enabled: false``).  Reading it ticks the lazy control loop."""

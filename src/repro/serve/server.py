@@ -127,6 +127,10 @@ class QueryServer:
                     "id": request_id, "ok": True,
                     **self.service.scale_status(),
                 }
+            if op == "scrub":
+                return await self._op_scrub(message, request_id)
+            if op == "recover":
+                return await self._op_recover(message, request_id)
             if op == "metrics":
                 return {
                     "id": request_id,
@@ -190,6 +194,29 @@ class QueryServer:
         if want_trace and result.report.root_span is not None:
             response["trace"] = result.report.root_span.to_dict()
         return response
+
+    async def _op_scrub(self, message: dict, request_id) -> dict:
+        heal = message.get("heal", True)
+        if not isinstance(heal, bool):
+            raise InvalidRequest(f"heal must be a boolean, got {heal!r}")
+        # Scrub walks every replica copy — run it off the event loop so
+        # concurrent queries keep flowing while digests are verified.
+        report = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.service.scrub(heal=heal)
+        )
+        return {"id": request_id, "ok": True, **report}
+
+    async def _op_recover(self, message: dict, request_id) -> dict:
+        node = message.get("node")
+        if node is not None and not isinstance(node, str):
+            raise InvalidRequest(f"node must be a string, got {node!r}")
+        try:
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.service.recover(node_id=node)
+            )
+        except KeyError as exc:
+            raise InvalidRequest(f"unknown node {node!r}") from exc
+        return {"id": request_id, "ok": True, **outcome}
 
     async def _op_explain(self, message: dict, request_id) -> dict:
         seq = message.get("seq")

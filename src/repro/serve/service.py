@@ -631,6 +631,7 @@ class QueryService:
         firing = self.monitor.alerts_firing()
         if status == "ok" and firing:
             status = "alerting"
+        durability = self.mendel.durability()
         return {
             "status": status,
             "queue_depth": self.queue_depth,
@@ -640,7 +641,87 @@ class QueryService:
             "balance": self._balance.report().summary(),
             "alerts_firing": firing,
             "alerts": self.monitor.slo_engine.states_dict(),
+            # The durable substrate, rolled up: RAM can be rebuilt, these
+            # can't — a degraded WAL or full device is pre-outage signal.
+            "durability": {
+                "durable_blocks": durability["durable_blocks"],
+                "wal_records": durability["wal_records"],
+                "degraded_nodes": durability["degraded_nodes"],
+            },
         }
+
+    # -- durability and integrity ----------------------------------------------
+
+    def scrub(self, heal: bool = True) -> dict:
+        """The SCRUB verb: one wall-clock anti-entropy pass over every
+        replica copy.
+
+        Digest-verifies each copy, quarantines confirmed-corrupt ones, and
+        (with ``heal=True``) streams them back from verified replicas
+        immediately.  Observations feed the gateway monitor's ``integrity``
+        SLI and the shared event log, so a scrub that finds rot also fires
+        the integrity alert with a correlated cause.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        from repro.faults.repair import ReReplicator
+        from repro.store.scrub import IntegrityScrubber
+
+        now = self._clock()
+        repairer = ReReplicator(self.mendel.index)
+        scrubber = IntegrityScrubber(
+            self.mendel.index,
+            event_log=self.monitor.events,
+            recorder=self.monitor.recorder,
+            registry=self.registry,
+            heal=(
+                (lambda group, findings: repairer.sync_group(group))
+                if heal
+                else None
+            ),
+        )
+        scrubber.scrub_all(now=now)
+        if scrubber.report.quarantined:
+            # Holdings changed: queries must not replay pre-scrub answers.
+            self.mendel.index.version += 1
+        self.monitor.tick(self._clock())
+        return {"healed": heal, **scrubber.report.to_dict()}
+
+    def recover(self, node_id: str | None = None) -> dict:
+        """The RECOVER verb: restart crashed node(s) from durable state.
+
+        With ``node_id`` recovers that node; without, every dead node.
+        Each recovery replays the node's snapshot + WAL and reconciles its
+        group back to canonical placement.  Returns the per-node replay
+        reports (blocks replayed, torn records, CRC errors).
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        index = self.mendel.index
+        dead = sorted(
+            n.node_id for n in index.topology.nodes if not n.alive
+        )
+        targets = [node_id] if node_id is not None else dead
+        recovered = {}
+        for target in targets:
+            node = index.recover_node(target)  # KeyError for unknown nodes
+            recovered[target] = dict(node.last_recovery or {})
+            self.monitor.events.emit(
+                "restart", target,
+                f"{target} recovered from durable state "
+                f"({recovered[target].get('blocks', 0)} blocks replayed)",
+            )
+        return {
+            "was_dead": dead,
+            "recovered": recovered,
+            "still_dead": sorted(
+                n.node_id for n in index.topology.nodes if not n.alive
+            ),
+        }
+
+    def durability(self) -> dict:
+        """Per-node durable-state status (the HEALTH verb's detail view)."""
+        return self.mendel.durability()
 
     def alerts(self) -> dict:
         """The ALERTS verb: the monitor's full frame — SLI windows, alert

@@ -1,0 +1,73 @@
+"""Per-node durability and integrity: the storage substrate under the cluster.
+
+The paper frames Mendel as a *storage* framework, yet everything upstream of
+this package keeps node state in RAM — a "crashed" node used to recover from
+its own live Python objects.  ``repro.store`` gives every
+:class:`~repro.cluster.node.StorageNode` crash-consistent durable state and
+the machinery to keep it honest:
+
+* :class:`NodeDisk` — a deterministic block device per node with the fault
+  surface real disks have (atomic rename, torn appends, ENOSPC, bit rot);
+* :class:`DurableNodeState` — a checksummed, format-versioned snapshot plus
+  an append-only CRC32-framed write-ahead log of block inserts/drops, with
+  torn-tail truncation on replay and automatic checkpointing;
+* :class:`IntegrityScrubber` — anti-entropy: per-block content digests
+  compared across replicas on a background cadence, corrupt copies
+  quarantined and healed through the existing re-replication path;
+* scenario drivers (:func:`run_durability_scenario`,
+  :func:`run_scrub_scenario`) behind ``repro recover`` / ``repro scrub``.
+
+The shape mirrors ``repro.faults`` and ``repro.scale``: pure mechanisms
+here, wiring in the chaos controller and the query engine, observability
+through the shared event log / metrics registry / SLO engine.
+
+Only the leaf modules (device + durable state) are imported eagerly — the
+cluster layer imports them at module load, so the scrubber and scenario
+drivers (which import the cluster back) resolve lazily via PEP 562.
+"""
+
+from repro.store.disk import (
+    DiskFullError,
+    NodeDisk,
+    StoreError,
+    TornWriteError,
+)
+from repro.store.durable import (
+    DurableNodeState,
+    RecoveredState,
+    WAL_CHECKPOINT_THRESHOLD,
+)
+
+_SCRUB_EXPORTS = {"IntegrityScrubber", "ScrubFinding", "ScrubReport"}
+_SCENARIO_EXPORTS = {
+    "DurabilityResult",
+    "ScrubScenarioResult",
+    "run_durability_scenario",
+    "run_scrub_scenario",
+}
+
+__all__ = sorted(
+    {
+        "DiskFullError",
+        "DurableNodeState",
+        "NodeDisk",
+        "RecoveredState",
+        "StoreError",
+        "TornWriteError",
+        "WAL_CHECKPOINT_THRESHOLD",
+    }
+    | _SCRUB_EXPORTS
+    | _SCENARIO_EXPORTS
+)
+
+
+def __getattr__(name: str):
+    if name in _SCRUB_EXPORTS:
+        from repro.store import scrub
+
+        return getattr(scrub, name)
+    if name in _SCENARIO_EXPORTS:
+        from repro.store import scenario
+
+        return getattr(scenario, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

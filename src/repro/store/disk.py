@@ -1,0 +1,165 @@
+"""A deterministic per-node block device with a realistic fault surface.
+
+Every :class:`~repro.cluster.node.StorageNode` owns one :class:`NodeDisk`
+holding its durable files (snapshot + write-ahead log).  The device is a
+plain in-memory byte store — simulated clusters create and destroy hundreds
+of nodes per test run, so real temp directories would dominate runtime and
+leak on crash-path tests — but it models exactly the failure semantics the
+durability layer has to survive:
+
+* **atomic replace** (:meth:`write_atomic`): the tmp+rename idiom — either
+  the old contents or the complete new contents, never a prefix;
+* **torn appends** (:meth:`tear_next_append`): a power cut mid-``write(2)``
+  persists only a prefix of the record, which replay must truncate away;
+* **disk full** (:attr:`full`): appends and snapshots fail cleanly with
+  :class:`DiskFullError` and nothing is persisted;
+* **bit rot** (:meth:`flip_bit`): silent single-bit corruption that no
+  write-path error ever reported — only digest verification can catch it.
+
+``generation`` increments on every mutation so readers can cache
+materialised views and invalidate them precisely.
+"""
+
+from __future__ import annotations
+
+
+class StoreError(Exception):
+    """Base class for durable-storage failures."""
+
+
+class DiskFullError(StoreError):
+    """The device refused a write: no space (nothing was persisted)."""
+
+
+class TornWriteError(StoreError):
+    """An append was cut mid-write: only a prefix of the data persisted."""
+
+
+class NodeDisk:
+    """In-memory byte device for one node's durable files.
+
+    Parameters
+    ----------
+    capacity:
+        Optional byte budget over all files; writes that would exceed it
+        raise :class:`DiskFullError` (in addition to the explicit
+        :attr:`full` fault flag chaos injects).
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._files: dict[str, bytearray] = {}
+        self.capacity = capacity
+        #: fault flag: every write fails with :class:`DiskFullError`
+        self.full = False
+        self._tear_next = False
+        #: bumped on every mutation (writes, truncations, bit flips)
+        self.generation = 0
+        #: observability counters
+        self.writes_failed = 0
+        self.appends_torn = 0
+        self.bits_flipped = 0
+
+    # -- fault injection -------------------------------------------------------
+
+    def tear_next_append(self) -> None:
+        """Arm a one-shot torn write: the next append persists only a
+        prefix and raises :class:`TornWriteError`."""
+        self._tear_next = True
+
+    def flip_bit(self, name: str, byte_offset: int, bit: int = 0) -> None:
+        """Silently flip one bit of *name* (bit rot; no error raised)."""
+        data = self._files[name]
+        if not 0 <= byte_offset < len(data):
+            raise IndexError(
+                f"offset {byte_offset} outside {name!r} ({len(data)} bytes)"
+            )
+        data[byte_offset] ^= 1 << (bit % 8)
+        self.bits_flipped += 1
+        self.generation += 1
+
+    # -- writes ----------------------------------------------------------------
+
+    def _check_space(self, extra: int) -> None:
+        if self.full:
+            self.writes_failed += 1
+            raise DiskFullError("device reports no space")
+        if self.capacity is not None:
+            used = sum(len(data) for data in self._files.values())
+            if used + extra > self.capacity:
+                self.writes_failed += 1
+                raise DiskFullError(
+                    f"write of {extra} bytes exceeds capacity {self.capacity}"
+                )
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        """Replace *name* atomically (tmp + rename): on any failure the old
+        contents survive untouched."""
+        self._check_space(len(data))
+        if self._tear_next:
+            # The tmp file tore before the rename: old contents intact.
+            self._tear_next = False
+            self.appends_torn += 1
+            raise TornWriteError(f"atomic replace of {name!r} torn before rename")
+        self._files[name] = bytearray(data)
+        self.generation += 1
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append *data* to *name* (creating it).  A torn append persists a
+        prefix and raises; a full disk persists nothing and raises."""
+        self._check_space(len(data))
+        buf = self._files.setdefault(name, bytearray())
+        if self._tear_next:
+            self._tear_next = False
+            self.appends_torn += 1
+            buf.extend(data[: len(data) // 2])
+            self.generation += 1
+            raise TornWriteError(f"append to {name!r} torn mid-write")
+        buf.extend(data)
+        self.generation += 1
+
+    def truncate(self, name: str, size: int) -> None:
+        """Shrink *name* to *size* bytes (replay's torn-tail cleanup)."""
+        data = self._files.get(name)
+        if data is not None and len(data) > size:
+            del data[size:]
+            self.generation += 1
+
+    def delete(self, name: str) -> None:
+        if self._files.pop(name, None) is not None:
+            self.generation += 1
+
+    # -- reads -----------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        data = self._files.get(name)
+        if data is None:
+            raise FileNotFoundError(name)
+        return bytes(data)
+
+    def read_span(self, name: str, offset: int, length: int) -> bytes:
+        """A byte range of *name* without copying the whole file (the
+        verified-read hot path checks one block's extent per candidate)."""
+        data = self._files.get(name)
+        if data is None:
+            raise FileNotFoundError(name)
+        return bytes(data[offset: offset + length])
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def size(self, name: str) -> int:
+        data = self._files.get(name)
+        return 0 if data is None else len(data)
+
+    def files(self) -> list[str]:
+        return sorted(self._files)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(data) for data in self._files.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeDisk(files={len(self._files)}, used={self.used_bytes}, "
+            f"full={self.full})"
+        )

@@ -1,0 +1,366 @@
+"""Durability and scrub experiments: the proof obligations of ``repro.store``.
+
+Two seeded, replayable scenario drivers mirror ``repro.faults.scenario``:
+
+``run_durability_scenario``
+    The recovery-correctness experiment behind ``repro recover``.  Two
+    identically seeded deployments; one suffers a crash + restart of the
+    first node of every group mid-batch, the other stays healthy.  After
+    the chaos run — every victim restarted strictly from its snapshot +
+    WAL, RAM wiped — the *same* fresh probe batch runs against both
+    clusters and the answers are compared alignment-by-alignment: recovery
+    is correct only if the recovered cluster is byte-identical to one that
+    never crashed.
+
+``run_scrub_scenario``
+    The detect → quarantine → heal → resolve experiment behind
+    ``repro scrub``.  Bit flips are injected into scripted victims' durable
+    blocks while a cadenced scrubber runs; afterwards the event log must
+    show the full causal chain (``bit_flip`` → ``corruption_detected`` →
+    ``scrub_heal`` → ``repair``), a final audit pass must find nothing
+    left to heal, and the answers must match an uncorrupted control run
+    (verified reads route around rot while it is being healed).
+
+Everything derives from ``seed`` (database, probes, deployment, schedule,
+trace ids), so equal arguments give byte-identical results — the contract
+``CHAOS_SEED``-matrixed CI jobs replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.align.result import Alignment
+from repro.core.params import QueryParams
+from repro.core.query import QueryReport
+from repro.faults.scenario import _build, _recall
+from repro.faults.schedule import FaultEvent, FaultSchedule, kill_and_recover
+from repro.obs.events import EventLog
+from repro.obs.health import HealthMonitor
+from repro.obs.trace import TraceContext
+from repro.seq.mutate import mutate_to_identity
+from repro.store.scrub import IntegrityScrubber
+
+
+def _serialize_alignment(alignment: Alignment) -> tuple:
+    """A byte-stable tuple of everything an answer asserts."""
+    return (
+        alignment.query_id,
+        alignment.subject_id,
+        alignment.query_start,
+        alignment.query_end,
+        alignment.subject_start,
+        alignment.subject_end,
+        repr(alignment.score),
+        repr(alignment.bit_score),
+        repr(alignment.evalue),
+        repr(alignment.identity),
+        alignment.gaps,
+    )
+
+
+def serialize_answers(reports: list[QueryReport]) -> list[list[tuple]]:
+    """Per-query answer fingerprints for exact comparison."""
+    return [
+        [_serialize_alignment(a) for a in report.alignments]
+        for report in reports
+    ]
+
+
+def _probes(mendel, probe_count: int, identity: float, seed: int):
+    database = mendel.index.database
+    size = len(database.records)
+    step = max(1, size // probe_count)
+    targets = [database.records[(i * step) % size] for i in range(probe_count)]
+    probes = [
+        mutate_to_identity(target, identity, rng=seed + 10 + i,
+                           seq_id=f"probe-{i}")
+        for i, target in enumerate(targets)
+    ]
+    return probes, [target.seq_id for target in targets]
+
+
+@dataclass
+class DurabilityResult:
+    """Outcome of one crash / durable-recovery / replay experiment."""
+
+    schedule: FaultSchedule
+    victims: list[str] = field(default_factory=list)
+    #: reports from the probe batch issued *during* the failure window
+    chaos_reports: list[QueryReport] = field(default_factory=list)
+    #: per-victim replay reports (torn records, CRC errors, blocks)
+    recovery: dict = field(default_factory=dict)
+    #: post-recovery probe batch on the recovered cluster…
+    probe_reports: list[QueryReport] = field(default_factory=list)
+    #: …and the same batch on the never-crashed control
+    control_reports: list[QueryReport] = field(default_factory=list)
+    #: query ids whose recovered answers differ from the control's
+    mismatched_queries: list[str] = field(default_factory=list)
+    recall: float = 0.0
+    control_recall: float = 0.0
+    chaos_summary: dict = field(default_factory=dict)
+    chaos_log: list[str] = field(default_factory=list)
+    monitor: "HealthMonitor | None" = None
+
+    @property
+    def identical(self) -> bool:
+        """Did the recovered cluster answer byte-identically?"""
+        return not self.mismatched_queries
+
+    @property
+    def blocks_recovered(self) -> int:
+        return sum(rep.get("blocks", 0) for rep in self.recovery.values())
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        return [
+            ("victims", ",".join(self.victims)),
+            ("queries under chaos", str(len(self.chaos_reports))),
+            ("blocks replayed", str(self.blocks_recovered)),
+            ("torn WAL records", str(sum(
+                rep.get("torn_records", 0) for rep in self.recovery.values()
+            ))),
+            ("post-recovery queries", str(len(self.probe_reports))),
+            ("recovered == control", "yes" if self.identical else "NO"),
+            ("mismatched queries", str(len(self.mismatched_queries))),
+            ("recall (recovered)", f"{self.recall:.0%}"),
+            ("recall (control)", f"{self.control_recall:.0%}"),
+            ("blocks re-replicated",
+             str(self.chaos_summary.get("blocks_streamed", 0))),
+        ]
+
+
+def run_durability_scenario(
+    replication: int = 2,
+    group_count: int = 3,
+    group_size: int = 3,
+    database_size: int = 18,
+    sequence_length: int = 150,
+    probe_count: int = 6,
+    identity: float = 0.9,
+    seed: int = 0,
+    kill_at: float = 0.01,
+    recover_at: float | None = None,
+    params: QueryParams | None = None,
+    event_log: "EventLog | None" = None,
+) -> DurabilityResult:
+    """Crash every group's first node mid-batch, restart it from durable
+    state, then prove the recovered cluster indistinguishable from one that
+    never crashed; see the module docstring."""
+    if probe_count < 1:
+        raise ValueError(f"probe_count must be >= 1, got {probe_count}")
+    params = params or QueryParams(k=4, n=6, i=0.7)
+
+    control = _build(seed, replication, group_count, group_size,
+                     database_size, sequence_length)
+    mendel = _build(seed, replication, group_count, group_size,
+                    database_size, sequence_length)
+    probes, expected = _probes(mendel, probe_count, identity, seed)
+
+    if recover_at is None:
+        recover_at = 2 * kill_at
+    victims = [g.nodes[0].node_id for g in mendel.index.topology.groups]
+    schedule = kill_and_recover(
+        victims, kill_at=kill_at, recover_at=recover_at,
+        seed=seed, heartbeat_interval=kill_at / 8,
+    )
+    arrival_interval = 3 * kill_at / probe_count
+    contexts = [TraceContext(trace_id=f"durability-{seed}-q{i}")
+                for i in range(probe_count)]
+    monitor = HealthMonitor.for_chaos_run(
+        schedule.effective_horizon,
+        arrival_interval=arrival_interval,
+        event_log=event_log if event_log is not None else EventLog(),
+    )
+    chaos_reports = mendel.query_under_faults(
+        probes, schedule, params=params,
+        arrival_interval=arrival_interval,
+        trace_contexts=contexts, monitor=monitor,
+    )
+    chaos = mendel.engine.last_chaos
+    recovery = {
+        victim: dict(mendel.index.node(victim).last_recovery or {})
+        for victim in victims
+    }
+
+    # The verdict batch: same probes, both clusters, no faults.  The
+    # recovered cluster must answer exactly like the control.
+    probe_reports = mendel.engine.run_batch(probes, params)
+    control_reports = control.engine.run_batch(probes, params)
+    recovered_answers = serialize_answers(probe_reports)
+    control_answers = serialize_answers(control_reports)
+    mismatched = [
+        probes[i].seq_id
+        for i in range(probe_count)
+        if recovered_answers[i] != control_answers[i]
+    ]
+    return DurabilityResult(
+        schedule=schedule,
+        victims=victims,
+        chaos_reports=chaos_reports,
+        recovery=recovery,
+        probe_reports=probe_reports,
+        control_reports=control_reports,
+        mismatched_queries=mismatched,
+        recall=_recall(probe_reports, expected),
+        control_recall=_recall(control_reports, expected),
+        chaos_summary=chaos.summary() if chaos is not None else {},
+        chaos_log=[str(e) for e in chaos.log] if chaos is not None else [],
+        monitor=monitor,
+    )
+
+
+@dataclass
+class ScrubScenarioResult:
+    """Outcome of one bit-rot / scrub / heal experiment."""
+
+    schedule: FaultSchedule
+    #: ``(node_id, block_id)`` pairs whose durable bytes were flipped
+    flips: list[tuple[str, int]] = field(default_factory=list)
+    reports: list[QueryReport] = field(default_factory=list)
+    #: the same batch against an uncorrupted control deployment
+    control_reports: list[QueryReport] = field(default_factory=list)
+    #: query ids answered differently from the control (must stay empty:
+    #: verified reads route around rot)
+    wrong_answers: list[str] = field(default_factory=list)
+    #: replica copies still failing digest verification after the run
+    unhealed: int = 0
+    recall: float = 0.0
+    control_recall: float = 0.0
+    chaos_summary: dict = field(default_factory=dict)
+    chaos_log: list[str] = field(default_factory=list)
+    monitor: "HealthMonitor | None" = None
+
+    @property
+    def corruptions_detected(self) -> int:
+        return self.chaos_summary.get("corruptions_detected", 0)
+
+    @property
+    def heals_requested(self) -> int:
+        return self.chaos_summary.get("heals_requested", 0)
+
+    @property
+    def resolved(self) -> bool:
+        """Every injected flip detected, healed, and verified clean."""
+        return (
+            self.corruptions_detected >= len(self.flips) > 0
+            and self.heals_requested > 0
+            and self.unhealed == 0
+        )
+
+    def event_chain(self) -> list[str]:
+        """Kinds of the corruption-relevant events, in log order."""
+        if self.monitor is None:
+            return []
+        relevant = {"bit_flip", "corruption_detected", "scrub_heal",
+                    "repair", "alert"}
+        return [e.kind for e in self.monitor.events.events()
+                if e.kind in relevant]
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        return [
+            ("bit flips injected", str(len(self.flips))),
+            ("corruptions detected", str(self.corruptions_detected)),
+            ("blocks quarantined",
+             str(self.chaos_summary.get("blocks_quarantined", 0))),
+            ("heals requested", str(self.heals_requested)),
+            ("replicas checked",
+             str(self.chaos_summary.get("replicas_checked", 0))),
+            ("unhealed after run", str(self.unhealed)),
+            ("wrong answers", str(len(self.wrong_answers))),
+            ("recall (scrubbed)", f"{self.recall:.0%}"),
+            ("recall (control)", f"{self.control_recall:.0%}"),
+            ("resolved", "yes" if self.resolved else "NO"),
+        ]
+
+
+def run_scrub_scenario(
+    replication: int = 2,
+    group_count: int = 2,
+    group_size: int = 3,
+    database_size: int = 12,
+    sequence_length: int = 150,
+    probe_count: int = 6,
+    identity: float = 0.9,
+    flip_count: int = 2,
+    seed: int = 0,
+    flip_at: float = 0.005,
+    scrub_interval: float | None = None,
+    params: QueryParams | None = None,
+    event_log: "EventLog | None" = None,
+) -> ScrubScenarioResult:
+    """Inject silent bit rot, scrub it out, and prove no query ever served
+    the rotted bytes; see the module docstring."""
+    if flip_count < 1:
+        raise ValueError(f"flip_count must be >= 1, got {flip_count}")
+    params = params or QueryParams(k=4, n=6, i=0.7)
+
+    control = _build(seed, replication, group_count, group_size,
+                     database_size, sequence_length)
+    mendel = _build(seed, replication, group_count, group_size,
+                    database_size, sequence_length)
+    probes, expected = _probes(mendel, probe_count, identity, seed)
+
+    # Victim selection is deterministic: the first durable block of the
+    # first node of each group, round-robin until flip_count is reached.
+    flips: list[tuple[str, int]] = []
+    groups = mendel.index.topology.groups
+    for i in range(flip_count):
+        group = groups[i % len(groups)]
+        node = group.nodes[(i // len(groups)) % len(group.nodes)]
+        manifest = node.durable.manifest_ids()
+        if not manifest:
+            continue
+        flips.append((node.node_id, manifest[i % len(manifest)]))
+
+    if scrub_interval is None:
+        scrub_interval = flip_at / 2
+    events = [
+        FaultEvent.bit_flip(flip_at, node_id, block=block_id, bit=3 + i)
+        for i, (node_id, block_id) in enumerate(flips)
+    ]
+    # Leave room after the last flip for a full scrub cycle per group plus
+    # the chained heal repairs to drain.
+    horizon = flip_at + scrub_interval * (len(groups) * 3 + 4)
+    schedule = FaultSchedule(
+        events=tuple(events),
+        seed=seed,
+        scrub_interval=scrub_interval,
+        horizon=horizon,
+    )
+    arrival_interval = horizon / (probe_count + 1)
+    contexts = [TraceContext(trace_id=f"scrub-{seed}-q{i}")
+                for i in range(probe_count)]
+    monitor = HealthMonitor.for_chaos_run(
+        schedule.effective_horizon,
+        arrival_interval=arrival_interval,
+        event_log=event_log if event_log is not None else EventLog(),
+    )
+    reports = mendel.query_under_faults(
+        probes, schedule, params=params,
+        arrival_interval=arrival_interval,
+        trace_contexts=contexts, monitor=monitor,
+    )
+    chaos = mendel.engine.last_chaos
+    control_reports = control.engine.run_batch(probes, params)
+    scrubbed = serialize_answers(reports)
+    clean = serialize_answers(control_reports)
+    wrong = [probes[i].seq_id for i in range(probe_count)
+             if scrubbed[i] != clean[i]]
+
+    # Post-run audit: a detect-only scrub pass must come back clean.
+    audit = IntegrityScrubber(mendel.index, heal=None)
+    unhealed = len(audit.scrub_all())
+
+    return ScrubScenarioResult(
+        schedule=schedule,
+        flips=flips,
+        reports=reports,
+        control_reports=control_reports,
+        wrong_answers=wrong,
+        unhealed=unhealed,
+        recall=_recall(reports, expected),
+        control_recall=_recall(control_reports, expected),
+        chaos_summary=chaos.summary() if chaos is not None else {},
+        chaos_log=[str(e) for e in chaos.log] if chaos is not None else [],
+        monitor=monitor,
+    )

@@ -99,8 +99,15 @@ class TestLifecycle:
         node = make_node()
         node.store_blocks(blocks(10), list(range(10)))
         node.fail()
-        assert node.block_count == 10
+        # The crash wiped RAM, but the durable manifest still records the
+        # node's holdings for repair planning and coverage accounting.
+        assert node.block_count == 0
+        assert node.known_block_ids == list(range(10))
         node.recover()
+        # Recovery replayed the snapshot + WAL, not stale RAM.
+        assert node.block_count == 10
+        assert node.last_recovery is not None
+        assert node.last_recovery["blocks"] == 10
         hits, _ = node.local_knn(blocks(10)[3], 1)
         assert hits[0][0] == 0.0
 

@@ -1,13 +1,23 @@
-"""Error-path tests for index persistence (repro.core.persist)."""
+"""Error-path and integrity tests for index persistence (repro.core.persist)."""
 
+import io
 import json
+import zlib
 
 import numpy as np
 import pytest
 
 from repro.core import MendelConfig
 from repro.core.index import MendelIndex
-from repro.core.persist import FORMAT_VERSION, load_index, save_index
+from repro.core.persist import (
+    FORMAT_VERSION,
+    MAGIC,
+    _CONTAINER_HEAD,
+    CorruptArchiveError,
+    PersistError,
+    load_index,
+    save_index,
+)
 from repro.seq.alphabet import PROTEIN
 from repro.seq.generate import random_set
 
@@ -23,18 +33,33 @@ def saved(tmp_path):
     return index, path, tmp_path
 
 
+def _unwrap(path):
+    """Container payload (the inner npz bytes) of a saved archive."""
+    raw = path.read_bytes()
+    return raw[_CONTAINER_HEAD.size:]
+
+
+def _wrap(payload: bytes) -> bytes:
+    return _CONTAINER_HEAD.pack(
+        MAGIC, FORMAT_VERSION, zlib.crc32(payload)
+    ) + payload
+
+
 def _repack(path, out, **overrides):
-    """Rewrite an archive with selected arrays replaced."""
-    with np.load(path, allow_pickle=False) as archive:
+    """Rewrite an archive with selected arrays replaced (re-checksummed,
+    so the container passes and the *semantic* validation is exercised)."""
+    with np.load(io.BytesIO(_unwrap(path)), allow_pickle=False) as archive:
         payload = {key: archive[key] for key in archive.files}
     payload.update(overrides)
-    np.savez_compressed(out, **payload)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    out.write_bytes(_wrap(buffer.getvalue()))
 
 
 class TestLoadErrors:
     def test_wrong_version_rejected(self, saved):
         _, path, tmp = saved
-        with np.load(path, allow_pickle=False) as archive:
+        with np.load(io.BytesIO(_unwrap(path)), allow_pickle=False) as archive:
             header = json.loads(bytes(archive["header"]).decode())
         header["version"] = FORMAT_VERSION + 1
         bad = tmp / "bad-version.npz"
@@ -42,7 +67,7 @@ class TestLoadErrors:
             path, bad,
             header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
         )
-        with pytest.raises(ValueError, match="version"):
+        with pytest.raises(PersistError, match="version"):
             load_index(bad)
 
     def test_placement_length_mismatch_rejected(self, saved):
@@ -54,7 +79,7 @@ class TestLoadErrors:
 
     def test_cluster_shape_mismatch_rejected(self, saved):
         _, path, tmp = saved
-        with np.load(path, allow_pickle=False) as archive:
+        with np.load(io.BytesIO(_unwrap(path)), allow_pickle=False) as archive:
             header = json.loads(bytes(archive["header"]).decode())
         header["node_ids"] = ["x0", "x1"]
         bad = tmp / "bad-shape.npz"
@@ -66,14 +91,71 @@ class TestLoadErrors:
             load_index(bad)
 
     def test_missing_file(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(PersistError, match="no index archive"):
             load_index(tmp_path / "nope.npz")
 
     def test_npz_suffix_added_automatically(self, saved):
         index, path, tmp = saved
-        # numpy appends .npz on save when missing; loading with the bare
-        # name must still work.
         bare = tmp / "noext"
         save_index(index, bare)
         loaded = load_index(bare)
         assert len(loaded.store) == len(index.store)
+
+
+class TestContainerIntegrity:
+    """The checksummed container catches damage before numpy ever parses."""
+
+    def test_round_trip(self, saved):
+        index, path, _ = saved
+        loaded = load_index(path)
+        assert len(loaded.store) == len(index.store)
+        assert [n.node_id for n in loaded.topology.nodes] == [
+            n.node_id for n in index.topology.nodes
+        ]
+
+    def test_bit_flip_detected(self, saved):
+        _, path, _ = saved
+        raw = bytearray(path.read_bytes())
+        # Flip one payload bit well past the header.
+        raw[_CONTAINER_HEAD.size + len(raw) // 2] ^= 0x10
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptArchiveError, match="checksum"):
+            load_index(path)
+
+    def test_truncation_detected(self, saved):
+        _, path, _ = saved
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 16])
+        with pytest.raises(CorruptArchiveError, match="checksum"):
+            load_index(path)
+
+    def test_truncation_to_under_header_detected(self, saved):
+        _, path, _ = saved
+        path.write_bytes(path.read_bytes()[:5])
+        with pytest.raises(CorruptArchiveError, match="shorter"):
+            load_index(path)
+
+    def test_bad_magic_rejected(self, saved):
+        _, path, _ = saved
+        raw = bytearray(path.read_bytes())
+        raw[:8] = b"NOTMENDL"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptArchiveError, match="magic"):
+            load_index(path)
+
+    def test_newer_container_version_rejected(self, saved):
+        _, path, _ = saved
+        payload = _unwrap(path)
+        head = _CONTAINER_HEAD.pack(
+            MAGIC, FORMAT_VERSION + 7, zlib.crc32(payload)
+        )
+        path.write_bytes(head + payload)
+        with pytest.raises(PersistError, match="container version"):
+            load_index(path)
+
+    def test_save_leaves_no_tmp_file(self, saved, tmp_path):
+        index, _, _ = saved
+        target = tmp_path / "fresh.npz"
+        save_index(index, target)
+        assert target.exists()
+        assert not list(tmp_path.glob("*.tmp"))

@@ -145,8 +145,11 @@ class TestSLOEngineLifecycle:
 class TestDefaultSLOs:
     def test_stock_objectives(self):
         slos = {s.name: s for s in default_slos((1.0, 10.0, 60.0))}
-        assert sorted(slos) == ["availability", "coverage", "repair_backlog"]
+        assert sorted(slos) == [
+            "availability", "coverage", "integrity", "repair_backlog"
+        ]
         assert slos["availability"].objective == 0.999
+        assert slos["integrity"].objective == 0.999
         assert slos["repair_backlog"].max_severity == "warning"
         assert slos["availability"].fast_window == 1.0
         assert slos["availability"].slow_window == 60.0

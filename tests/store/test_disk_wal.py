@@ -1,0 +1,132 @@
+"""Device semantics of :class:`repro.store.disk.NodeDisk`.
+
+The durability layer's correctness arguments all lean on these exact
+failure semantics: atomic replace never exposes a prefix, torn appends
+persist exactly half, a full disk persists nothing, bit flips are silent.
+"""
+
+import pytest
+
+from repro.store.disk import DiskFullError, NodeDisk, TornWriteError
+
+
+class TestAtomicReplace:
+    def test_replaces_contents(self):
+        disk = NodeDisk()
+        disk.write_atomic("f", b"one")
+        disk.write_atomic("f", b"two-longer")
+        assert disk.read("f") == b"two-longer"
+
+    def test_torn_replace_keeps_old_contents(self):
+        disk = NodeDisk()
+        disk.write_atomic("f", b"old contents")
+        disk.tear_next_append()
+        with pytest.raises(TornWriteError):
+            disk.write_atomic("f", b"new contents")
+        # Tmp tore before the rename: the old file survives byte-for-byte.
+        assert disk.read("f") == b"old contents"
+        assert disk.appends_torn == 1
+
+    def test_tear_is_one_shot(self):
+        disk = NodeDisk()
+        disk.tear_next_append()
+        with pytest.raises(TornWriteError):
+            disk.write_atomic("f", b"x")
+        disk.write_atomic("f", b"second try lands")
+        assert disk.read("f") == b"second try lands"
+
+
+class TestAppend:
+    def test_append_creates_and_extends(self):
+        disk = NodeDisk()
+        disk.append("wal", b"aaaa")
+        disk.append("wal", b"bbbb")
+        assert disk.read("wal") == b"aaaabbbb"
+        assert disk.size("wal") == 8
+
+    def test_torn_append_persists_exactly_half(self):
+        disk = NodeDisk()
+        disk.append("wal", b"intact")
+        disk.tear_next_append()
+        with pytest.raises(TornWriteError):
+            disk.append("wal", b"12345678")
+        # Power cut mid-write(2): a prefix is on the platter.
+        assert disk.read("wal") == b"intact" + b"1234"
+
+    def test_truncate_removes_torn_tail(self):
+        disk = NodeDisk()
+        disk.append("wal", b"goodBAD")
+        disk.truncate("wal", 4)
+        assert disk.read("wal") == b"good"
+
+
+class TestDiskFull:
+    def test_full_flag_refuses_all_writes(self):
+        disk = NodeDisk()
+        disk.append("wal", b"before")
+        disk.full = True
+        with pytest.raises(DiskFullError):
+            disk.append("wal", b"x")
+        with pytest.raises(DiskFullError):
+            disk.write_atomic("snap", b"x")
+        # Nothing was persisted by the refused writes.
+        assert disk.read("wal") == b"before"
+        assert not disk.exists("snap")
+        disk.full = False
+        disk.append("wal", b"after")
+        assert disk.read("wal") == b"beforeafter"
+
+    def test_capacity_budget_enforced(self):
+        disk = NodeDisk(capacity=8)
+        disk.append("wal", b"12345")
+        with pytest.raises(DiskFullError):
+            disk.append("wal", b"6789A")  # would exceed 8 bytes
+        assert disk.read("wal") == b"12345"
+        disk.append("wal", b"678")  # exactly fits
+        assert disk.used_bytes == 8
+
+
+class TestBitRot:
+    def test_flip_bit_is_silent(self):
+        disk = NodeDisk()
+        disk.write_atomic("f", bytes([0b0000_0000, 0b1111_1111]))
+        disk.flip_bit("f", 0, bit=3)
+        assert disk.read("f")[0] == 0b0000_1000
+        assert disk.bits_flipped == 1
+
+    def test_flip_bit_out_of_range_raises(self):
+        disk = NodeDisk()
+        disk.write_atomic("f", b"ab")
+        with pytest.raises(IndexError):
+            disk.flip_bit("f", 2)
+
+
+class TestGeneration:
+    def test_every_mutation_bumps_generation(self):
+        disk = NodeDisk()
+        gen = disk.generation
+        disk.append("wal", b"x")
+        assert disk.generation > gen
+        gen = disk.generation
+        disk.write_atomic("snap", b"y")
+        assert disk.generation > gen
+        gen = disk.generation
+        disk.flip_bit("wal", 0)
+        assert disk.generation > gen
+        gen = disk.generation
+        disk.truncate("wal", 0)
+        assert disk.generation > gen
+        gen = disk.generation
+        disk.delete("snap")
+        assert disk.generation > gen
+
+    def test_reads_do_not_bump_generation(self):
+        disk = NodeDisk()
+        disk.append("wal", b"data")
+        gen = disk.generation
+        disk.read("wal")
+        disk.read_span("wal", 1, 2)
+        disk.size("wal")
+        disk.exists("wal")
+        disk.files()
+        assert disk.generation == gen

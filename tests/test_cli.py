@@ -228,3 +228,49 @@ class TestTrace:
         )
         assert code == 0
         assert "repro_queries_total" in out.getvalue()
+
+
+class TestDurabilityCommands:
+    def test_recover_asserts_byte_identity(self, tmp_path):
+        import json
+
+        log_path = tmp_path / "events.json"
+        out = io.StringIO()
+        code = main(
+            ["recover", "--groups", "2", "--sequences", "12",
+             "--probes", "2", "--seed", "0", "--format", "json",
+             "--assert-identical", "--event-log", str(log_path)],
+            out=out,
+        )
+        assert code == 0
+        frame = json.loads(out.getvalue())
+        assert frame["identical"] is True
+        assert frame["blocks_recovered"] > 0
+        assert json.loads(log_path.read_text()), "event log must not be empty"
+
+    def test_scrub_asserts_resolution(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        code = main(
+            ["scrub", "--sequences", "12", "--probes", "2", "--flips", "1",
+             "--seed", "0", "--format", "json", "--assert-resolved"],
+            out=out,
+        )
+        assert code == 0
+        frame = json.loads(out.getvalue())
+        assert frame["resolved"] is True
+        assert frame["wrong_answers"] == []
+        assert "bit_flip" in frame["event_chain"]
+
+    def test_scrub_text_table(self):
+        out = io.StringIO()
+        code = main(
+            ["scrub", "--sequences", "12", "--probes", "2", "--flips", "1",
+             "--seed", "0"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "bit flips injected" in text
+        assert "resolved" in text
