@@ -2,7 +2,7 @@
 and the tolerance-band comparator behind ``repro bench --regress``.
 
 The repo's figures reproduce the paper's *shapes*; this module tracks the
-reproduction's *own* performance over time.  One run executes four
+reproduction's *own* performance over time.  One run executes five
 canonical workloads at fixed laptop scale and fixed seeds:
 
 * ``index_build``   — build a family database deployment (wall + simulated
@@ -11,6 +11,11 @@ canonical workloads at fixed laptop scale and fixed seeds:
   (per-length simulated turnaround + pipeline counters);
 * ``throughput``    — the serving gateway under a small concurrent burst
   (ops/sec and wall-latency percentiles from the obs histograms);
+* ``cold_vs_warm_query`` — the tiered-storage scenario
+  (:mod:`repro.tier.scenario`): the fig6a sweep all-RAM, then spilled to
+  compressed block files behind a bounded cache (equivalence flag, cold
+  vs warm simulated turnaround, bytes on disk, compression ratio, and
+  the ``capacity_x`` headroom measure);
 * ``degraded_query``— the same deployment with one node crash-stopped
   (coverage and degraded turnaround).
 
@@ -255,6 +260,47 @@ def run_suite(seed: int = 23) -> dict:
         }
     finally:
         service.close()
+
+    # -- tiered storage: cold vs warm ------------------------------------------
+    from repro.tier.scenario import run_tier_scenario
+
+    tier = run_tier_scenario(seed=seed)
+    warm_ms = tier["warm"]["sim_turnaround_ms"]
+    cold_ms = tier["cold"]["sim_turnaround_ms"]
+    workloads["cold_vs_warm_query"] = {
+        "metrics": {
+            "wall_s": Metric(
+                tier["warm"]["wall_s"] + tier["cold"]["wall_s"],
+                "s",
+                "lower",
+                WALL_TOLERANCE,
+            ).to_dict(),
+            "sim_turnaround_warm_ms": Metric(
+                sum(warm_ms) / len(warm_ms), "ms", "lower", SIM_TOLERANCE
+            ).to_dict(),
+            "sim_turnaround_cold_ms": Metric(
+                sum(cold_ms) / len(cold_ms), "ms", "lower", SIM_TOLERANCE
+            ).to_dict(),
+            "distance_evals": Metric(
+                tier["counters"]["distance_evals"],
+                "evals",
+                "stable",
+                COUNT_TOLERANCE,
+            ).to_dict(),
+            "result_equivalent": Metric(
+                1.0 if tier["equivalent"] else 0.0, "bool", "stable", 0.0
+            ).to_dict(),
+            "bytes_on_disk": Metric(
+                tier["tier"]["bytes_on_disk"], "bytes", "stable", 0.02
+            ).to_dict(),
+            "compression_ratio": Metric(
+                tier["tier"]["compression_ratio"], "x", "higher", 0.1
+            ).to_dict(),
+            "capacity_x": Metric(
+                tier["capacity"]["capacity_x"], "x", "higher", 0.05
+            ).to_dict(),
+        }
+    }
 
     # -- degraded-mode query ---------------------------------------------------
     victim = mendel.index.topology.nodes[0].node_id

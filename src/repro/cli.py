@@ -304,6 +304,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "healed, and verified clean with zero wrong "
                             "answers (CI smoke assertion)")
 
+    tier = sub.add_parser(
+        "tier",
+        help="tiered-storage experiment: spill to compressed block files, "
+             "prove cold answers byte-identical to all-RAM, measure "
+             "capacity headroom",
+    )
+    tier.add_argument("--families", type=int, default=30,
+                      help="synthetic reference families")
+    tier.add_argument("--members", type=int, default=5,
+                      help="members per family")
+    tier.add_argument("--cache-fraction", type=float, default=0.10,
+                      help="cold-phase RAM cache budget as a fraction of "
+                           "the raw corpus bytes")
+    tier.add_argument("--seed", type=int, default=None,
+                      help="scenario seed (default: $CHAOS_SEED or 0)")
+    tier.add_argument("--format", choices=("text", "json"), default="text")
+    tier.add_argument("--bench-out", default=None,
+                      help="write a BENCH-schema summary JSON here "
+                           "(artifact)")
+    tier.add_argument("--assert-equivalent", action="store_true",
+                      help="exit nonzero unless every tiered phase answered "
+                           "byte-identically to the all-RAM baseline "
+                           "(CI smoke assertion)")
+
     trace = sub.add_parser(
         "trace",
         help="profile queries: span trees plus a Chrome trace JSON",
@@ -370,6 +394,13 @@ def _cmd_info(args: argparse.Namespace, out) -> int:
     print(
         f"load per node:   min {100 * fractions[0]:.2f}% / "
         f"max {100 * fractions[-1]:.2f}%",
+        file=out,
+    )
+    tier = index.tier_report()
+    print(f"bytes on disk:   {tier['bytes_on_disk']}", file=out)
+    print(f"compression:     {tier['compression_ratio']:.3f}x", file=out)
+    print(
+        f"resident:        {100 * tier['resident_fraction']:.2f}%",
         file=out,
     )
     if getattr(args, "balance", False):
@@ -820,6 +851,119 @@ def _cmd_autoscale(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_tier(args: argparse.Namespace, out) -> int:
+    import json
+    import os
+    import platform
+
+    from repro.tier.scenario import run_tier_scenario
+
+    seed = (
+        args.seed if args.seed is not None
+        else int(os.environ.get("CHAOS_SEED", "0"))
+    )
+    report = run_tier_scenario(
+        seed=seed,
+        families=args.families,
+        members_per_family=args.members,
+        cache_fraction=args.cache_fraction,
+    )
+
+    warm_ms = report["warm"]["sim_turnaround_ms"]
+    cold_ms = report["cold"]["sim_turnaround_ms"]
+    if args.bench_out:
+        bench = {
+            "python": platform.python_version(),
+            "schema_version": 1,
+            "seed": seed,
+            "suite": "repro-tier",
+            "workloads": {
+                "cold_vs_warm_query": {
+                    "metrics": {
+                        "result_equivalent": {
+                            "direction": "stable", "tolerance": 0.0,
+                            "unit": "bool",
+                            "value": 1.0 if report["equivalent"] else 0.0,
+                        },
+                        "capacity_x": {
+                            "direction": "higher", "tolerance": 0.05,
+                            "unit": "x",
+                            "value": report["capacity"]["capacity_x"],
+                        },
+                        "compression_ratio": {
+                            "direction": "higher", "tolerance": 0.1,
+                            "unit": "x",
+                            "value": report["tier"]["compression_ratio"],
+                        },
+                        "bytes_on_disk": {
+                            "direction": "stable", "tolerance": 0.02,
+                            "unit": "bytes",
+                            "value": float(report["tier"]["bytes_on_disk"]),
+                        },
+                        "sim_turnaround_warm_ms": {
+                            "direction": "lower", "tolerance": 0.05,
+                            "unit": "ms",
+                            "value": sum(warm_ms) / len(warm_ms),
+                        },
+                        "sim_turnaround_cold_ms": {
+                            "direction": "lower", "tolerance": 0.05,
+                            "unit": "ms",
+                            "value": sum(cold_ms) / len(cold_ms),
+                        },
+                        "wall_s": {
+                            "direction": "lower", "tolerance": 0.9,
+                            "unit": "s",
+                            "value": report["warm"]["wall_s"]
+                            + report["cold"]["wall_s"],
+                        },
+                    },
+                },
+            },
+        }
+        with open(args.bench_out, "w", encoding="utf-8") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        cache = report["cold"]["cache"]
+        rows = [
+            ("blocks", f"{report['blocks']}"),
+            ("nodes", f"{report['nodes']}"),
+            ("raw bytes", f"{report['raw_bytes']}"),
+            ("bytes on disk", f"{report['tier']['bytes_on_disk']}"),
+            ("compression", f"{report['tier']['compression_ratio']:.3f}x"),
+            ("resident",
+             f"{100 * report['tier']['resident_fraction']:.2f}%"),
+            ("cold cache", f"{report['cold']['cache_bytes']} bytes "
+                           f"(hits {cache['hits']:.0f} / misses "
+                           f"{cache['misses']:.0f} / evictions "
+                           f"{cache['evictions']:.0f})"),
+            ("warm sim ms", " / ".join(f"{v:.1f}" for v in warm_ms)),
+            ("cold sim ms", " / ".join(f"{v:.1f}" for v in cold_ms)),
+            ("warm2 sim ms", f"{report['warm2_sim_turnaround_ms']:.1f}"),
+            ("capacity_x", f"{report['capacity']['capacity_x']:.1f} "
+                           f"(cache {report['capacity']['cache_bytes']} B, "
+                           f"pinned {report['capacity']['pinned_bytes']} B, "
+                           f"summaries "
+                           f"{report['capacity']['summary_bytes']} B)"),
+            ("equivalent", str(report["equivalent"])),
+        ]
+        width = max(len(k) for k, _ in rows)
+        for key, value in rows:
+            print(f"{key:<{width}}  {value}", file=out)
+
+    if args.assert_equivalent and not report["equivalent"]:
+        failed = [k for k, ok in report["phases_equal"].items() if not ok]
+        print(
+            f"ASSERT FAIL: tiered phases diverged from the all-RAM "
+            f"baseline: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_recover(args: argparse.Namespace, out) -> int:
     import json
     import os
@@ -993,6 +1137,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "autoscale": _cmd_autoscale,
         "recover": _cmd_recover,
         "scrub": _cmd_scrub,
+        "tier": _cmd_tier,
         "trace": _cmd_trace,
         "explain": _cmd_explain,
     }

@@ -23,6 +23,8 @@ import numpy as np
 from repro.obs.metrics import default_registry
 from repro.store.disk import NodeDisk
 from repro.store.durable import DurableNodeState
+from repro.tier.cache import BlockCache
+from repro.tier.store import NodeTier, TierConfig
 from repro.util.validation import check_positive
 from repro.vptree.dynamic import DynamicVPTree
 
@@ -125,6 +127,19 @@ class StorageNode:
         self.durability_degraded = False
         #: replay report of the last :meth:`recover`, for introspection
         self.last_recovery: dict | None = None
+        #: tier state when this node's blocks are spilled to disk (``None``
+        #: while all-RAM); survives :meth:`fail` as a handle to the block
+        #: file on :attr:`disk`, exactly like :attr:`durable`
+        self.tier: NodeTier | None = None
+        #: ``(cache, config)`` once the deployment attached tiering; kept
+        #: across unspill/reset so maintenance flows can re-spill
+        self._tier_attach: tuple[BlockCache, TierConfig] | None = None
+        #: re-spill automatically after flows that must run in RAM
+        #: (inserts, placement resets, quarantine repair)
+        self.auto_respill = False
+        #: cold-read accounting of the last :meth:`local_knn`
+        #: (``{"seeks", "bytes", "seconds"}``), for span annotation
+        self.last_io: dict | None = None
         # Observability: children resolved once so the per-search cost is a
         # lock-and-add, not a registry lookup.
         registry = default_registry()
@@ -179,6 +194,10 @@ class StorageNode:
             raise ValueError(
                 f"{codes.shape[0]} code rows vs {len(block_ids)} block ids"
             )
+        # Inserts (and their rebuilds) run over the RAM matrix; a tiered
+        # node folds back first and re-spills below, so repair streams,
+        # quarantine rebuilds, and placement moves need no tier awareness.
+        self.unspill()
         self.tree.insert_batch(codes, payloads=block_ids)
         self.block_ids.extend(block_ids)
         self.stats.blocks_stored += len(block_ids)
@@ -194,18 +213,121 @@ class StorageNode:
         self._g_durable.labels(node=self.node_id).set(
             float(self.durable.block_count)
         )
+        if self.auto_respill and self._tier_attach is not None and self.alive:
+            self.spill()
 
     def verify_block(self, block_id: int) -> bool:
         """Verified read gate: does this node's durable copy of *block_id*
         still match its acknowledged content digest?  ``True`` when no
         durable record exists (nothing to distrust — e.g. a block indexed
-        during a degraded-durability window)."""
-        if self.durable.digest(block_id) is None:
+        during a degraded-durability window).  On a tiered node the block
+        file holds the acknowledged digests and the read hits the device."""
+        if self.durable_digest(block_id) is None:
             return True
-        if self.durable.verify(block_id):
+        if self.durable_verify(block_id):
             return True
         self.stats.corrupt_reads += 1
         return False
+
+    # -- tiered storage --------------------------------------------------------
+
+    @property
+    def tiered(self) -> bool:
+        """Whether this node currently serves block codes from its tier."""
+        return self.tier is not None and self.tier.active
+
+    def attach_tier(
+        self,
+        cache: BlockCache,
+        config: TierConfig,
+        auto_respill: bool = True,
+    ) -> None:
+        """Adopt the deployment's shared block cache and tier policy.
+        With *auto_respill*, flows that must fold the node back into RAM
+        (inserts, quarantine repair, placement resets) re-spill on exit."""
+        self._tier_attach = (cache, config)
+        self.auto_respill = auto_respill
+
+    def detach_tier(self) -> None:
+        """Fold back to RAM and forget the tier policy entirely."""
+        self.unspill()
+        self._tier_attach = None
+        self.auto_respill = False
+
+    def spill(self) -> None:
+        """Move this node's block codes into its on-disk block file.
+
+        The vp-tree *structure* is untouched: vantage rows stay pinned in
+        RAM, leaf buckets read through the shared cache, and every search
+        returns byte-identical results — only service time gains the cold
+        read charges.  The block file then carries the durable digests, so
+        the snapshot + WAL are checkpointed away (the file *is* the
+        durable state until :meth:`unspill` re-journals it)."""
+        if self._tier_attach is None:
+            raise RuntimeError(
+                f"node {self.node_id!r} has no tier attached; call attach_tier"
+            )
+        if self.tiered:
+            return
+        cache, config = self._tier_attach
+        tier = NodeTier(self, cache, config)
+        tier.spill()
+        if not tier.active:  # empty node: nothing to spill
+            return
+        self.tier = tier
+        self.durable.reset()
+        self.durability_degraded = False
+        self._g_durable.labels(node=self.node_id).set(float(len(self.block_ids)))
+
+    def unspill(self) -> None:
+        """Fold the tier back into RAM: rebuild the codes matrix from the
+        block file, re-journal it to the WAL (insertion order), and delete
+        the file.  A no-op on all-RAM nodes."""
+        tier = self.tier
+        if tier is None or not tier.active:
+            return
+        codes = tier.materialize()
+        self.tree._storage = codes
+        self.tree.points = codes
+        self.tier = None
+        tier.discard()
+        self.durable.reset()
+        acked = 0
+        for row, block_id in enumerate(self.block_ids):
+            if self.durable.append_insert(block_id, codes[row]):
+                acked += 1
+            else:
+                self.durability_degraded = True
+                self._c_unacked.labels(node=self.node_id).inc()
+        if acked:
+            self._c_wal.labels(node=self.node_id).inc(acked)
+        self._g_durable.labels(node=self.node_id).set(
+            float(self.durable.block_count)
+        )
+
+    def tier_occupancy(self) -> dict | None:
+        """Tier occupancy report, or ``None`` while all-RAM."""
+        return self.tier.occupancy() if self.tiered else None
+
+    # -- durable-state dispatch ------------------------------------------------
+    # A spilled node's durable state lives in its block file; otherwise the
+    # snapshot + WAL answer.  The scrubber and repair planner go through
+    # these so they audit whichever medium currently holds the bytes.
+
+    def durable_manifest_ids(self) -> list[int]:
+        if self.tier is not None and self.tier.has_file():
+            return self.tier.manifest_ids()
+        return self.durable.manifest_ids()
+
+    def durable_digest(self, block_id: int) -> int | None:
+        if self.tier is not None and self.tier.has_file():
+            return self.tier.digest(block_id)
+        return self.durable.digest(block_id)
+
+    def durable_verify(self, block_id: int) -> bool:
+        if self.tier is not None and self.tier.has_file():
+            return self.tier.verify(block_id)
+        return self.durable.verify(block_id)
 
     # -- local search with time accounting ------------------------------------
 
@@ -230,6 +352,19 @@ class StorageNode:
         )
         evals = self.tree.adapter.pair_evaluations - before
         seconds = self.service_time(evals)
+        self.last_io = None
+        if self.tiered:
+            # Cold page fetches accumulated during traversal are charged as
+            # device time (seek + transfer), not scaled by CPU speed.
+            seeks, nbytes = self.tier.drain_io()
+            if seeks or nbytes:
+                io_seconds = self.tier.io_seconds(seeks, nbytes)
+                seconds += io_seconds
+                self.last_io = {
+                    "seeks": seeks,
+                    "bytes": nbytes,
+                    "seconds": io_seconds,
+                }
         self.stats.queries_served += 1
         self.stats.evals_charged += evals
         self.stats.busy_seconds += seconds
@@ -260,6 +395,9 @@ class StorageNode:
         """Drop all locally indexed blocks — RAM index *and* durable state
         (used when the group reshuffles placement after membership changes;
         the caller re-stores the canonical set, re-journalling it)."""
+        if self.tier is not None:
+            tier, self.tier = self.tier, None
+            tier.discard()
         self._wipe_ram()
         self.durable.reset()
         self.durability_degraded = False
@@ -283,6 +421,11 @@ class StorageNode:
         its gauges from what durable state says, not from stale RAM."""
         self.alive = False
         self.suspected = False
+        if self.tier is not None:
+            # The process's share of the shared cache dies with its RAM,
+            # but the block file stays on disk — the tier object survives
+            # as a handle to it, exactly like ``self.durable``.
+            self.tier.detach()
         self._wipe_ram()
         self._registry.purge_labels(node=self.node_id)
 
@@ -307,12 +450,41 @@ class StorageNode:
         if rep.codes is not None and len(rep.block_ids):
             self.tree.insert_batch(rep.codes, payloads=rep.block_ids)
             self.block_ids = list(rep.block_ids)
+        tier_restored = 0
+        if self.tier is not None and self.tier.has_file():
+            # The node crashed while spilled: its block file *is* the
+            # durable state.  Parse it fresh from the device, fold the
+            # rows into RAM + WAL, then (optionally) re-spill.
+            codes, tier_ids = self.tier.file_contents()
+            known = set(self.block_ids)
+            keep = [i for i, b in enumerate(tier_ids) if b not in known]
+            if keep:
+                self.tree.insert_batch(
+                    codes[keep], payloads=[tier_ids[i] for i in keep]
+                )
+                self.block_ids.extend(tier_ids[i] for i in keep)
+                acked = 0
+                for i in keep:
+                    if self.durable.append_insert(tier_ids[i], codes[i]):
+                        acked += 1
+                    else:
+                        self.durability_degraded = True
+                        self._c_unacked.labels(node=self.node_id).inc()
+                if acked:
+                    self._c_wal.labels(node=self.node_id).inc(acked)
+                tier_restored = len(keep)
+            tier, self.tier = self.tier, None
+            tier.discard()
+            if self.auto_respill and self._tier_attach is not None:
+                self.spill()
         self.last_recovery = rep.to_dict()
+        self.last_recovery["tier_blocks"] = tier_restored
         self.stats.recoveries += 1
-        self.stats.blocks_recovered += len(rep.block_ids)
-        self._g_durable.labels(node=self.node_id).set(
-            float(self.durable.block_count)
-        )
+        self.stats.blocks_recovered += len(rep.block_ids) + tier_restored
+        if not self.tiered:
+            self._g_durable.labels(node=self.node_id).set(
+                float(self.durable.block_count)
+            )
 
     def flush_durable(self) -> bool:
         """Checkpoint the WAL into the snapshot (drain/decommission path);
@@ -339,7 +511,7 @@ class StorageNode:
         process answers nothing, but its disk still says what it held)."""
         if self.alive:
             return self.block_ids
-        return self.durable.manifest_ids()
+        return self.durable_manifest_ids()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

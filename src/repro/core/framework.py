@@ -321,6 +321,23 @@ class Mendel:
         writes, degraded flags) plus cluster rollups."""
         return self.index.durability_report()
 
+    def spill(self, cache_bytes: int | None = None, config=None):
+        """Spill the deployment to the disk tier (see
+        :meth:`~repro.core.index.MendelIndex.spill_to_tier`): block codes
+        move to per-node compressed block files, queries read through a
+        bounded shared RAM cache, and results stay byte-identical to the
+        all-RAM deployment.  Returns the shared block cache."""
+        return self.index.spill_to_tier(cache_bytes=cache_bytes, config=config)
+
+    def unspill(self) -> None:
+        """Fold every node back to all-RAM and drop the tier policy."""
+        self.index.unspill_tier()
+
+    def tier_report(self) -> dict:
+        """Cluster-wide tier occupancy (cache stats, per-node pages and
+        bytes, compression rollups)."""
+        return self.index.tier_report()
+
     def cluster_health(self) -> dict:
         """Liveness snapshot: node counts by state plus the per-group
         breakdown the serving HEALTH endpoint reports."""

@@ -92,6 +92,11 @@ class MendelIndex:
     #: previously computed results may be stale.  A class-level default keeps
     #: instances reconstructed via ``__new__`` (the persistence path) valid.
     version: int = 0
+    #: tiered-storage state (class-level defaults so ``__new__``-path
+    #: reconstruction yields a valid all-RAM deployment; tiering is a
+    #: runtime policy applied after load, never persisted)
+    tier_cache = None
+    tier_config = None
 
     def __init__(self, database: SequenceSet, config: MendelConfig) -> None:
         if len(database) == 0:
@@ -303,6 +308,94 @@ class MendelIndex:
             ),
         }
 
+    # -- tiered storage ----------------------------------------------------------
+
+    @property
+    def tiered(self) -> bool:
+        """Whether the deployment currently runs with a disk tier."""
+        return self.tier_cache is not None
+
+    def spill_to_tier(self, cache_bytes: int | None = None, config=None):
+        """Spill every live node's block codes to its on-disk block file,
+        serving cold reads through one shared bounded RAM cache.
+
+        Search results stay byte-identical to the all-RAM deployment (the
+        tree structure and every traversal decision are unchanged); only
+        simulated service times gain cold-read charges.  Returns the
+        shared :class:`~repro.tier.cache.BlockCache`.
+
+        Parameters
+        ----------
+        cache_bytes:
+            RAM budget for the shared page cache (overrides *config*).
+        config:
+            Full :class:`~repro.tier.store.TierConfig`; defaults derive
+            the codec alphabet from the index's own alphabet.
+        """
+        import dataclasses
+
+        from repro.tier.cache import BlockCache
+        from repro.tier.store import TierConfig
+
+        if config is None:
+            config = TierConfig(alphabet_size=self.alphabet.size)
+        if cache_bytes is not None:
+            config = dataclasses.replace(config, cache_bytes=int(cache_bytes))
+        if self.tiered:
+            self.unspill_tier()
+        cache = BlockCache(
+            config.cache_bytes, probation_fraction=config.probation_fraction
+        )
+        for node in self.topology.nodes:
+            node.attach_tier(cache, config)
+            if node.alive:
+                node.spill()
+        self.tier_cache = cache
+        self.tier_config = config
+        self.version += 1
+        return cache
+
+    def unspill_tier(self) -> None:
+        """Fold every node back to all-RAM and drop the tier policy."""
+        if not self.tiered:
+            return
+        for node in self.topology.nodes:
+            node.detach_tier()
+        self.tier_cache = None
+        self.tier_config = None
+        self.version += 1
+
+    def tier_report(self) -> dict:
+        """Cluster-wide tier occupancy: cache stats, per-node occupancy,
+        and rollups (``repro tier`` and the health endpoint render this)."""
+        nodes = {
+            node.node_id: occ
+            for node in self.topology.nodes
+            if (occ := node.tier_occupancy()) is not None
+        }
+        bytes_on_disk = sum(occ["bytes_on_disk"] for occ in nodes.values())
+        raw_bytes = sum(occ["raw_bytes"] for occ in nodes.values())
+        resident = sum(occ["resident_bytes"] for occ in nodes.values())
+        report = {
+            "enabled": self.tiered,
+            "spilled_nodes": len(nodes),
+            "bytes_on_disk": bytes_on_disk,
+            "raw_bytes": raw_bytes,
+            "resident_bytes": resident,
+            "pinned_bytes": sum(occ["pinned_bytes"] for occ in nodes.values()),
+            "summary_bytes": sum(
+                occ["summary_bytes"] for occ in nodes.values()
+            ),
+            "pages": sum(occ["pages"] for occ in nodes.values()),
+            "compression_ratio": (raw_bytes / bytes_on_disk)
+            if bytes_on_disk
+            else 0.0,
+            "resident_fraction": (resident / raw_bytes) if raw_bytes else 0.0,
+            "cache": self.tier_cache.stats() if self.tier_cache else None,
+            "nodes": nodes,
+        }
+        return report
+
     # -- elastic topology mutation ----------------------------------------------
 
     def _new_node(self, group_id: str, number: int) -> StorageNode:
@@ -314,7 +407,7 @@ class MendelIndex:
             if self.config.heterogeneous
             else HP_DL160
         )
-        return StorageNode(
+        node = StorageNode(
             node_id=f"{group_id}.n{number}",
             group_id=group_id,
             metric_factory=self._metric_factory,
@@ -323,6 +416,12 @@ class MendelIndex:
             bucket_capacity=self.config.bucket_capacity,
             rng_seed=number + 1,
         )
+        if self.tiered:
+            # Elastic growth under a spilled deployment: the new node joins
+            # the tier policy, so the blocks streamed onto it land in its
+            # block file, not RAM.
+            node.attach_tier(self.tier_cache, self.tier_config)
+        return node
 
     def _replace_group(
         self, group: StorageGroup, block_ids: list[int] | None = None

@@ -531,11 +531,17 @@ class QueryEngine:
                 candidates = identity_survivors = cscore_survivors = 0
                 seen: set[tuple[str, int, int]] = set()
                 local_before = node.tree.adapter.pair_evaluations
+                io_seeks = io_bytes = 0
+                io_seconds = 0.0
                 for window in windows:
                     hits, seconds = node.local_knn(
                         window.codes, params.n, max_radius=radius
                     )
                     service += seconds
+                    if node.last_io is not None:
+                        io_seeks += node.last_io["seeks"]
+                        io_bytes += node.last_io["bytes"]
+                        io_seconds += node.last_io["seconds"]
                     stats.candidate_hits += len(hits)
                     candidates += len(hits)
                     for _dist, block_id in hits:
@@ -588,7 +594,18 @@ class QueryEngine:
                 span.annotate(evals=evals, candidates=candidates,
                               identity_pass=identity_survivors,
                               cscore_pass=cscore_survivors)
+                io_span = None
+                if io_seeks or io_bytes:
+                    # Cold tier reads this subquery paid for (device time is
+                    # inside the service yield below).
+                    io_span = span.child(
+                        "cold_read", sim_now=sim.now, actor=node.node_id,
+                        seeks=io_seeks, bytes=io_bytes,
+                    )
                 yield service + node.service_time_ops(extension_ops)
+                if io_span is not None:
+                    io_span.annotate(io_seconds=io_seconds)
+                    io_span.finish(sim_now=sim.now)
             finally:
                 lock.release()
             if not node.alive:
@@ -697,6 +714,18 @@ class QueryEngine:
             if dead_members:
                 gspan.annotate(dead_nodes=",".join(sorted(dead_members)))
             fanout = [node for node in group.nodes if node.alive]
+            # Tiered members: prefetch every page whose summary ball can
+            # intersect a subquery's search ball — one batched sequential
+            # fetch per node instead of per-miss seeks — and pin the
+            # candidate set so concurrent queries cannot evict it mid-scan.
+            prefetch_pins = [
+                (node, keys)
+                for node in fanout
+                if node.tiered
+                for keys in [node.tier.prefetch([w.codes for w in windows],
+                                                radius)]
+                if keys
+            ]
             node_events = [
                 sim.spawn(
                     guarded_node(index, query, node, coordinator, windows,
@@ -710,6 +739,9 @@ class QueryEngine:
                 gspan.finish(sim_now=sim.now)
                 return []  # whole group down: no anchors from here
             per_node = yield AllOf(node_events)
+            for node, keys in prefetch_pins:
+                if node.tier is not None:
+                    node.tier.release_pins(keys)
             collected: list[Anchor] = []
             failed_here = []
             for node, result in zip(fanout, per_node):

@@ -146,6 +146,36 @@ class _Family:
                 del self._children[key]
         return len(doomed)
 
+    def purge_matching(self, labelvalues: dict[str, str]) -> int:
+        """Drop every child matching **all** of the *labelvalues* pairs this
+        family carries; returns the count removed.
+
+        Pairs whose label name the family does not carry are ignored, but a
+        family carrying *none* of them is untouched — so a multi-label
+        purge (``node=..., tier=...``) prunes ``(node, tier)``-keyed series
+        *and* plain ``(node,)``-keyed series, without wiping unrelated
+        families wholesale."""
+        applicable = {
+            label: str(value)
+            for label, value in labelvalues.items()
+            if label in self.labelnames
+        }
+        if not applicable:
+            return 0
+        positions = [
+            (self.labelnames.index(label), value)
+            for label, value in applicable.items()
+        ]
+        with self._lock:
+            doomed = [
+                key
+                for key in self._children
+                if all(key[pos] == value for pos, value in positions)
+            ]
+            for key in doomed:
+                del self._children[key]
+        return len(doomed)
+
     def _items(self) -> list[tuple[tuple[tuple[str, str], ...], object]]:
         with self._lock:
             return [
@@ -481,23 +511,25 @@ class MetricsRegistry:
         return total
 
     def purge_labels(self, **labelvalues: object) -> int:
-        """Drop, across every family, all children whose labels match any of
-        the given ``label=value`` pairs; returns the number of series
-        removed.
+        """Drop, across every family, all children matching **all** of the
+        given ``label=value`` pairs that each family carries; returns the
+        number of series removed.
 
         The topology-change hook: when a node is drained or a group merged
         away, its labelled counters/gauges would otherwise live in the
         exposition forever, growing the scrape output unboundedly across
-        scale events.  Families that do not carry a given label name are
-        untouched.
+        scale events.  Per family, only the subset of pairs it carries is
+        matched — a ``purge_labels(node="g0.n1", tier="block_cache")``
+        prunes ``(node, tier)``-keyed cache series and ``(node,)``-keyed
+        durability series alike — and families carrying none of the given
+        labels are untouched.  Matching is conjunctive: a multi-pair purge
+        never removes a series that differs on any requested label the
+        family carries.
         """
+        pairs = {label: str(value) for label, value in labelvalues.items()}
         with self._lock:
             families = list(self._families.values())
-        removed = 0
-        for family in families:
-            for label, value in labelvalues.items():
-                removed += family.purge_label(label, str(value))
-        return removed
+        return sum(family.purge_matching(pairs) for family in families)
 
     def value(self, name: str, **labelvalues: object) -> float:
         """Test/debug helper: the current value of one counter/gauge child

@@ -648,6 +648,22 @@ class QueryService:
                 "wal_records": durability["wal_records"],
                 "degraded_nodes": durability["degraded_nodes"],
             },
+            # Tier occupancy rollup: zeroes while the deployment is all-RAM.
+            "storage": self._storage_health(),
+        }
+
+    def _storage_health(self) -> dict:
+        tier = self.mendel.index.tier_report()
+        cache = tier.get("cache") or {}
+        return {
+            "tiered": tier["enabled"],
+            "spilled_nodes": tier["spilled_nodes"],
+            "bytes_on_disk": tier["bytes_on_disk"],
+            "compression_ratio": tier["compression_ratio"],
+            "resident_fraction": tier["resident_fraction"],
+            "cache_hits": cache.get("hits", 0.0),
+            "cache_misses": cache.get("misses", 0.0),
+            "cache_evictions": cache.get("evictions", 0.0),
         }
 
     # -- durability and integrity ----------------------------------------------

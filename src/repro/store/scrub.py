@@ -151,7 +151,7 @@ class IntegrityScrubber:
         alive = [n for n in group.nodes if n.alive and self.is_alive(n)]
         block_holders: dict[int, list[StorageNode]] = {}
         for node in alive:
-            for block_id in node.durable.manifest_ids():
+            for block_id in node.durable_manifest_ids():
                 block_holders.setdefault(block_id, []).append(node)
 
         findings: list[ScrubFinding] = []
@@ -163,8 +163,8 @@ class IntegrityScrubber:
             digests: dict[str, int | None] = {}
             for node in holders:
                 checked += 1
-                self_ok[node.node_id] = node.durable.verify(block_id)
-                digests[node.node_id] = node.durable.digest(block_id)
+                self_ok[node.node_id] = node.durable_verify(block_id)
+                digests[node.node_id] = node.durable_digest(block_id)
             for node in holders:
                 if not self_ok[node.node_id]:
                     findings.append(ScrubFinding(

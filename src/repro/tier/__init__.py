@@ -1,0 +1,65 @@
+"""``repro.tier`` — the tiered disk-backed compressed block store.
+
+Spills a node's block codes into an on-disk columnar block file (a
+reference-free redundancy codec over per-page centroids), keeps an in-RAM
+vp-tree over page *summaries* for routing-time pruning and prefetch, and
+serves cold reads through a bounded shared SLRU cache with pin-count
+eviction — all without changing a single simulated search result: tiered
+and all-RAM deployments return byte-identical k-NN answers and identical
+distance-evaluation counters; only service time differs.
+"""
+
+from repro.tier.blockfile import (
+    BlockFileReader,
+    PageMeta,
+    PageRecord,
+    TIER_FILE,
+    TierFileError,
+    manifest_ids,
+    write_block_file,
+)
+from repro.tier.cache import CACHE_TIER, BlockCache
+from repro.tier.codec import (
+    METHOD_DELTA,
+    METHOD_NAMES,
+    METHOD_PACKED,
+    METHOD_RAW,
+    METHOD_ZLIB,
+    TierCodecError,
+    decode_page,
+    encode_page,
+)
+from repro.tier.store import NodeTier, TierConfig, TieredPoints
+from repro.tier.summary import (
+    PageSummary,
+    SummaryIndex,
+    page_centroid,
+    summarize_rows,
+)
+
+__all__ = [
+    "BlockCache",
+    "BlockFileReader",
+    "CACHE_TIER",
+    "METHOD_DELTA",
+    "METHOD_NAMES",
+    "METHOD_PACKED",
+    "METHOD_RAW",
+    "METHOD_ZLIB",
+    "NodeTier",
+    "PageMeta",
+    "PageRecord",
+    "PageSummary",
+    "SummaryIndex",
+    "TIER_FILE",
+    "TierCodecError",
+    "TierConfig",
+    "TierFileError",
+    "TieredPoints",
+    "decode_page",
+    "encode_page",
+    "manifest_ids",
+    "page_centroid",
+    "summarize_rows",
+    "write_block_file",
+]

@@ -1,0 +1,341 @@
+"""The on-disk columnar block file (``MTBF``: Mendel Tiered Block File).
+
+One file per spilled node on its :class:`~repro.store.disk.NodeDisk`,
+reusing the container conventions of the ``MENDELIX`` archive and the
+durable snapshot (:mod:`repro.core.persist`, :mod:`repro.store.durable`):
+a fixed magic + version header, a CRC32 over the segment table, and
+per-row CRC32 digests so silent bit rot is caught by the same
+verified-read discipline the WAL uses.
+
+Layout::
+
+    +--------------------------------------------------+
+    | header: magic "MTBF", version, table crc/length, |  _HEAD
+    |         row-meta length, digest length           |
+    +--------------------------------------------------+
+    | segment table (zlib-compressed JSON)             |
+    |   node id, row width, alphabet size, row count   |
+    |   per page: payload offset/length, codec method, |
+    |     row count, centroid, radius, histogram,      |
+    |     raw bytes, pinned flag                       |
+    |   row-meta and digest section CRC32s             |
+    +--------------------------------------------------+
+    | row meta (zlib): u32 tree rows ++ u64 block ids, |
+    |   both in page order                             |
+    +--------------------------------------------------+
+    | digests: raw u32 row CRC32s, in page order       |
+    +--------------------------------------------------+
+    | page payloads, concatenated                      |
+    +--------------------------------------------------+
+
+The table is columnar metadata over row-major page payloads: routing-time
+state (centroids, radii, histograms) parses without touching a single
+payload byte, so opening a file — or auditing a *dead* node's manifest —
+never reads page data.  Per-row bookkeeping (tree row, block id, digest)
+lives in packed binary sections rather than the JSON table: at the
+segment widths this index runs (8–32 residues per row), JSON-encoded
+per-row integers would cost more than the rows themselves and sink the
+compression ratio the tier exists to deliver.  Payload offsets are
+relative to the end of the digest section, and every page read is an
+independent ``read_span`` (one simulated seek), never a whole-file load.
+
+Writes go through :meth:`NodeDisk.write_atomic`: a crash mid-spill leaves
+the previous file (or no file) intact, mirroring the snapshot contract.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.store.disk import NodeDisk
+from repro.tier.codec import TierCodecError, decode_page
+
+MAGIC = b"MTBF"
+FORMAT_VERSION = 1
+
+#: default durable file name on the node's disk
+TIER_FILE = "tier"
+
+# magic, version, table crc32, table length, row-meta (compressed) length,
+# digest section length
+_HEAD = struct.Struct("<4sHIIII")
+
+
+class TierFileError(Exception):
+    """The block file failed an integrity check (magic, version, CRC)."""
+
+
+@dataclass
+class PageRecord:
+    """One page as written: compressed payload plus its summary metadata.
+
+    ``digests`` are CRC32s of each row's raw codes — the same
+    ``zlib.crc32(codes.tobytes())`` formula
+    :class:`~repro.store.durable.DurableNodeState` acknowledges, so a
+    spilled replica and a WAL-resident replica of the same block vote with
+    identical digests during anti-entropy scrubs.  ``tree_rows`` are the
+    vp-tree row indices of the page's rows (tree row order *is* insertion
+    order, so recovery can rebuild the manifest from the file alone).
+    """
+
+    payload: bytes
+    method: int
+    rows: int
+    block_ids: list[int]
+    tree_rows: list[int]
+    digests: list[int]
+    centroid: list[int]
+    radius: float
+    histogram: list[int]
+    raw_bytes: int
+    pinned: bool = False
+    offset: int = field(default=0)  # assigned at write time
+
+    def to_table_entry(self) -> dict:
+        return {
+            "offset": self.offset,
+            "length": len(self.payload),
+            "method": self.method,
+            "rows": self.rows,
+            "centroid": self.centroid,
+            "radius": self.radius,
+            "histogram": self.histogram,
+            "raw_bytes": self.raw_bytes,
+            "pinned": self.pinned,
+        }
+
+
+def write_block_file(
+    disk: NodeDisk,
+    name: str,
+    node_id: str,
+    width: int,
+    alphabet_size: int,
+    pages: list[PageRecord],
+) -> int:
+    """Serialise *pages* to *name* on *disk* atomically; returns the file
+    size in bytes."""
+    offset = 0
+    for page in pages:
+        page.offset = offset
+        offset += len(page.payload)
+    tree_rows = np.array(
+        [r for page in pages for r in page.tree_rows], dtype=np.uint32
+    )
+    block_ids = np.array(
+        [b for page in pages for b in page.block_ids], dtype=np.uint64
+    )
+    digest_bytes = np.array(
+        [d for page in pages for d in page.digests], dtype=np.uint32
+    ).tobytes()
+    rowmeta = zlib.compress(tree_rows.tobytes() + block_ids.tobytes(), 6)
+    table = {
+        "node": node_id,
+        "width": int(width),
+        "alphabet_size": int(alphabet_size),
+        "row_count": int(tree_rows.size),
+        "rowmeta_crc": zlib.crc32(rowmeta),
+        "digests_crc": zlib.crc32(digest_bytes),
+        "pages": [page.to_table_entry() for page in pages],
+    }
+    table_bytes = zlib.compress(json.dumps(table, sort_keys=True).encode(), 6)
+    head = _HEAD.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        zlib.crc32(table_bytes),
+        len(table_bytes),
+        len(rowmeta),
+        len(digest_bytes),
+    )
+    payload = b"".join(page.payload for page in pages)
+    data = head + table_bytes + rowmeta + digest_bytes + payload
+    disk.write_atomic(name, data)
+    return len(data)
+
+
+@dataclass
+class PageMeta:
+    """One page's table entry as parsed back from disk."""
+
+    index: int
+    offset: int
+    length: int
+    method: int
+    rows: int
+    block_ids: list[int]
+    tree_rows: list[int]
+    digests: list[int]
+    centroid: np.ndarray
+    radius: float
+    histogram: np.ndarray
+    raw_bytes: int
+    pinned: bool
+
+
+class BlockFileReader:
+    """Random-access reader over one node's block file.
+
+    Parsing validates magic, version, and each metadata section's CRC
+    before trusting a byte of it; page payloads are *not* verified at open
+    — each decode is checked lazily (and :meth:`verify_row` re-reads the
+    payload from the device, so a scrub observes the current on-disk bytes
+    rather than any cached copy)."""
+
+    def __init__(self, disk: NodeDisk, name: str = TIER_FILE) -> None:
+        self.disk = disk
+        self.name = name
+        head_raw = disk.read_span(name, 0, _HEAD.size)
+        if len(head_raw) < _HEAD.size:
+            raise TierFileError(
+                f"{name!r} is {len(head_raw)} bytes — shorter than the header"
+            )
+        magic, version, table_crc, table_len, rowmeta_len, digests_len = (
+            _HEAD.unpack(head_raw)
+        )
+        if magic != MAGIC:
+            raise TierFileError(f"{name!r} is not a tier block file ({magic!r})")
+        if version > FORMAT_VERSION:
+            raise TierFileError(
+                f"{name!r} uses block-file version {version}; this build "
+                f"reads up to {FORMAT_VERSION}"
+            )
+        table_bytes = disk.read_span(name, _HEAD.size, table_len)
+        if len(table_bytes) != table_len or zlib.crc32(table_bytes) != table_crc:
+            raise TierFileError(f"{name!r} segment table failed its checksum")
+        try:
+            table = json.loads(zlib.decompress(table_bytes).decode())
+        except (zlib.error, ValueError) as exc:
+            raise TierFileError(
+                f"{name!r} segment table failed to parse: {exc}"
+            ) from exc
+        self.node_id = str(table["node"])
+        self.width = int(table["width"])
+        self.alphabet_size = int(table["alphabet_size"])
+        self.row_count = int(table["row_count"])
+
+        rowmeta_raw = disk.read_span(name, _HEAD.size + table_len, rowmeta_len)
+        if (
+            len(rowmeta_raw) != rowmeta_len
+            or zlib.crc32(rowmeta_raw) != int(table["rowmeta_crc"])
+        ):
+            raise TierFileError(f"{name!r} row-meta section failed its checksum")
+        try:
+            rowmeta = zlib.decompress(rowmeta_raw)
+        except zlib.error as exc:
+            raise TierFileError(
+                f"{name!r} row-meta section failed to decompress: {exc}"
+            ) from exc
+        n = self.row_count
+        if len(rowmeta) != 4 * n + 8 * n:
+            raise TierFileError(
+                f"{name!r} row-meta section holds {len(rowmeta)} bytes "
+                f"for {n} rows"
+            )
+        tree_rows = np.frombuffer(rowmeta[: 4 * n], dtype=np.uint32)
+        block_ids = np.frombuffer(rowmeta[4 * n :], dtype=np.uint64)
+        digest_raw = disk.read_span(
+            name, _HEAD.size + table_len + rowmeta_len, digests_len
+        )
+        if (
+            len(digest_raw) != digests_len
+            or zlib.crc32(digest_raw) != int(table["digests_crc"])
+        ):
+            raise TierFileError(f"{name!r} digest section failed its checksum")
+        digests = np.frombuffer(digest_raw, dtype=np.uint32)
+        if digests.size != n:
+            raise TierFileError(
+                f"{name!r} digest section holds {digests.size} digests "
+                f"for {n} rows"
+            )
+
+        self._payload_base = _HEAD.size + table_len + rowmeta_len + digests_len
+        self.pages: list[PageMeta] = []
+        cursor = 0
+        for i, entry in enumerate(table["pages"]):
+            rows = int(entry["rows"])
+            self.pages.append(
+                PageMeta(
+                    index=i,
+                    offset=int(entry["offset"]),
+                    length=int(entry["length"]),
+                    method=int(entry["method"]),
+                    rows=rows,
+                    block_ids=[int(b) for b in block_ids[cursor : cursor + rows]],
+                    tree_rows=[int(r) for r in tree_rows[cursor : cursor + rows]],
+                    digests=[int(d) for d in digests[cursor : cursor + rows]],
+                    centroid=np.array(entry["centroid"], dtype=np.uint8),
+                    radius=float(entry["radius"]),
+                    histogram=np.array(entry["histogram"], dtype=np.int64),
+                    raw_bytes=int(entry["raw_bytes"]),
+                    pinned=bool(entry["pinned"]),
+                )
+            )
+            cursor += rows
+        if cursor != n:
+            raise TierFileError(
+                f"{name!r} pages cover {cursor} rows, table says {n}"
+            )
+        # Tree row order is insertion order, so the durable manifest is the
+        # block ids sorted by their tree row.
+        order = np.argsort(tree_rows, kind="stable")
+        self.manifest = [int(b) for b in block_ids[order]]
+
+    # -- reads -----------------------------------------------------------------
+
+    def page_payload(self, index: int) -> bytes:
+        """The page's compressed payload, fresh from the device."""
+        meta = self.pages[index]
+        return self.disk.read_span(
+            self.name, self._payload_base + meta.offset, meta.length
+        )
+
+    def read_page(self, index: int) -> np.ndarray:
+        """Decode page *index* to its ``(rows, width)`` matrix.  Raises
+        :class:`~repro.tier.codec.TierCodecError` on payload damage."""
+        meta = self.pages[index]
+        return decode_page(
+            meta.method,
+            self.page_payload(index),
+            meta.rows,
+            self.width,
+            meta.centroid,
+            self.alphabet_size,
+        )
+
+    def verify_row(self, index: int, slot: int) -> bool:
+        """Digest-verify one row against the table's acknowledged CRC,
+        reading the payload fresh from the device (scrub semantics)."""
+        meta = self.pages[index]
+        try:
+            rows = self.read_page(index)
+        except TierCodecError:
+            return False
+        return zlib.crc32(rows[slot].tobytes()) == meta.digests[slot]
+
+    @property
+    def bytes_on_disk(self) -> int:
+        return self.disk.size(self.name)
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(meta.raw_bytes for meta in self.pages)
+
+
+def manifest_ids(disk: NodeDisk, name: str = TIER_FILE) -> list[int]:
+    """The insertion-ordered block manifest, read from metadata alone.
+
+    Used for repair planning against *dead* nodes: the process is gone but
+    its disk still records what it held.  Returns ``[]`` when the file is
+    missing or fails its integrity checks (an unreadable manifest claims
+    nothing, and the scrubber treats those blocks like lost replicas)."""
+    if not disk.exists(name):
+        return []
+    try:
+        return BlockFileReader(disk, name).manifest
+    except (TierFileError, FileNotFoundError):
+        return []

@@ -170,6 +170,7 @@ class TestSuiteEndToEnd:
         assert suite_report["schema_version"] == regress.SCHEMA_VERSION
         assert set(suite_report["workloads"]) == {
             "index_build", "query_sweep", "throughput", "degraded_query",
+            "cold_vs_warm_query",
         }
         for payload in suite_report["workloads"].values():
             for raw in payload["metrics"].values():

@@ -1,0 +1,62 @@
+"""Multi-label purge semantics (the node-drain leak fix): a purge with
+several pairs is conjunctive over the pairs each family carries, and a
+family carrying none of them is untouched."""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    cache = registry.counter(
+        "cache_ops_total", "cache ops", ("node", "tier")
+    )
+    cache.labels(node="g0.n0", tier="block_cache").inc()
+    cache.labels(node="g0.n0", tier="row_cache").inc()
+    cache.labels(node="g0.n1", tier="block_cache").inc()
+    plain = registry.counter("node_ops_total", "node ops", ("node",))
+    plain.labels(node="g0.n0").inc()
+    plain.labels(node="g0.n1").inc()
+    other = registry.counter("group_ops_total", "group ops", ("group",))
+    other.labels(group="g0").inc()
+    return registry, cache, plain, other
+
+
+def children(family):
+    return [dict(labels) for labels, _ in family._items()]
+
+
+class TestSingleLabel:
+    def test_node_purge_prunes_every_family_carrying_node(self):
+        registry, cache, plain, other = make_registry()
+        removed = registry.purge_labels(node="g0.n0")
+        # Both (node, tier) series and the plain (node,) series dropped.
+        assert removed == 3
+        assert all(c["node"] != "g0.n0" for c in children(cache))
+        assert all(c["node"] != "g0.n0" for c in children(plain))
+        # The family without a node label is untouched.
+        assert children(other) == [{"group": "g0"}]
+
+
+class TestMultiLabel:
+    def test_pairs_are_conjunctive_within_a_family(self):
+        registry, cache, plain, _other = make_registry()
+        removed = registry.purge_labels(node="g0.n0", tier="block_cache")
+        # In the (node, tier) family only the exact pair dies; the plain
+        # (node,) family carries just the node pair, which matches alone.
+        assert removed == 2
+        remaining = children(cache)
+        assert {"node": "g0.n0", "tier": "row_cache"} in remaining
+        assert {"node": "g0.n1", "tier": "block_cache"} in remaining
+        assert {"node": "g0.n0", "tier": "block_cache"} not in remaining
+        assert all(c["node"] != "g0.n0" for c in children(plain))
+
+    def test_no_applicable_pair_means_untouched(self):
+        registry, _cache, _plain, other = make_registry()
+        removed = registry.purge_labels(shard="s9")
+        assert removed == 0
+        assert children(other) == [{"group": "g0"}]
+
+    def test_purge_is_idempotent(self):
+        registry, _cache, _plain, _other = make_registry()
+        assert registry.purge_labels(node="g0.n0", tier="block_cache") == 2
+        assert registry.purge_labels(node="g0.n0", tier="block_cache") == 0

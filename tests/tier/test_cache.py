@@ -1,0 +1,117 @@
+"""BlockCache: SLRU admission, scan resistance, pinning, accounting."""
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.tier.cache import BlockCache
+
+
+def page(fill=0, rows=4, width=8):
+    return np.full((rows, width), fill, dtype=np.uint8)
+
+
+PAGE_BYTES = page().nbytes  # 32
+
+
+def make_cache(pages=2, **kwargs):
+    return BlockCache(
+        capacity_bytes=pages * PAGE_BYTES,
+        registry=MetricsRegistry(),
+        **kwargs,
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.get(("n0", 0)) is None
+        assert cache.put(("n0", 0), page(1))
+        np.testing.assert_array_equal(cache.get(("n0", 0)), page(1))
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(pages=2)
+        cache.put(("n0", 0), page(0))
+        cache.put(("n0", 1), page(1))
+        cache.put(("n0", 2), page(2))  # evicts page 0 (probation LRU)
+        assert not cache.contains(("n0", 0))
+        assert cache.contains(("n0", 1))
+        assert cache.contains(("n0", 2))
+        assert cache.stats()["evictions"] == 1
+
+    def test_resident_accounting(self):
+        cache = make_cache(pages=3)
+        cache.put(("n0", 0), page())
+        cache.put(("n1", 0), page())
+        assert cache.resident_bytes == 2 * PAGE_BYTES
+        assert cache.resident_pages == 2
+        assert cache.resident_bytes_for("n0") == PAGE_BYTES
+
+    def test_oversized_page_is_never_admitted(self):
+        cache = make_cache(pages=1)
+        big = np.zeros((64, 64), dtype=np.uint8)
+        assert not cache.put(("n0", 0), big)
+        assert cache.resident_pages == 0
+        assert cache.stats()["bypasses"] == 1
+
+
+class TestScanResistance:
+    def test_reused_page_survives_a_scan(self):
+        cache = make_cache(pages=2)
+        cache.put(("n0", 0), page(0))
+        cache.get(("n0", 0))  # promote to protected
+        for i in range(1, 10):  # one-pass scan churns probation only
+            cache.put(("n0", i), page(i))
+        assert cache.contains(("n0", 0))
+
+    def test_probation_hit_promotes(self):
+        cache = make_cache(pages=2)
+        cache.put(("n0", 0), page(0))
+        assert ("n0", 0) in cache._probation
+        cache.get(("n0", 0))
+        assert ("n0", 0) in cache._protected
+
+
+class TestPinning:
+    def test_pinned_page_is_not_evicted(self):
+        cache = make_cache(pages=2)
+        cache.put(("n0", 0), page(0), pin=True)
+        cache.put(("n0", 1), page(1))
+        cache.put(("n0", 2), page(2))
+        assert cache.contains(("n0", 0))
+        assert cache.pinned_bytes == PAGE_BYTES
+        cache.unpin(("n0", 0))
+        assert cache.pinned_bytes == 0
+        cache.put(("n0", 3), page(3))
+        assert not cache.contains(("n0", 0))
+
+    def test_all_pinned_overshoots_then_drains(self):
+        cache = make_cache(pages=1)
+        cache.put(("n0", 0), page(0), pin=True)
+        # The incoming unpinned page cannot claim a pinned-full cache.
+        assert not cache.put(("n0", 1), page(1))
+        assert cache.stats()["bypasses"] == 1
+        # A pinned incoming page overshoots rather than deadlocks...
+        assert cache.put(("n0", 2), page(2), pin=True)
+        assert cache.resident_bytes > cache.capacity_bytes
+        # ...and the overshoot drains once pins release.
+        cache.unpin(("n0", 0))
+        cache.put(("n0", 3), page(3))
+        assert cache.resident_bytes <= cache.capacity_bytes
+
+    def test_prefetch_counts(self):
+        cache = make_cache(pages=2)
+        cache.put(("n0", 0), page(0), prefetch=True)
+        assert cache.stats()["prefetches"] == 1
+
+
+class TestDropNode:
+    def test_drop_node_removes_only_that_node(self):
+        cache = make_cache(pages=4)
+        cache.put(("n0", 0), page())
+        cache.put(("n0", 1), page())
+        cache.put(("n1", 0), page())
+        assert cache.drop_node("n0") == 2
+        assert not cache.contains(("n0", 0))
+        assert cache.contains(("n1", 0))

@@ -1,0 +1,63 @@
+"""The ``repro tier`` command and the tier fields of ``repro info``."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.seq import PROTEIN, format_fasta, random_set
+
+
+class TestTierCommand:
+    def test_json_frame_bench_and_assertion(self, tmp_path):
+        out = io.StringIO()
+        bench_path = tmp_path / "tier-bench.json"
+        code = main(
+            ["tier", "--families", "2", "--members", "2", "--seed", "1",
+             "--format", "json", "--assert-equivalent",
+             "--bench-out", str(bench_path)],
+            out=out,
+        )
+        assert code == 0
+        frame = json.loads(out.getvalue())
+        assert frame["equivalent"]
+        assert frame["tier"]["bytes_on_disk"] > 0
+        assert frame["capacity"]["capacity_x"] > 1.0
+        warm = frame["warm"]["sim_turnaround_ms"]
+        cold = frame["cold"]["sim_turnaround_ms"]
+        assert all(c > w for w, c in zip(warm, cold))
+        bench = json.loads(bench_path.read_text())
+        metrics = bench["workloads"]["cold_vs_warm_query"]["metrics"]
+        assert metrics["result_equivalent"]["value"] == 1.0
+        assert metrics["compression_ratio"]["value"] > 0
+
+    def test_text_format(self):
+        out = io.StringIO()
+        code = main(
+            ["tier", "--families", "2", "--members", "2", "--seed", "1"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "compression" in text
+        assert "capacity_x" in text
+        assert text.strip().endswith("True")  # the equivalent row
+
+
+class TestInfoTierFields:
+    def test_ram_only_archive_reports_zeroes(self, tmp_path):
+        db = random_set(count=6, length=80, alphabet=PROTEIN, rng=402,
+                        id_prefix="r")
+        refs = tmp_path / "refs.fasta"
+        refs.write_text(format_fasta(db.records))
+        archive = tmp_path / "deploy.npz"
+        assert main(
+            ["index", str(refs), "--out", str(archive), "--nodes", "4",
+             "--seed", "3"],
+            out=io.StringIO(),
+        ) == 0
+        out = io.StringIO()
+        assert main(["info", str(archive)], out=out) == 0
+        text = out.getvalue()
+        assert "bytes on disk:   0" in text
+        assert "compression:     0.000x" in text
+        assert "resident:        0.00%" in text
