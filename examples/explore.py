@@ -1,0 +1,105 @@
+"""Trace analytics tour: fingerprint slow queries, profile the critical
+path, then sweep a tiny scenario grid.
+
+Run with::
+
+    python examples/explore.py
+
+Builds a deployment, runs traced queries under a crash, clusters the
+slow ones into span-shape families, prints the aggregated critical-path
+table (whose per-stage self-times tile the turnaround exactly), and
+finishes with a two-cell ``repro explore`` sweep written to
+``explore-report/``.
+"""
+
+import math
+
+from repro import Mendel, MendelConfig, QueryParams
+from repro.bench.explore import Cell, run_explore
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.obs.analyze import (
+    cluster_slow_queries,
+    critical_path_table,
+    trace_fingerprint,
+)
+from repro.obs.trace import TraceContext
+from repro.seq import PROTEIN, random_set
+from repro.seq.mutate import mutate_to_identity
+
+OUT_DIR = "explore-report"
+
+
+def main() -> None:
+    # 1. A deployment, exactly as in quickstart.py.
+    database = random_set(
+        count=40, length=200, alphabet=PROTEIN, rng=7, id_prefix="ref"
+    )
+    mendel = Mendel.build(
+        database,
+        MendelConfig(group_count=3, group_size=2, replication=1,
+                     sample_size=128, seed=11),
+    )
+    params = QueryParams(k=6, n=6, i=0.75)
+
+    # 2. Traced queries under a mid-batch crash: half the answers come
+    #    back degraded, and their span trees say so.
+    probes = [
+        mutate_to_identity(database.records[i], 0.88, rng=i,
+                           seq_id=f"probe{i}")
+        for i in range(6)
+    ]
+    victim = mendel.index.topology.groups[0].nodes[0].node_id
+    faults = FaultSchedule(
+        events=(FaultEvent.crash(1e-4, victim),), seed=7, auto_repair=False,
+    )
+    reports = mendel.engine.run_batch(
+        probes, params, faults=faults, arrival_interval=0.02,
+        trace_contexts=[TraceContext(trace_id=f"tour-q{i}")
+                        for i in range(len(probes))],
+    )
+
+    # 3. Fingerprint every trace and cluster into families.
+    entries = []
+    for report in reports:
+        fingerprint = trace_fingerprint(report.root_span)
+        entries.append({
+            "trace_id": report.trace_id,
+            "turnaround_ms": report.stats.turnaround * 1e3,
+            "fingerprint": fingerprint.to_dict(),
+            "family": fingerprint.family,
+        })
+    print("== families ==")
+    for family in cluster_slow_queries(entries):
+        exemplars = ", ".join(family["exemplar_trace_ids"])
+        print(f"  {family['family']:<44} n={family['count']} "
+              f"mean={family['mean_turnaround_ms']:.3f}ms  e.g. {exemplars}")
+
+    # 4. The critical path: self-times tile the turnaround exactly.
+    table = critical_path_table([reports[0].root_span])
+    self_total = math.fsum(row["self_ms"] for row in table)
+    print("\n== critical path (first query) ==")
+    for row in table:
+        print(f"  {row['stage']:<18} self={row['self_ms']:9.3f}ms "
+              f"({row['share'] * 100:5.1f}%)")
+    print(f"  self-times sum to {self_total:.6f}ms vs turnaround "
+          f"{reports[0].stats.turnaround * 1e3:.6f}ms")
+
+    # 5. A two-cell exploration sweep: healthy vs chaotic, one report.
+    result = run_explore(
+        "tour", seed=1, query_count=4,
+        cells=(
+            Cell("uniform", "protein", "none", "ram"),
+            Cell("zipf", "protein", "light", "ram"),
+        ),
+    )
+    paths = result.write(OUT_DIR)
+    print(f"\n== explore ==")
+    for cell in result.ranked():
+        print(f"  {cell.name:<34} mean={cell.mean_turnaround_ms:9.3f}ms "
+              f"dominant={cell.dominant_family}")
+    print(f"  wrote {len(paths)} artifacts to {OUT_DIR}/ "
+          f"(REPORT.md + per-cell BENCH JSON)")
+
+
+if __name__ == "__main__":
+    main()

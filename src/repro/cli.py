@@ -177,7 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     call.add_argument("op",
                       choices=("query", "explain", "stats", "health",
                                "metrics", "alerts", "scale", "scrub",
-                               "recover"))
+                               "recover", "analyze"))
     call.add_argument("--host", default="127.0.0.1")
     call.add_argument("--port", type=int, default=7766)
     call.add_argument("--seq", default=None,
@@ -346,6 +346,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--evalue", type=float, default=10.0, dest="E")
     trace.add_argument("--metrics", action="store_true",
                        help="also print the Prometheus metrics exposition")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="trace analytics: cluster queries into span-shape families "
+             "and profile the critical path",
+    )
+    analyze.add_argument("archive", help="saved .npz deployment")
+    analyze.add_argument("fasta", help="query FASTA file")
+    analyze.add_argument("--alphabet", choices=("dna", "protein"),
+                         default=None,
+                         help="query alphabet (default: index's)")
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the family/critical-path summary as "
+                              "JSON instead")
+    analyze.add_argument("--k", type=int, default=4)
+    analyze.add_argument("--n", type=int, default=8)
+    analyze.add_argument("--identity", type=float, default=0.5, dest="i")
+    analyze.add_argument("--c-score", type=float, default=0.5, dest="c")
+    analyze.add_argument("--matrix", default="BLOSUM62", dest="M")
+    analyze.add_argument("--evalue", type=float, default=10.0, dest="E")
+
+    explore = sub.add_parser(
+        "explore",
+        help="sweep a scenario grid (traffic x workload x chaos x "
+             "storage) and write a ranked REPORT.md explaining each slow "
+             "cell by its trace families",
+    )
+    explore.add_argument("--grid", choices=("small", "medium", "full"),
+                         default="small")
+    explore.add_argument("--seed", type=int, default=None,
+                         help="grid seed (default: $CHAOS_SEED or 0)")
+    explore.add_argument("--queries", type=int, default=6,
+                         help="queries per cell")
+    explore.add_argument("--out", default=None,
+                         help="directory for REPORT.md plus the per-cell "
+                              "BENCH-schema JSON artifacts")
+    explore.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    explore.add_argument("--assert-families", action="store_true",
+                         help="exit nonzero unless every cell named at "
+                              "least one slow-query family with exemplar "
+                              "trace ids (CI smoke assertion)")
 
     return parser
 
@@ -640,6 +682,8 @@ def _cmd_call(args: argparse.Namespace, out) -> int:
             return 1
         if args.op == "alerts":
             response = client.alerts()
+        elif args.op == "analyze":
+            response = client.analyze()
         elif args.op == "scale":
             response = client.scale()
         elif args.op == "scrub":
@@ -1121,6 +1165,145 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    import json
+    import math
+
+    from repro.obs.analyze import (
+        cluster_slow_queries,
+        critical_path_table,
+        trace_fingerprint,
+    )
+    from repro.obs.trace import TraceContext
+
+    index = load_index(args.archive)
+    alphabet = args.alphabet or index.alphabet.name
+    queries = read_fasta(args.fasta, alphabet)
+    mendel = Mendel(index=index, engine=QueryEngine(index))
+    params = QueryParams(k=args.k, n=args.n, i=args.i, c=args.c,
+                         M=args.M, E=args.E)
+    entries, roots, tiling_ok = [], [], True
+    for number, record in enumerate(queries):
+        ctx = TraceContext(trace_id=f"analyze-q{number:03d}")
+        report = mendel.query(record, params, trace_ctx=ctx)
+        root = report.root_span
+        roots.append(root)
+        fingerprint = trace_fingerprint(root)
+        steps = critical_path_table([root])
+        self_total = math.fsum(row["self_ms"] for row in steps)
+        turnaround_ms = report.stats.turnaround * 1e3
+        if not math.isclose(self_total, turnaround_ms, rel_tol=1e-9,
+                            abs_tol=1e-9):
+            tiling_ok = False
+        entries.append(
+            {
+                "query_id": report.query_id,
+                "trace_id": report.trace_id,
+                "turnaround_ms": round(turnaround_ms, 3),
+                "coverage": report.coverage,
+                "degraded": report.degraded,
+                "fingerprint": fingerprint.to_dict(),
+                "family": fingerprint.family,
+                "critical_path": steps,
+            }
+        )
+    families = cluster_slow_queries(entries)
+    critical = critical_path_table(roots)
+    if args.as_json:
+        print(json.dumps(
+            {
+                "queries": len(entries),
+                "families": families,
+                "critical_path": critical,
+                "critical_path_tiles_turnaround": tiling_ok,
+            },
+            indent=2, sort_keys=True,
+        ), file=out)
+        return 0 if tiling_ok else 1
+    print(f"# {len(entries)} queries, {len(families)} trace families "
+          f"(critical-path self-times "
+          f"{'tile' if tiling_ok else 'DO NOT tile'} turnaround)",
+          file=out)
+    print("\n## families", file=out)
+    for family in families:
+        exemplars = ", ".join(family["exemplar_trace_ids"])
+        print(
+            f"{family['family']:<44} n={family['count']:<3} "
+            f"share={family['share'] * 100:5.1f}% "
+            f"mean={family['mean_turnaround_ms']:9.3f}ms "
+            f"max={family['max_turnaround_ms']:9.3f}ms  e.g. {exemplars}",
+            file=out,
+        )
+    print("\n## critical path", file=out)
+    for row in critical:
+        print(
+            f"{row['stage']:<18} self={row['self_ms']:9.3f}ms "
+            f"({row['share'] * 100:5.1f}%) total={row['total_ms']:9.3f}ms "
+            f"steps={row['count']}",
+            file=out,
+        )
+    return 0 if tiling_ok else 1
+
+
+def _cmd_explore(args: argparse.Namespace, out) -> int:
+    import json
+    import os
+
+    from repro.bench.explore import run_explore
+
+    seed = (
+        args.seed if args.seed is not None
+        else int(os.environ.get("CHAOS_SEED", "0"))
+    )
+    result = run_explore(args.grid, seed=seed, query_count=args.queries)
+    if args.out:
+        paths = result.write(args.out)
+        print(f"wrote {len(paths)} artifacts to {args.out}", file=out)
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "grid": result.grid,
+                "seed": result.seed,
+                "cells": [
+                    {
+                        "cell": cell.name,
+                        "mean_turnaround_ms": round(
+                            cell.mean_turnaround_ms, 3
+                        ),
+                        "max_turnaround_ms": cell.max_turnaround_ms,
+                        "slow_queries": len(cell.slow_entries),
+                        "degraded": cell.degraded_count,
+                        "families": cell.families,
+                        "critical_path": cell.critical_path,
+                    }
+                    for cell in result.ranked()
+                ],
+            },
+            indent=2, sort_keys=True,
+        ), file=out)
+    else:
+        print(result.to_markdown(), file=out, end="")
+    if args.assert_families:
+        bad = [
+            cell.name for cell in result.cells
+            if not cell.families
+            or not cell.families[0]["exemplar_trace_ids"]
+        ]
+        if bad:
+            print(
+                "ASSERT FAIL: cells without a named slow-query family: "
+                + ", ".join(bad),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"ASSERT OK: all {len(result.cells)} cells named slow-query "
+            f"families with exemplar trace ids",
+            file=out,
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -1140,6 +1323,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "tier": _cmd_tier,
         "trace": _cmd_trace,
         "explain": _cmd_explain,
+        "analyze": _cmd_analyze,
+        "explore": _cmd_explore,
     }
     return handlers[args.command](args, out)
 

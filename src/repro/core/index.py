@@ -383,6 +383,15 @@ class MendelIndex:
             "raw_bytes": raw_bytes,
             "resident_bytes": resident,
             "pinned_bytes": sum(occ["pinned_bytes"] for occ in nodes.values()),
+            "pinned_pages": sum(
+                occ["pinned_pages"] for occ in nodes.values()
+            ),
+            "cold_read_seeks": sum(
+                occ["cold_read_seeks"] for occ in nodes.values()
+            ),
+            "cold_read_bytes": sum(
+                occ["cold_read_bytes"] for occ in nodes.values()
+            ),
             "summary_bytes": sum(
                 occ["summary_bytes"] for occ in nodes.values()
             ),

@@ -19,6 +19,9 @@ of aggregation.  This package makes that visible on a live deployment:
   one continuously-evaluated health picture;
 * :mod:`repro.obs.slo` — declarative SLOs with multi-window burn-rate
   alerting, every alert correlated with its suspected chaos-event cause;
+* :mod:`repro.obs.analyze` — trace analytics: span-shape fingerprints,
+  slow-query family clustering, and critical-path profiling (the ANALYZE
+  verb and ``repro analyze`` / ``repro explore`` are built on it);
 * :mod:`repro.obs.dashboard` — the plain-text frame renderer behind
   ``repro watch``;
 * :mod:`repro.obs.export` — Prometheus text exposition and Chrome
@@ -30,6 +33,14 @@ DESIGN.md's "three clocks" subsection explains how wall-clock time,
 sim-clock time, and trace timestamps relate.
 """
 
+from repro.obs.analyze import (
+    TraceFingerprint,
+    cluster_slow_queries,
+    critical_path,
+    critical_path_table,
+    merge_critical_tables,
+    trace_fingerprint,
+)
 from repro.obs.events import Event, EventLog, default_event_log
 from repro.obs.export import (
     chrome_trace_events,
@@ -70,13 +81,19 @@ __all__ = [
     "Span",
     "Stopwatch",
     "TraceContext",
+    "TraceFingerprint",
     "WindowStats",
     "chrome_trace_events",
+    "cluster_slow_queries",
+    "critical_path",
+    "critical_path_table",
     "default_event_log",
     "default_registry",
     "default_slos",
     "format_duration",
+    "merge_critical_tables",
     "prometheus_text",
+    "trace_fingerprint",
     "wall_clock",
     "write_chrome_trace",
 ]

@@ -51,6 +51,48 @@ def render_alerts(alerts: dict, width: int = 96) -> list[str]:
     return lines
 
 
+def _fmt_bytes(count: float) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def render_tier_cache(storage: dict, width: int = 96) -> list[str]:
+    """The tier-cache panel: page-cache hit rate, pinned pages, cold-read
+    device traffic (the ``repro_tier_cache_*`` / tier occupancy rollup the
+    gateway ships in its ALERTS frame)."""
+    lines = [_rule("tier cache", width)]
+    if not storage.get("tiered"):
+        lines.append("(deployment is all-RAM; nothing spilled)")
+        return lines
+    hits = float(storage.get("cache_hits", 0.0))
+    misses = float(storage.get("cache_misses", 0.0))
+    lookups = hits + misses
+    hit_rate = (hits / lookups * 100.0) if lookups else 0.0
+    lines.append(
+        f"hit rate {hit_rate:5.1f}%  ({int(hits)} hits / "
+        f"{int(misses)} misses, {int(storage.get('cache_evictions', 0))} "
+        f"evictions)"
+    )
+    lines.append(
+        f"resident {int(storage.get('cache_resident_pages', 0))} pages "
+        f"(+{int(storage.get('pinned_pages', 0))} pinned vantage), "
+        f"{storage.get('resident_fraction', 0.0) * 100:.1f}% of raw bytes "
+        f"in RAM"
+    )
+    lines.append(
+        f"cold reads {_fmt_bytes(storage.get('cold_read_bytes', 0))} in "
+        f"{int(storage.get('cold_read_seeks', 0))} seeks; "
+        f"{_fmt_bytes(storage.get('bytes_on_disk', 0))} on disk across "
+        f"{int(storage.get('spilled_nodes', 0))} nodes "
+        f"(x{storage.get('compression_ratio', 0.0):.2f} compression)"
+    )
+    return lines
+
+
 def render_slis(slis: dict, windows: Iterable[str], width: int = 96) -> list[str]:
     window_labels = list(windows)
     lines = [_rule("SLIs", width)]
@@ -127,6 +169,10 @@ def render_frame(snapshot: dict, width: int = 96) -> str:
     ]
     lines.extend(render_alerts(snapshot.get("alerts", {}), width))
     lines.append("")
+    storage = snapshot.get("storage")
+    if storage is not None:
+        lines.extend(render_tier_cache(storage, width))
+        lines.append("")
     lines.extend(render_slis(
         snapshot.get("slis", {}), snapshot.get("windows", []), width
     ))

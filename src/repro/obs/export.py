@@ -100,6 +100,11 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1) -> list[dict]:
     ``attrs["actor"]``; distinct actors get distinct ``tid`` rows (with
     ``thread_name`` metadata events naming them), so Perfetto renders the
     cluster's parallelism one row per node/group.
+
+    Tier ``cold_read`` spans get category ``"io"`` (everything else is
+    ``"sim"``) so disk traffic can be isolated in the timeline view; their
+    byte/seek/``io_seconds`` annotations ride along as event ``args`` like
+    any other attrs.
     """
     events: list[dict] = []
     tids: dict[str, int] = {}
@@ -136,7 +141,7 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1) -> list[dict]:
                 {
                     "ph": "X",
                     "name": span.name,
-                    "cat": "sim",
+                    "cat": "io" if span.name == "cold_read" else "sim",
                     "ts": span.sim_start * 1e6,
                     "dur": max(0.0, span.sim_duration) * 1e6,
                     "pid": pid,

@@ -191,6 +191,12 @@ class ServeClient:
         alert states with correlated causes, transitions, event tail."""
         return self.request({"op": "alerts"})
 
+    def analyze(self) -> dict:
+        """ANALYZE op; trace analytics over the gateway's slow-query log —
+        span-shape families with exemplar trace ids plus the merged
+        critical-path table."""
+        return self.request({"op": "analyze"})
+
     def scrub(self, heal: bool = True) -> dict:
         """SCRUB op; one anti-entropy pass over every replica copy.
         ``heal=False`` audits (detects) without quarantining heals."""

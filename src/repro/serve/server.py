@@ -122,6 +122,8 @@ class QueryServer:
                 return {"id": request_id, "ok": True, **self.service.health()}
             if op == "alerts":
                 return {"id": request_id, "ok": True, **self.service.alerts()}
+            if op == "analyze":
+                return {"id": request_id, "ok": True, **self.service.analyze()}
             if op == "scale":
                 return {
                     "id": request_id, "ok": True,

@@ -31,9 +31,16 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
+from repro.core.explain import build_funnel
 from repro.core.framework import Mendel
 from repro.core.params import QueryParams
 from repro.core.query import QueryReport
+from repro.obs.analyze import (
+    cluster_slow_queries,
+    critical_path_table,
+    merge_critical_tables,
+    trace_fingerprint,
+)
 from repro.obs.events import EventLog
 from repro.obs.export import prometheus_text
 from repro.obs.health import HealthMonitor
@@ -489,7 +496,15 @@ class QueryService:
     def _note_slow(
         self, request: _Request, report: QueryReport, latency: float
     ) -> None:
-        """Keep a span-tree summary of a threshold-exceeding request."""
+        """Keep a span-tree summary of a threshold-exceeding request.
+
+        Beyond the rendered tree, each entry carries the reconciled EXPLAIN
+        attrition funnel, the trace fingerprint, and its own critical-path
+        table — all JSON-shaped, so families stay joinable to query plans
+        from a STATS/ANALYZE payload without re-running anything.
+        """
+        root = report.root_span
+        fingerprint = trace_fingerprint(root) if root is not None else None
         entry = {
             "query_id": request.record.seq_id,
             "trace_id": report.trace_id,
@@ -497,10 +512,16 @@ class QueryService:
             "turnaround_ms": round(report.stats.turnaround * 1e3, 3),
             "coverage": report.coverage,
             "degraded": report.degraded,
-            "spans": (
-                report.root_span.format_tree()
-                if report.root_span is not None
-                else None
+            "spans": root.format_tree() if root is not None else None,
+            "funnel": [stage.to_dict() for stage in build_funnel(report)],
+            "fingerprint": (
+                fingerprint.to_dict() if fingerprint is not None else None
+            ),
+            "family": (
+                fingerprint.family if fingerprint is not None else "untraced"
+            ),
+            "critical_path": (
+                critical_path_table([root]) if root is not None else []
             ),
         }
         with self._lock:
@@ -610,6 +631,40 @@ class QueryService:
                                     float(cache.misses))],
                 )
             )
+        with self._lock:
+            entries = list(self._slow_log)
+        if entries:
+            count_samples = []
+            turnaround_samples = []
+            for family in cluster_slow_queries(entries):
+                family_labels = labels + (("family", family["family"]),)
+                count_samples.append(
+                    Sample("repro_slowfamily_queries", family_labels,
+                           float(family["count"]))
+                )
+                turnaround_samples.append(
+                    Sample("repro_slowfamily_turnaround_ms", family_labels,
+                           float(family["mean_turnaround_ms"]))
+                )
+            snaps.append(
+                FamilySnapshot(
+                    name="repro_slowfamily_queries",
+                    kind="gauge",
+                    help=(
+                        "Slow-log entries per trace family "
+                        "(span-shape cluster)"
+                    ),
+                    samples=count_samples,
+                )
+            )
+            snaps.append(
+                FamilySnapshot(
+                    name="repro_slowfamily_turnaround_ms",
+                    kind="gauge",
+                    help="Mean sim-clock turnaround per slow trace family",
+                    samples=turnaround_samples,
+                )
+            )
         return snaps
 
     def health(self) -> dict:
@@ -661,9 +716,13 @@ class QueryService:
             "bytes_on_disk": tier["bytes_on_disk"],
             "compression_ratio": tier["compression_ratio"],
             "resident_fraction": tier["resident_fraction"],
+            "pinned_pages": tier.get("pinned_pages", 0),
+            "cold_read_seeks": tier.get("cold_read_seeks", 0),
+            "cold_read_bytes": tier.get("cold_read_bytes", 0),
             "cache_hits": cache.get("hits", 0.0),
             "cache_misses": cache.get("misses", 0.0),
             "cache_evictions": cache.get("evictions", 0.0),
+            "cache_resident_pages": cache.get("resident_pages", 0),
         }
 
     # -- durability and integrity ----------------------------------------------
@@ -741,13 +800,36 @@ class QueryService:
 
     def alerts(self) -> dict:
         """The ALERTS verb: the monitor's full frame — SLI windows, alert
-        states with correlated causes, recent transitions, event tail."""
+        states with correlated causes, recent transitions, event tail.
+
+        The frame also carries the tier-storage rollup so ``repro watch
+        --gateway`` can render its tier-cache panel from one poll."""
         now = self._clock()
         self.monitor.tick(now)
         self._maybe_scale(now)
         out = self.monitor.snapshot(now)
         out["firing"] = self.monitor.alerts_firing()
+        out["storage"] = self._storage_health()
         return out
+
+    def analyze(self) -> dict:
+        """The ANALYZE verb: trace analytics over the slow-query log.
+
+        Clusters the logged entries into span-shape families (named, with
+        exemplar trace ids) and merges their per-entry critical-path
+        tables into one flamegraph-style per-stage breakdown whose
+        self-times sum to the logged turnarounds exactly.
+        """
+        with self._lock:
+            entries = list(self._slow_log)
+        return {
+            "slow_queries": len(entries),
+            "slow_query_threshold": self.slow_query_threshold,
+            "families": cluster_slow_queries(entries),
+            "critical_path": merge_critical_tables(
+                entry.get("critical_path") or [] for entry in entries
+            ),
+        }
 
     def close(self) -> None:
         """Stop admitting work, flush pending batches, release the pool."""

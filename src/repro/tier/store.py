@@ -172,6 +172,10 @@ class NodeTier:
         self._last_page: tuple[int, np.ndarray] | None = None
         self.pending_seeks = 0
         self.pending_bytes = 0
+        # Lifetime device traffic (never drained — pending_* feed sim-time
+        # charges, these feed the tier-cache dashboard panel).
+        self.total_seeks = 0
+        self.total_bytes = 0
         registry = default_registry()
         self._g_disk = registry.gauge(
             "repro_tier_bytes_on_disk",
@@ -337,6 +341,8 @@ class NodeTier:
         meta = self.reader.pages[index]
         self.pending_seeks += 1
         self.pending_bytes += meta.length
+        self.total_seeks += 1
+        self.total_bytes += meta.length
         try:
             rows = self.reader.read_page(index)
         except TierCodecError:
@@ -407,6 +413,8 @@ class NodeTier:
         if fetched:
             self.pending_seeks += 1
             self.pending_bytes += batch_bytes
+            self.total_seeks += 1
+            self.total_bytes += batch_bytes
         return pinned_keys
 
     def release_pins(self, keys: list[tuple[str, int]]) -> None:
@@ -563,6 +571,8 @@ class NodeTier:
             "resident_bytes": self.resident_bytes,
             "compression_ratio": self.compression_ratio,
             "resident_fraction": self.resident_fraction,
+            "cold_read_seeks": self.total_seeks,
+            "cold_read_bytes": self.total_bytes,
             "codec_pages": methods,
         }
         self._update_gauges()

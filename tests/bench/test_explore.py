@@ -1,0 +1,176 @@
+"""The ``repro explore`` scenario grid: determinism, artifacts, schema.
+
+The acceptance bar: the same seed must reproduce REPORT.md byte for byte,
+and every per-cell JSON must satisfy the ``repro.bench.regress`` schema-v1
+comparator.  Runs under ``CHAOS_SEED`` so the CI matrix exercises several
+seeds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.explore import (
+    GRIDS,
+    Cell,
+    _arrange_traffic,
+    cell_seed,
+    run_cell,
+    run_explore,
+)
+from repro.bench.regress import SCHEMA_VERSION, compare, load_report
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+#: A cheap two-cell grid for determinism tests (one healthy, one chaotic).
+TINY = (
+    Cell("uniform", "protein", "none", "ram"),
+    Cell("zipf", "protein", "light", "ram"),
+)
+
+
+class TestCellValidation:
+    def test_name_joins_axes(self):
+        cell = Cell("burst", "dna", "heavy", "tier")
+        assert cell.name == "burst-dna-heavy-tier"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mix": "poisson"}, {"workload": "rna"},
+        {"chaos": "extreme"}, {"storage": "tape"},
+    ])
+    def test_bad_axis_rejected(self, kwargs):
+        spec = {"mix": "uniform", "workload": "protein",
+                "chaos": "none", "storage": "ram"}
+        spec.update(kwargs)
+        with pytest.raises(ValueError):
+            Cell(**spec)
+
+    def test_grids_are_valid_and_distinct(self):
+        for name, cells in GRIDS.items():
+            assert len({c.name for c in cells}) == len(cells), name
+        assert len(GRIDS["small"]) == 4
+
+    def test_unknown_grid_raises(self):
+        with pytest.raises(ValueError, match="unknown grid"):
+            run_explore("gigantic", seed=0)
+
+
+class TestCellSeed:
+    def test_position_independent(self):
+        cell = Cell("uniform", "protein", "none", "ram")
+        assert cell_seed(cell, 3) == cell_seed(Cell(*cell.name.split("-")), 3)
+
+    def test_varies_by_cell_and_seed(self):
+        a = Cell("uniform", "protein", "none", "ram")
+        b = Cell("zipf", "protein", "none", "ram")
+        assert cell_seed(a, 0) != cell_seed(b, 0)
+        assert cell_seed(a, 0) != cell_seed(a, 1)
+
+
+class TestTrafficMixes:
+    def test_uniform_spacing(self):
+        queries, labels, arrivals = _arrange_traffic(
+            Cell("uniform", "protein", "none", "ram"),
+            list("abcd"), ["q0", "q1", "q2", "q3"], 0.5,
+        )
+        assert arrivals == [0.0, 0.5, 1.0, 1.5]
+        assert queries == list("abcd")
+
+    def test_zipf_skews_to_head(self):
+        queries, labels, arrivals = _arrange_traffic(
+            Cell("zipf", "protein", "none", "ram"),
+            list("abcd"), ["q0", "q1", "q2", "q3"], 0.5,
+        )
+        assert len(queries) == 4
+        assert queries.count("a") >= 2  # hot key dominates
+        assert len(set(labels)) == len(labels)
+
+    def test_burst_front_loads(self):
+        _, _, arrivals = _arrange_traffic(
+            Cell("burst", "protein", "none", "ram"),
+            list("abcdef"), [f"q{i}" for i in range(6)], 0.5,
+        )
+        assert arrivals[:4] == [0.0] * 4
+        assert arrivals[4:] == sorted(arrivals[4:])
+        assert arrivals[-1] > 0.0
+
+
+class TestCellRun:
+    def test_run_cell_deterministic(self):
+        dumps = []
+        for _ in range(2):
+            result = run_cell(TINY[1], seed=SEED, query_count=5)
+            dumps.append(json.dumps(
+                {"bench": result.bench, "entries": result.entries,
+                 "families": result.families},
+                sort_keys=True,
+            ))
+        assert dumps[0] == dumps[1]
+
+    def test_every_entry_carries_analytics(self):
+        result = run_cell(TINY[0], seed=SEED, query_count=5)
+        assert len(result.entries) == 5
+        for entry in result.entries:
+            assert entry["trace_id"].startswith("explore-")
+            assert entry["fingerprint"]["signature"]
+            assert entry["family"]
+            assert entry["critical_path"]
+            assert entry["funnel"]
+        assert result.slow_entries
+        assert result.families[0]["exemplar_trace_ids"]
+
+    def test_bench_payload_is_schema_v1(self, tmp_path):
+        result = run_cell(TINY[0], seed=SEED, query_count=5)
+        path = tmp_path / "cell.json"
+        path.write_text(json.dumps(result.bench), encoding="utf-8")
+        report = load_report(path)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["suite"] == "repro-explore"
+        assert compare(report, report) == []
+        metrics = report["workloads"][result.name]["metrics"]
+        assert metrics["sim_turnaround_mean_ms"]["direction"] == "lower"
+        assert metrics["slow_queries"]["value"] == len(result.slow_entries)
+
+
+class TestExploreReport:
+    def test_report_byte_identical_per_seed(self):
+        """Acceptance: same seed twice, byte-identical REPORT.md."""
+        first = run_explore("tiny", seed=SEED, query_count=4, cells=TINY)
+        second = run_explore("tiny", seed=SEED, query_count=4, cells=TINY)
+        assert first.to_markdown() == second.to_markdown()
+
+    def test_different_seed_different_report(self):
+        base = run_explore("tiny", seed=SEED, query_count=4, cells=TINY)
+        other = run_explore("tiny", seed=SEED + 1, query_count=4, cells=TINY)
+        assert base.to_markdown() != other.to_markdown()
+
+    def test_report_names_families_with_exemplars(self):
+        result = run_explore("tiny", seed=SEED, query_count=4, cells=TINY)
+        markdown = result.to_markdown()
+        assert "## Cell ranking (slowest first)" in markdown
+        for cell in result.cells:
+            assert f"## `{cell.name}`" in markdown
+            assert cell.dominant_family in markdown
+            exemplar = cell.families[0]["exemplar_trace_ids"][0]
+            assert exemplar.startswith("explore-")
+            assert f"`{exemplar}`" in markdown
+
+    def test_ranking_is_slowest_first(self):
+        result = run_explore("tiny", seed=SEED, query_count=4, cells=TINY)
+        means = [c.mean_turnaround_ms for c in result.ranked()]
+        assert means == sorted(means, reverse=True)
+
+    def test_write_produces_report_and_cell_artifacts(self, tmp_path):
+        result = run_explore("tiny", seed=SEED, query_count=4, cells=TINY)
+        paths = result.write(tmp_path)
+        assert (tmp_path / "REPORT.md").read_text() == result.to_markdown()
+        for cell in TINY:
+            path = tmp_path / f"explore-{cell.name}.json"
+            assert path.exists()
+            assert compare(load_report(path), load_report(path)) == []
+        assert set(paths) == {"REPORT.md"} | {
+            f"explore-{cell.name}.json" for cell in TINY
+        }

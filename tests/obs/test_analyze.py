@@ -1,0 +1,236 @@
+"""Trace analytics: span-shape fingerprints, slow-query clustering, and
+the critical-path profiler.
+
+Determinism runs under ``CHAOS_SEED`` (the CI matrix knob): the same seed
+must produce the same fingerprints, the same family assignment, and the
+same critical-path tables, byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.core import Mendel, MendelConfig, QueryParams
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.obs.analyze import (
+    cluster_slow_queries,
+    critical_path,
+    critical_path_table,
+    fanout_bucket,
+    merge_critical_tables,
+    trace_fingerprint,
+)
+from repro.obs.export import chrome_trace_events
+from repro.obs.trace import TraceContext
+from repro.seq.alphabet import PROTEIN
+from repro.seq.generate import random_set
+from repro.seq.mutate import mutate_to_identity
+from repro.tier.store import TierConfig
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def _build(replication: int = 1, rng: int | None = None) -> tuple[Mendel, object]:
+    db = random_set(count=14, length=110, alphabet=PROTEIN,
+                    rng=(301 + SEED) if rng is None else rng, id_prefix="an")
+    mendel = Mendel.build(
+        db,
+        MendelConfig(group_count=2, group_size=2, replication=replication,
+                     sample_size=128, seed=17),
+    )
+    return mendel, db
+
+
+@pytest.fixture()
+def traced_report(mendel, planted_probe):
+    probe, _ = planted_probe
+    return mendel.query(probe, QueryParams(n=6),
+                        trace_ctx=TraceContext(trace_id="an-probe"))
+
+
+class TestFanoutBucket:
+    @pytest.mark.parametrize("count,expected", [
+        (0, "0"), (1, "1"), (2, "2-3"), (3, "2-3"),
+        (4, "4-7"), (7, "4-7"), (8, "8+"), (100, "8+"),
+    ])
+    def test_buckets(self, count, expected):
+        assert fanout_bucket(count) == expected
+
+
+class TestTraceFingerprint:
+    def test_healthy_query_shape(self, traced_report):
+        fp = trace_fingerprint(traced_report.root_span)
+        assert fp.stages == ("receive", "route", "fanout", "gapped", "reply")
+        assert fp.dominant in fp.stages
+        assert not (fp.degraded or fp.hedged or fp.cold_read or fp.failed)
+        assert fp.family == f"{fp.dominant}-dominant"
+        assert "flags=-" in fp.signature
+
+    def test_same_seed_same_fingerprint(self):
+        """Two deployments built from the same seed fingerprint a probe
+        identically — the property family clustering rests on."""
+        signatures = []
+        for _ in range(2):
+            mendel, db = _build()
+            probe = mutate_to_identity(db.records[3], 0.9, rng=5,
+                                       seq_id="fp")
+            report = mendel.query(probe, QueryParams(n=6),
+                                  trace_ctx=TraceContext(trace_id="fp"))
+            fp = trace_fingerprint(report.root_span)
+            signatures.append(json.dumps(fp.to_dict(), sort_keys=True))
+        assert signatures[0] == signatures[1]
+
+    def test_failure_flags_surface_in_family(self):
+        """A crash on an unreplicated deployment marks the family with
+        degraded/failed-node flags."""
+        mendel, db = _build(replication=1)
+        probe = mutate_to_identity(db.records[2], 0.88, rng=9, seq_id="deg")
+        victim = mendel.index.topology.groups[0].nodes[0].node_id
+        faults = FaultSchedule(
+            events=(FaultEvent.crash(1e-5, victim),),
+            seed=SEED, auto_repair=False,
+        )
+        reports = mendel.engine.run_batch(
+            [probe], QueryParams(n=6), faults=faults,
+            trace_contexts=[TraceContext(trace_id="deg")],
+        )
+        fp = trace_fingerprint(reports[0].root_span)
+        assert reports[0].degraded
+        assert fp.degraded and fp.failed
+        assert "degraded" in fp.family and "failed-node" in fp.family
+
+
+class TestCriticalPath:
+    def _assert_tiles(self, report):
+        steps = critical_path(report.root_span)
+        self_total = math.fsum(step["self_ms"] for step in steps)
+        assert self_total == pytest.approx(
+            report.stats.turnaround * 1e3, rel=1e-9
+        )
+
+    def test_self_times_tile_turnaround(self, traced_report):
+        """Acceptance: critical-path self-times sum exactly to turnaround
+        (the PR 4 stage-span tiling invariant, pushed down the tree)."""
+        self._assert_tiles(traced_report)
+
+    def test_tiling_survives_faults(self):
+        """The tiling invariant holds even for degraded chaos traces."""
+        mendel, db = _build(replication=1)
+        probe = mutate_to_identity(db.records[6], 0.9, rng=3, seq_id="cp")
+        victim = mendel.index.topology.groups[1].nodes[0].node_id
+        faults = FaultSchedule(
+            events=(FaultEvent.crash(1e-5, victim),),
+            seed=SEED, auto_repair=False,
+        )
+        reports = mendel.engine.run_batch(
+            [probe, probe], QueryParams(n=6), faults=faults,
+            arrival_interval=0.05,
+            trace_contexts=[TraceContext(trace_id=f"cp{i}")
+                            for i in range(2)],
+        )
+        for report in reports:
+            self._assert_tiles(report)
+
+    def test_table_aggregates_by_stage(self, traced_report):
+        table = critical_path_table([traced_report.root_span])
+        stages = [row["stage"] for row in table]
+        assert len(stages) == len(set(stages))
+        assert math.fsum(row["share"] for row in table) == pytest.approx(1.0)
+        # Rows come slowest-self-time first.
+        self_times = [row["self_ms"] for row in table]
+        assert self_times == sorted(self_times, reverse=True)
+
+    def test_merge_is_associative_with_single_tables(self, traced_report):
+        one = critical_path_table([traced_report.root_span])
+        merged = merge_critical_tables([one, one])
+        by_stage = {row["stage"]: row for row in merged}
+        for row in one:
+            assert by_stage[row["stage"]]["count"] == 2 * row["count"]
+            assert by_stage[row["stage"]]["self_ms"] == pytest.approx(
+                2 * row["self_ms"]
+            )
+
+
+class TestClusterSlowQueries:
+    def _entry(self, report):
+        fp = trace_fingerprint(report.root_span)
+        return {
+            "trace_id": report.trace_id,
+            "turnaround_ms": report.stats.turnaround * 1e3,
+            "fingerprint": fp.to_dict(),
+            "family": fp.family,
+        }
+
+    def test_families_cover_all_entries(self):
+        mendel, db = _build()
+        entries = []
+        for i in range(4):
+            probe = mutate_to_identity(db.records[i], 0.9, rng=20 + i,
+                                       seq_id=f"cl{i}")
+            report = mendel.query(probe, QueryParams(n=6),
+                                  trace_ctx=TraceContext(trace_id=f"cl{i}"))
+            entries.append(self._entry(report))
+        families = cluster_slow_queries(entries)
+        assert sum(f["count"] for f in families) == len(entries)
+        assert math.fsum(f["share"] for f in families) == pytest.approx(1.0)
+        for family in families:
+            assert family["exemplar_trace_ids"]
+            assert family["mean_turnaround_ms"] <= family["max_turnaround_ms"]
+
+    def test_same_seed_same_assignment(self):
+        """CHAOS_SEED determinism: clustering twice from identically
+        rebuilt deployments is byte-identical."""
+        dumps = []
+        for _ in range(2):
+            mendel, db = _build()
+            entries = []
+            for i in range(3):
+                probe = mutate_to_identity(db.records[i], 0.9, rng=40 + i,
+                                           seq_id=f"d{i}")
+                report = mendel.query(
+                    probe, QueryParams(n=6),
+                    trace_ctx=TraceContext(trace_id=f"d{i}"),
+                )
+                entries.append(self._entry(report))
+            dumps.append(json.dumps(cluster_slow_queries(entries),
+                                    sort_keys=True))
+        assert dumps[0] == dumps[1]
+
+    def test_untraced_entries_form_their_own_family(self):
+        families = cluster_slow_queries([
+            {"trace_id": "x", "turnaround_ms": 5.0},
+        ])
+        assert families[0]["family"] == "untraced"
+        assert families[0]["exemplar_trace_ids"] == ["x"]
+
+
+class TestColdReadSpans:
+    def test_cold_read_flag_and_io_category(self):
+        """A tiered deployment with a starved cache produces cold_read
+        spans that flag the fingerprint and export with Chrome category
+        ``io`` carrying the seek/byte args."""
+        mendel, db = _build(rng=77)
+        mendel.spill(cache_bytes=2048,
+                     config=TierConfig(page_rows=16, cache_bytes=2048))
+        probe = mutate_to_identity(db.records[1], 0.9, rng=6, seq_id="cold")
+        report = mendel.query(probe, QueryParams(n=6),
+                              trace_ctx=TraceContext(trace_id="cold"))
+        root = report.root_span
+        cold = [s for s in root.walk() if s.name == "cold_read"]
+        assert cold, "starved tier cache produced no cold_read spans"
+        fp = trace_fingerprint(root)
+        assert fp.cold_read
+        assert "cold-read" in fp.family
+        events = chrome_trace_events([root])
+        io_events = [e for e in events if e.get("cat") == "io"]
+        assert len(io_events) == len(cold)
+        for event in io_events:
+            assert event["name"] == "cold_read"
+            assert event["args"]["bytes"] > 0
+            assert event["args"]["seeks"] >= 1
+        assert all(e.get("cat") == "sim" for e in events
+                   if e["ph"] == "X" and e["name"] != "cold_read")

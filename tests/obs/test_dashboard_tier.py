@@ -1,0 +1,69 @@
+"""The ``repro watch`` tier-cache panel."""
+
+from __future__ import annotations
+
+from repro.obs.dashboard import _fmt_bytes, render_frame, render_tier_cache
+
+
+def _tiered_storage() -> dict:
+    return {
+        "tiered": True,
+        "cache_hits": 30,
+        "cache_misses": 10,
+        "cache_evictions": 4,
+        "cache_resident_pages": 12,
+        "pinned_pages": 3,
+        "resident_fraction": 0.25,
+        "cold_read_seeks": 17,
+        "cold_read_bytes": 9 * 1024,
+        "bytes_on_disk": 3 * 1024 * 1024,
+        "spilled_nodes": 6,
+        "compression_ratio": 2.5,
+    }
+
+
+class TestFmtBytes:
+    def test_units(self):
+        assert _fmt_bytes(512) == "512B"
+        assert _fmt_bytes(2048) == "2.0KiB"
+        assert _fmt_bytes(3 * 1024 * 1024) == "3.0MiB"
+        assert _fmt_bytes(5 * 1024**3) == "5.0GiB"
+
+
+class TestTierCachePanel:
+    def test_all_ram_deployment(self):
+        lines = render_tier_cache({"tiered": False})
+        assert lines[0].startswith("== tier cache ")
+        assert "all-RAM" in lines[1]
+
+    def test_tiered_panel_lines(self):
+        lines = render_tier_cache(_tiered_storage())
+        text = "\n".join(lines)
+        assert "hit rate  75.0%" in text
+        assert "30 hits / 10 misses, 4 evictions" in text
+        assert "12 pages (+3 pinned vantage)" in text
+        assert "25.0% of raw bytes in RAM" in text
+        assert "9.0KiB in 17 seeks" in text
+        assert "3.0MiB on disk across 6 nodes" in text
+        assert "x2.50 compression" in text
+
+    def test_zero_lookups_no_division(self):
+        storage = _tiered_storage()
+        storage["cache_hits"] = storage["cache_misses"] = 0
+        lines = render_tier_cache(storage)
+        assert "hit rate   0.0%" in "\n".join(lines)
+
+
+class TestFrameIntegration:
+    def test_frame_includes_panel_when_storage_present(self):
+        frame = render_frame({"alerts": {}, "slis": {}, "windows": [],
+                              "transitions": [], "events": [],
+                              "storage": _tiered_storage()})
+        assert "== tier cache " in frame
+        assert frame.index("== alerts ") < frame.index("== tier cache ")
+        assert frame.index("== tier cache ") < frame.index("== SLIs ")
+
+    def test_frame_omits_panel_without_storage(self):
+        frame = render_frame({"alerts": {}, "slis": {}, "windows": [],
+                              "transitions": [], "events": []})
+        assert "tier cache" not in frame

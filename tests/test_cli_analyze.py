@@ -1,0 +1,134 @@
+"""CLI tests for ``repro analyze``, ``repro explore``, and the ANALYZE
+call op."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.seq import PROTEIN, format_fasta, random_set
+from repro.seq.mutate import mutate_to_identity
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory):
+    base = tmp_path_factory.mktemp("analyze-cli")
+    db = random_set(count=10, length=90, alphabet=PROTEIN, rng=501,
+                    id_prefix="r")
+    refs = base / "refs.fasta"
+    refs.write_text(format_fasta(db.records))
+    probes = [
+        mutate_to_identity(db.records[i], 0.9, rng=i, seq_id=f"probe{i}")
+        for i in range(3)
+    ]
+    queries = base / "queries.fasta"
+    queries.write_text(format_fasta(probes))
+    archive = base / "deploy.npz"
+    assert main(["index", str(refs), "--alphabet", "protein",
+                 "--out", str(archive), "--groups", "2",
+                 "--group-size", "2"], out=io.StringIO()) == 0
+    return archive, queries
+
+
+class TestParser:
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "d.npz", "q.fasta", "--json", "--n", "5"]
+        )
+        assert args.command == "analyze"
+        assert args.as_json and args.n == 5
+
+    def test_explore_args(self):
+        args = build_parser().parse_args(
+            ["explore", "--grid", "small", "--seed", "3",
+             "--out", "dir", "--assert-families"]
+        )
+        assert args.command == "explore"
+        assert args.grid == "small" and args.seed == 3
+        assert args.assert_families
+
+    def test_explore_rejects_unknown_grid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--grid", "huge"])
+
+    def test_call_accepts_analyze_op(self):
+        args = build_parser().parse_args(["call", "analyze"])
+        assert args.op == "analyze"
+
+
+class TestAnalyzeCommand:
+    def test_text_output(self, deployment):
+        archive, queries = deployment
+        out = io.StringIO()
+        assert main(["analyze", str(archive), str(queries)], out=out) == 0
+        text = out.getvalue()
+        assert "## families" in text
+        assert "## critical path" in text
+        assert "self-times tile turnaround" in text
+        assert "analyze-q000" in text
+
+    def test_json_output_tiles(self, deployment):
+        archive, queries = deployment
+        out = io.StringIO()
+        assert main(["analyze", str(archive), str(queries), "--json"],
+                    out=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["critical_path_tiles_turnaround"] is True
+        assert payload["queries"] == 3
+        assert payload["families"]
+        assert payload["families"][0]["exemplar_trace_ids"]
+
+    def test_json_deterministic(self, deployment):
+        archive, queries = deployment
+        outputs = []
+        for _ in range(2):
+            out = io.StringIO()
+            main(["analyze", str(archive), str(queries), "--json"], out=out)
+            outputs.append(out.getvalue())
+        assert outputs[0] == outputs[1]
+
+
+class TestExploreCommand:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        """Two identical small-grid sweeps (the expensive part, shared)."""
+        base = tmp_path_factory.mktemp("explore-cli")
+        results = []
+        for name in ("one", "two"):
+            out = io.StringIO()
+            code = main(
+                ["explore", "--grid", "small", "--seed", "1",
+                 "--queries", "4", "--out", str(base / name),
+                 "--assert-families"],
+                out=out,
+            )
+            results.append((code, out.getvalue(), base / name))
+        return results
+
+    def test_exit_and_assertion(self, runs):
+        for code, text, _ in runs:
+            assert code == 0
+            assert "ASSERT OK" in text
+
+    def test_report_written_and_byte_identical(self, runs):
+        (_, _, dir1), (_, _, dir2) = runs
+        report1 = (dir1 / "REPORT.md").read_bytes()
+        report2 = (dir2 / "REPORT.md").read_bytes()
+        assert report1 == report2
+        text = report1.decode()
+        assert "## Cell ranking (slowest first)" in text
+        assert "-dominant" in text
+        assert "`explore-" in text
+
+    def test_cell_artifacts_validate(self, runs):
+        from repro.bench.regress import compare, load_report
+
+        _, _, out_dir = runs[0]
+        cells = sorted(out_dir.glob("explore-*.json"))
+        assert len(cells) == 4
+        for path in cells:
+            report = load_report(path)
+            assert compare(report, load_report(path)) == []
