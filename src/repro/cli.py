@@ -96,12 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--evalue", type=float, default=10.0, dest="E")
 
     bench = sub.add_parser(
-        "bench", help="rerun one of the paper's figures, or the perf suite"
+        "bench", help="rerun one of the paper's figures, the perf suite, "
+                      "or diff two BENCH files"
     )
     bench.add_argument("figure", nargs="?", default=None,
-                       choices=sorted(_FIGURES) + ["all"])
+                       choices=sorted(_FIGURES) + ["all", "diff"])
+    bench.add_argument("files", nargs="*", default=[],
+                       help="with 'diff': the two BENCH_<n>.json files "
+                            "(baseline, current)")
     bench.add_argument("--out", default=None,
-                       help="with 'all': write the markdown report here")
+                       help="with 'all': write the markdown report here; "
+                            "with 'diff': the ATTRIBUTION.md path "
+                            "(default: ATTRIBUTION.md)")
     bench.add_argument("--regress", action="store_true",
                        help="run the canonical perf suite, write BENCH_<n>.json, "
                             "and diff against the previous run")
@@ -110,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: current directory)")
     bench.add_argument("--seed", type=int, default=23,
                        help="with --regress: workload seed")
+    bench.add_argument("--profile", action="store_true",
+                       help="with --regress: capture a deterministic cost "
+                            "profile as PROFILE_<n>.json next to the "
+                            "BENCH file")
+    bench.add_argument("--profile-a", default=None,
+                       help="with 'diff': baseline PROFILE json "
+                            "(default: PROFILE_<n>.json next to file A)")
+    bench.add_argument("--profile-b", default=None,
+                       help="with 'diff': current PROFILE json "
+                            "(default: PROFILE_<n>.json next to file B)")
 
     serve = sub.add_parser("serve", help="serve a saved deployment over TCP")
     serve.add_argument("archive", help="saved .npz deployment")
@@ -177,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     call.add_argument("op",
                       choices=("query", "explain", "stats", "health",
                                "metrics", "alerts", "scale", "scrub",
-                               "recover", "analyze"))
+                               "recover", "analyze", "profile"))
     call.add_argument("--host", default="127.0.0.1")
     call.add_argument("--port", type=int, default=7766)
     call.add_argument("--seq", default=None,
@@ -196,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="node to restart (op=recover; default: all dead)")
     call.add_argument("--no-heal", action="store_true",
                       help="detect without healing (op=scrub)")
+    call.add_argument("--action", choices=("start", "snapshot", "stop"),
+                      default="snapshot",
+                      help="profiler lifecycle action (op=profile)")
+    call.add_argument("--hz", type=float, default=None,
+                      help="sampling rate on profiler start (op=profile)")
 
     watch = sub.add_parser(
         "watch",
@@ -389,6 +410,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "least one slow-query family with exemplar "
                               "trace ids (CI smoke assertion)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="seeded profiling capture: sampled wall-clock stacks tagged "
+             "with span stages plus the deterministic cost profile",
+    )
+    profile.add_argument("--seed", type=int, default=None,
+                         help="workload seed (default: $CHAOS_SEED or 0)")
+    profile.add_argument("--hz", type=float, default=67.0,
+                         help="sampling rate for the wall-clock profiler")
+    profile.add_argument("--queries", type=int, default=2,
+                         help="queries per sweep length")
+    profile.add_argument("--out", default=None,
+                         help="directory for PROFILE.json (deterministic "
+                              "cost side), profile.folded, and "
+                              "profile.speedscope.json")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows in the printed hotspot tables")
+    profile.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the full profile snapshot as JSON")
+
     return parser
 
 
@@ -479,8 +520,11 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     if args.regress:
         return _cmd_bench_regress(args, out)
+    if args.figure == "diff":
+        return _cmd_bench_diff(args, out)
     if args.figure is None:
-        print("bench: name a figure or pass --regress", file=sys.stderr)
+        print("bench: name a figure, 'diff', or pass --regress",
+              file=sys.stderr)
         return 2
     if args.figure == "all":
         from repro.bench.report import generate_report
@@ -509,11 +553,32 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
 def _cmd_bench_regress(args: argparse.Namespace, out) -> int:
     from repro.bench import regress
 
+    from repro.obs.profile import (
+        CostProfiler,
+        install_cost_profiler,
+        uninstall_cost_profiler,
+    )
+
+    cost = None
+    if getattr(args, "profile", False):
+        cost = install_cost_profiler(CostProfiler())
     baseline = regress.latest_run(args.bench_dir)
-    report = regress.run_suite(seed=args.seed)
+    try:
+        report = regress.run_suite(seed=args.seed)
+    finally:
+        if cost is not None:
+            uninstall_cost_profiler(cost)
     path = regress.write_report(report, args.bench_dir)
     print(regress.format_report(report), file=out)
     print(f"\nwrote {path}", file=out)
+    if cost is not None:
+        from repro.bench import attribution
+
+        profile_path = attribution.write_profile(
+            attribution.profile_report(cost, seed=args.seed),
+            attribution.profile_path_for(path),
+        )
+        print(f"wrote {profile_path}", file=out)
     if baseline is None:
         print("no previous BENCH_*.json: baseline established", file=out)
         return 0
@@ -525,6 +590,117 @@ def _cmd_bench_regress(args: argparse.Namespace, out) -> int:
         return 0
     print(regress.format_comparison(regressions, baseline_path), file=out)
     return 1 if regressions else 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace, out) -> int:
+    from pathlib import Path
+
+    from repro.bench import attribution, regress
+
+    if len(args.files) != 2:
+        print("bench diff needs exactly two BENCH files: "
+              "repro bench diff A.json B.json", file=sys.stderr)
+        return 2
+    path_a, path_b = Path(args.files[0]), Path(args.files[1])
+    try:
+        bench_a = regress.load_report(path_a)
+        bench_b = regress.load_report(path_b)
+    except (OSError, ValueError) as exc:
+        print(f"bench diff: {exc}", file=sys.stderr)
+        return 2
+    profile_a = attribution.load_profile(
+        args.profile_a or attribution.profile_path_for(path_a)
+    )
+    profile_b = attribution.load_profile(
+        args.profile_b or attribution.profile_path_for(path_b)
+    )
+    result = attribution.diff(
+        bench_a, bench_b,
+        profile_a=profile_a, profile_b=profile_b,
+        label_a=path_a.name, label_b=path_b.name,
+    )
+    out_path = Path(args.out or "ATTRIBUTION.md")
+    attribution.write_attribution(result, out_path)
+    profiled = "with" if result["have_profiles"] else "without"
+    print(
+        f"wrote {out_path}: {len(result['metrics'])} metric delta(s) "
+        f"ranked, {profiled} cost-profile attribution",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace, out) -> int:
+    import json
+    import os
+
+    from repro.bench.workloads import (
+        FamilySpec,
+        generate_family_database,
+        generate_read_queries,
+    )
+    from repro.core.params import MendelConfig
+    from repro.obs.profile import Profiler, write_profile_artifacts
+    from repro.obs.trace import TraceContext
+
+    seed = (
+        args.seed if args.seed is not None
+        else int(os.environ.get("CHAOS_SEED", "0"))
+    )
+    profiler = Profiler(hz=args.hz)
+    profiler.start()
+    try:
+        spec = FamilySpec(families=30, members_per_family=4, length=150)
+        config = MendelConfig(group_count=4, group_size=3, seed=seed)
+        database = generate_family_database(spec, rng=seed)
+        mendel = Mendel.build(database, config)
+        params = QueryParams(k=8, n=6, i=0.8)
+        for length in (300, 600, 900):
+            queries = generate_read_queries(
+                database, args.queries, length, rng=seed + length,
+                id_prefix=f"profile-{length}",
+            )
+            for record in queries:
+                mendel.query(record, params, trace_ctx=TraceContext())
+    finally:
+        snap = profiler.stop()
+    if args.as_json:
+        print(json.dumps(snap, indent=2, sort_keys=True), file=out)
+    else:
+        sampling = snap["sampling"]
+        print(
+            f"profile capture (seed {seed}, {sampling['hz']:g} Hz): "
+            f"{sampling['samples']} stacks over "
+            f"{sampling['elapsed_s']:.2f}s, sampler overhead "
+            f"{100 * sampling['overhead']:.2f}%",
+            file=out,
+        )
+        rows = [
+            {"stage": row["stage"], "samples": row["samples"],
+             "share": f"{100 * row['share']:.1f}%"}
+            for row in sampling["stages"][: args.top]
+        ]
+        if rows:
+            print(format_table(rows, title="sampled stage shares"), file=out)
+        rows = [
+            {"function": row["function"], "self": row["self_samples"],
+             "share": f"{100 * row['share']:.1f}%"}
+            for row in sampling["top_functions"][: args.top]
+        ]
+        if rows:
+            print(format_table(rows, title="top functions (self samples)"),
+                  file=out)
+        totals = snap["cost"]["totals"]
+        rows = [{"counter": name, "total": value}
+                for name, value in sorted(totals.items())]
+        if rows:
+            print(format_table(rows, title="deterministic cost totals"),
+                  file=out)
+    if args.out:
+        paths = write_profile_artifacts(args.out, profiler)
+        for kind in sorted(paths):
+            print(f"wrote {paths[kind]}", file=out)
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
@@ -686,6 +862,8 @@ def _cmd_call(args: argparse.Namespace, out) -> int:
             response = client.analyze()
         elif args.op == "scale":
             response = client.scale()
+        elif args.op == "profile":
+            response = client.profile(action=args.action, hz=args.hz)
         elif args.op == "scrub":
             response = client.scrub(heal=not args.no_heal)
         elif args.op == "recover":
@@ -1325,6 +1503,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "explain": _cmd_explain,
         "analyze": _cmd_analyze,
         "explore": _cmd_explore,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args, out)
 

@@ -47,6 +47,7 @@ from repro.core.params import QueryParams
 from repro.obs.events import EventLog
 from repro.obs.health import HealthMonitor
 from repro.obs.metrics import default_registry
+from repro.obs.profile import charge as profile_charge
 from repro.obs.trace import NO_SPAN, Span, TraceContext
 from repro.seq.alphabet import Alphabet
 from repro.seq.matrices import dna_matrix, named_matrix
@@ -591,6 +592,18 @@ class QueryEngine:
                 funnel["identity_pass"].inc(identity_survivors)
                 funnel["cscore_pass"].inc(cscore_survivors)
                 funnel["anchors_extended"].inc(len(anchors))
+                profile_charge(
+                    "node", "core/query.py:node_proc",
+                    distance_evals=evals,
+                    residues_compared=extension_ops,
+                    blocks_scanned=candidates,
+                    cold_read_bytes=io_bytes,
+                    cold_read_seeks=io_seeks,
+                    knn_candidates=candidates,
+                    identity_pass=identity_survivors,
+                    cscore_pass=cscore_survivors,
+                    anchors_extended=len(anchors),
+                )
                 span.annotate(evals=evals, candidates=candidates,
                               identity_pass=identity_survivors,
                               cscore_pass=cscore_survivors)
@@ -600,7 +613,7 @@ class QueryEngine:
                     # inside the service yield below).
                     io_span = span.child(
                         "cold_read", sim_now=sim.now, actor=node.node_id,
-                        seeks=io_seeks, bytes=io_bytes,
+                        seeks=io_seeks, bytes=io_bytes, category="io",
                     )
                 yield service + node.service_time_ops(extension_ops)
                 if io_span is not None:
@@ -821,7 +834,10 @@ class QueryEngine:
                     groups_by_id[group.group_id] = group
                     stats.subqueries_routed += 1
                     m_routed.labels(group=group.group_id).inc()
-            yield entry.service_time(adapter.pair_evaluations - hash_before)
+            hash_evals = adapter.pair_evaluations - hash_before
+            profile_charge("route", "core/query.py:system_proc",
+                           distance_evals=hash_evals)
+            yield entry.service_time(hash_evals)
             stats.groups_contacted = len(routing)
             span.annotate(windows=len(windows), groups=len(routing),
                           subqueries=stats.subqueries_routed)
@@ -844,6 +860,8 @@ class QueryEngine:
                 merged = merge_anchors([a for group in per_group for a in group])
             stats.anchors_merged = len(merged)
             funnel["anchors_merged"].inc(len(merged))
+            profile_charge("fanout", "core/query.py:system_proc",
+                           anchors_merged=len(merged))
             span.annotate(anchors_merged=len(merged))
             span.finish(sim_now=sim.now)
             note(entry.node_id, "system aggregation",
@@ -856,6 +874,10 @@ class QueryEngine:
             stats.gapped_extensions = gapped_count
             funnel["gapped_extensions"].inc(gapped_count)
             funnel["alignments"].inc(len(alignments))
+            profile_charge("gapped", "core/query.py:system_proc",
+                           residues_compared=int(gapped_ops),
+                           gapped_extensions=gapped_count,
+                           alignments=len(alignments))
             yield entry.service_time_ops(gapped_ops)
             span.annotate(extensions=gapped_count, alignments=len(alignments))
             span.finish(sim_now=sim.now)

@@ -22,6 +22,11 @@ of aggregation.  This package makes that visible on a live deployment:
 * :mod:`repro.obs.analyze` — trace analytics: span-shape fingerprints,
   slow-query family clustering, and critical-path profiling (the ANALYZE
   verb and ``repro analyze`` / ``repro explore`` are built on it);
+* :mod:`repro.obs.profile` — two-sided continuous profiling: a sampling
+  wall-clock profiler whose stacks are tagged with the active span's
+  pipeline stage, and a deterministic cost profiler charging sim-mode
+  resource counters to (stage, code-site) pairs (the PROFILE verb,
+  ``repro profile``, and ``repro bench diff`` are built on it);
 * :mod:`repro.obs.dashboard` — the plain-text frame renderer behind
   ``repro watch``;
 * :mod:`repro.obs.export` — Prometheus text exposition and Chrome
@@ -60,12 +65,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
     default_registry,
 )
+from repro.obs.profile import (
+    CostProfiler,
+    Profiler,
+    SamplingProfiler,
+    charge,
+    install_cost_profiler,
+    uninstall_cost_profiler,
+)
 from repro.obs.slo import SLO, AlertTransition, SLOEngine, default_slos
 from repro.obs.timer import Stopwatch, format_duration, wall_clock
 from repro.obs.trace import NO_SPAN, Span, TraceContext
 
 __all__ = [
     "AlertTransition",
+    "CostProfiler",
     "Counter",
     "Event",
     "EventLog",
@@ -74,15 +88,18 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NO_SPAN",
+    "Profiler",
     "RollingWindow",
     "SLIRecorder",
     "SLO",
     "SLOEngine",
+    "SamplingProfiler",
     "Span",
     "Stopwatch",
     "TraceContext",
     "TraceFingerprint",
     "WindowStats",
+    "charge",
     "chrome_trace_events",
     "cluster_slow_queries",
     "critical_path",
@@ -91,9 +108,11 @@ __all__ = [
     "default_registry",
     "default_slos",
     "format_duration",
+    "install_cost_profiler",
     "merge_critical_tables",
     "prometheus_text",
     "trace_fingerprint",
+    "uninstall_cost_profiler",
     "wall_clock",
     "write_chrome_trace",
 ]

@@ -93,6 +93,35 @@ def render_tier_cache(storage: dict, width: int = 96) -> list[str]:
     return lines
 
 
+def render_hotspots(profile: dict, width: int = 96, limit: int = 5) -> list[str]:
+    """The hotspots panel: top pipeline stages and functions by sampled
+    wall-clock share, from the live PROFILE snapshot the gateway ships in
+    its ALERTS frame while a profiler is running."""
+    lines = [_rule("hotspots", width)]
+    sampling = profile.get("sampling") or {}
+    samples = int(sampling.get("samples", 0))
+    if not samples:
+        lines.append("(profiler running; no stacks sampled yet)")
+        return lines
+    lines.append(
+        f"{samples} stacks @ {sampling.get('hz', 0):g} Hz over "
+        f"{sampling.get('elapsed_s', 0.0):.1f}s "
+        f"(sampler overhead {100 * sampling.get('overhead', 0.0):.2f}%)"
+    )
+    stages = sampling.get("stages") or []
+    if stages:
+        shown = stages[:limit]
+        lines.append("stages:    " + "  ".join(
+            f"{row['stage']} {100 * row['share']:.1f}%" for row in shown
+        ))
+    functions = sampling.get("top_functions") or []
+    for row in functions[:limit]:
+        lines.append(
+            f"  {100 * row['share']:5.1f}%  {row['function']}"
+        )
+    return lines
+
+
 def render_slis(slis: dict, windows: Iterable[str], width: int = 96) -> list[str]:
     window_labels = list(windows)
     lines = [_rule("SLIs", width)]
@@ -172,6 +201,10 @@ def render_frame(snapshot: dict, width: int = 96) -> str:
     storage = snapshot.get("storage")
     if storage is not None:
         lines.extend(render_tier_cache(storage, width))
+        lines.append("")
+    profile = snapshot.get("profile")
+    if profile is not None:
+        lines.extend(render_hotspots(profile, width))
         lines.append("")
     lines.extend(render_slis(
         snapshot.get("slis", {}), snapshot.get("windows", []), width

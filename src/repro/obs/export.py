@@ -101,10 +101,12 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1) -> list[dict]:
     ``thread_name`` metadata events naming them), so Perfetto renders the
     cluster's parallelism one row per node/group.
 
-    Tier ``cold_read`` spans get category ``"io"`` (everything else is
-    ``"sim"``) so disk traffic can be isolated in the timeline view; their
-    byte/seek/``io_seconds`` annotations ride along as event ``args`` like
-    any other attrs.
+    Event category comes from ``attrs["category"]`` (default ``"sim"``) —
+    the emit site decides, not the exporter, so new span kinds classify
+    without exporter edits.  Tier ``cold_read`` spans set
+    ``category="io"`` where they are opened, keeping disk traffic
+    isolatable in the timeline view; their byte/seek/``io_seconds``
+    annotations ride along as event ``args`` like any other attrs.
     """
     events: list[dict] = []
     tids: dict[str, int] = {}
@@ -131,7 +133,7 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1) -> list[dict]:
             args = {
                 key: value
                 for key, value in span.attrs.items()
-                if key != "actor"
+                if key not in ("actor", "category")
             }
             args["trace_id"] = span.trace_id
             args["span_id"] = span.span_id
@@ -141,7 +143,7 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1) -> list[dict]:
                 {
                     "ph": "X",
                     "name": span.name,
-                    "cat": "io" if span.name == "cold_read" else "sim",
+                    "cat": str(span.attrs.get("category", "sim")),
                     "ts": span.sim_start * 1e6,
                     "dur": max(0.0, span.sim_duration) * 1e6,
                     "pid": pid,

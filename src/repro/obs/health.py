@@ -36,9 +36,11 @@ from typing import Callable, Iterable, Sequence
 
 from repro.obs.events import EventLog, default_event_log
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
     FamilySnapshot,
     MetricsRegistry,
     Sample,
+    _format_value,
     default_registry,
 )
 from repro.obs.slo import SLO, SLOEngine, default_slos
@@ -157,6 +159,11 @@ class RollingWindow:
         self._prune(now)
         return len(self._samples)
 
+    def values(self, now: float) -> list[float]:
+        """The raw windowed values at *now*, observation order."""
+        self._prune(now)
+        return [value for _t, value, _g in self._samples]
+
 
 class SLI:
     """One named indicator folded into every recorder window width."""
@@ -234,6 +241,21 @@ class SLIRecorder:
             with self._lock:
                 out[name] = {
                     format_duration(width): sli.windows[width].stats(now).to_dict()
+                    for width in self.windows
+                }
+        return out
+
+    def window_values(self, now: float) -> dict[str, dict[str, list[float]]]:
+        """``{sli: {window_label: [raw values]}}`` at *now* — what the
+        cumulative-histogram export buckets."""
+        with self._lock:
+            slis = dict(self._slis)
+        out: dict[str, dict[str, list[float]]] = {}
+        for name in sorted(slis):
+            sli = slis[name]
+            with self._lock:
+                out[name] = {
+                    format_duration(width): sli.windows[width].values(now)
                     for width in self.windows
                 }
         return out
@@ -490,6 +512,11 @@ class HealthMonitor:
 
     _ALERT_LEVELS = {"ok": 0.0, "resolved": 0.0, "warning": 1.0, "critical": 2.0}
 
+    #: bucket upper bounds for the cumulative SLI-window histogram export;
+    #: the latency-shaped defaults plus coarse tails for rate/level SLIs
+    #: whose values run past 10 (counts per tick, burn rates).
+    SLI_BUCKETS: tuple[float, ...] = DEFAULT_BUCKETS + (25.0, 100.0, 1000.0)
+
     def _collect(self) -> Iterable[FamilySnapshot]:
         now = self.last_now
         ratio = FamilySnapshot(
@@ -523,6 +550,47 @@ class HealthMonitor:
                         quantiles.name, base + (("stat", stat),),
                         float(stats[stat]),
                     ))
+        # Standard cumulative histogram series over the same windows, so an
+        # external Prometheus/Grafana can run histogram_quantile() natively
+        # instead of trusting the precomputed stat gauges above.
+        # (named _dist, not the bare prefix: the histogram's implicit
+        # _count series must not collide with the repro_sli_window_count
+        # gauge above)
+        histogram = FamilySnapshot(
+            name="repro_sli_window_dist", kind="histogram",
+            help="SLI value distribution per rolling window "
+                 "(cumulative buckets)",
+        )
+        for sli_name, per_window in self.recorder.window_values(now).items():
+            for window_label, values in per_window.items():
+                base = (
+                    ("source", self.label),
+                    ("sli", sli_name),
+                    ("window", window_label),
+                )
+                running = 0
+                remaining = sorted(values)
+                idx = 0
+                for bound in self.SLI_BUCKETS:
+                    while idx < len(remaining) and remaining[idx] <= bound:
+                        idx += 1
+                    running = idx
+                    histogram.samples.append(Sample(
+                        histogram.name + "_bucket",
+                        base + (("le", _format_value(bound)),),
+                        float(running),
+                    ))
+                histogram.samples.append(Sample(
+                    histogram.name + "_bucket",
+                    base + (("le", "+Inf"),),
+                    float(len(remaining)),
+                ))
+                histogram.samples.append(Sample(
+                    histogram.name + "_sum", base, float(sum(remaining)),
+                ))
+                histogram.samples.append(Sample(
+                    histogram.name + "_count", base, float(len(remaining)),
+                ))
         burn = FamilySnapshot(
             name="repro_slo_burn_rate", kind="gauge",
             help="SLO error-budget burn rate per evaluation window",
@@ -557,4 +625,4 @@ class HealthMonitor:
                 (("source", self.label), ("slo", slo_name), ("to", to)),
                 float(count),
             ))
-        return [state, burn, counts, ratio, quantiles, transitions]
+        return [state, burn, counts, ratio, quantiles, histogram, transitions]

@@ -26,6 +26,7 @@ import itertools
 import threading
 from typing import Any, Iterator
 
+from repro.obs import profile as _profile
 from repro.obs.timer import wall_clock
 
 _trace_ids = itertools.count(1)
@@ -64,6 +65,10 @@ class Span:
         self.sim_end: float | None = None
         self.attrs = dict(attrs)
         self.children: list["Span"] = []
+        # tag this thread with the span's stage so the sampling profiler
+        # can attribute wall-clock stacks to pipeline stages; a no-op
+        # (one truthiness check) unless a profiler is running
+        _profile.span_opened(name)
 
     def __bool__(self) -> bool:
         return True
@@ -86,6 +91,7 @@ class Span:
         """Close the span, stamping both end clocks; idempotent."""
         if self.wall_end is None:
             self.wall_end = wall_clock()
+            _profile.span_closed(self.name)
         if sim_now is not None:
             self.sim_end = sim_now
         return self

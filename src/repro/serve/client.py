@@ -210,6 +210,16 @@ class ServeClient:
             message["node"] = node
         return self.request(message)
 
+    def profile(self, action: str = "snapshot", hz: float | None = None) -> dict:
+        """PROFILE op; start/snapshot/stop the gateway's continuous
+        profiler.  ``response["profile"]`` carries the sampling aggregate
+        (stage shares, top functions, self-measured overhead) and the
+        deterministic cost profile."""
+        message: dict = {"op": "profile", "action": action}
+        if hz is not None:
+            message["hz"] = hz
+        return self.request(message)
+
     def scale(self) -> dict:
         """SCALE op; the gateway autoscaler's status frame (or
         ``enabled: false``).  Reading it ticks the lazy control loop."""

@@ -12,6 +12,7 @@ Requests::
     {"op": "metrics"}
     {"op": "alerts"}
     {"op": "scale"}
+    {"op": "profile", "action": "start", "hz": 67}
 
 Responses::
 
@@ -35,6 +36,11 @@ and the event tail.  ``{"op": "scale"}`` returns the autoscaler's status
 frame (decision history, executed topology actions, current topology) or
 ``{"enabled": false}`` when the gateway runs without one; reading it also
 ticks the lazy control loop, like HEALTH/ALERTS tick the monitor.
+``{"op": "profile"}`` drives the continuous profiler (``action`` is
+``start``, ``snapshot``, or ``stop``; ``hz`` sets the sampling rate on
+start) and returns the profile frame under ``"profile"`` — sampled stage
+shares, top functions, self-measured overhead, and the deterministic
+cost profile.
 
 ``{"op": "explain"}`` runs the query once with tracing attached (bypassing
 cache and batching) and returns the structured

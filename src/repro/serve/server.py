@@ -129,6 +129,8 @@ class QueryServer:
                     "id": request_id, "ok": True,
                     **self.service.scale_status(),
                 }
+            if op == "profile":
+                return self._op_profile(message, request_id)
             if op == "scrub":
                 return await self._op_scrub(message, request_id)
             if op == "recover":
@@ -196,6 +198,18 @@ class QueryServer:
         if want_trace and result.report.root_span is not None:
             response["trace"] = result.report.root_span.to_dict()
         return response
+
+    def _op_profile(self, message: dict, request_id) -> dict:
+        action = message.get("action", "snapshot")
+        if not isinstance(action, str):
+            raise InvalidRequest(f"action must be a string, got {action!r}")
+        hz = message.get("hz")
+        if hz is not None and (
+            not isinstance(hz, (int, float)) or hz <= 0
+        ):
+            raise InvalidRequest(f"hz must be a positive number, got {hz!r}")
+        snap = self.service.profile(action=action, hz=hz)
+        return {"id": request_id, "ok": True, "profile": snap}
 
     async def _op_scrub(self, message: dict, request_id) -> dict:
         heal = message.get("heal", True)

@@ -45,6 +45,7 @@ from repro.obs.events import EventLog
 from repro.obs.export import prometheus_text
 from repro.obs.health import HealthMonitor
 from repro.obs.metrics import FamilySnapshot, MetricsRegistry, Sample, default_registry
+from repro.obs.profile import Profiler
 from repro.obs.trace import TraceContext
 from repro.seq.records import SequenceRecord
 from repro.serve.batcher import MicroBatcher
@@ -210,6 +211,10 @@ class QueryService:
         self.monitor.install(self.registry)
         #: optional elastic control loop (see :meth:`enable_autoscaler`)
         self.scaler = None
+        #: live continuous profiler (see :meth:`profile`), plus the last
+        #: snapshot retained after a stop so PROFILE stays inspectable
+        self._profiler: Profiler | None = None
+        self._last_profile: dict | None = None
 
     # -- elasticity ------------------------------------------------------------
 
@@ -631,6 +636,48 @@ class QueryService:
                                     float(cache.misses))],
                 )
             )
+        profiler = self._profiler
+        if profiler is not None:
+            sampling = profiler.sampler
+            snaps.append(
+                FamilySnapshot(
+                    name="repro_profile_samples_total",
+                    kind="counter",
+                    help="Stacks captured by the continuous profiler",
+                    samples=[Sample("repro_profile_samples_total", labels,
+                                    float(sampling.snapshot()["samples"]))],
+                )
+            )
+            snaps.append(
+                FamilySnapshot(
+                    name="repro_profile_overhead_ratio",
+                    kind="gauge",
+                    help=(
+                        "Fraction of wall time the sampling profiler "
+                        "spends on itself"
+                    ),
+                    samples=[Sample("repro_profile_overhead_ratio", labels,
+                                    float(sampling.overhead))],
+                )
+            )
+            share_samples = [
+                Sample("repro_profile_stage_share",
+                       labels + (("stage", row["stage"]),),
+                       float(row["share"]))
+                for row in sampling.stage_shares()
+            ]
+            if share_samples:
+                snaps.append(
+                    FamilySnapshot(
+                        name="repro_profile_stage_share",
+                        kind="gauge",
+                        help=(
+                            "Share of sampled wall-clock stacks per "
+                            "pipeline stage"
+                        ),
+                        samples=share_samples,
+                    )
+                )
         with self._lock:
             entries = list(self._slow_log)
         if entries:
@@ -810,7 +857,53 @@ class QueryService:
         out = self.monitor.snapshot(now)
         out["firing"] = self.monitor.alerts_firing()
         out["storage"] = self._storage_health()
+        if self._profiler is not None:
+            out["profile"] = self._profiler.snapshot()
         return out
+
+    def profile(self, action: str = "snapshot", hz: float | None = None) -> dict:
+        """The PROFILE verb: start/snapshot/stop the continuous profiler.
+
+        ``start`` attaches a :class:`~repro.obs.profile.Profiler` (sampling
+        wall-clock stacks tagged with span stages, plus the deterministic
+        cost profiler charging sim counters to code sites); idempotent —
+        a second start reports the running profiler.  ``snapshot`` returns
+        the live aggregate without disturbing it (or the last retained one
+        after a stop).  ``stop`` detaches and returns the final profile.
+        """
+        if action not in ("start", "snapshot", "stop"):
+            raise InvalidRequest(
+                f"unknown profile action {action!r}; "
+                "expected start, snapshot, or stop"
+            )
+        if action == "start":
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if self._profiler is None:
+                self._profiler = Profiler(**({"hz": hz} if hz else {}))
+                self._profiler.start()
+            snap = self._profiler.snapshot()
+            snap["action"] = "start"
+            return snap
+        if action == "stop":
+            if self._profiler is None:
+                raise InvalidRequest("no profiler is running")
+            snap = self._profiler.stop()
+            snap["action"] = "stop"
+            self._last_profile = snap
+            self._profiler = None
+            return snap
+        if self._profiler is not None:
+            snap = self._profiler.snapshot()
+        elif self._last_profile is not None:
+            snap = dict(self._last_profile)
+        else:
+            raise InvalidRequest(
+                "no profiler is running and none has run; "
+                "start one with action='start'"
+            )
+        snap["action"] = "snapshot"
+        return snap
 
     def analyze(self) -> dict:
         """The ANALYZE verb: trace analytics over the slow-query log.
@@ -836,6 +929,9 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self._profiler is not None:
+            self._last_profile = self._profiler.stop()
+            self._profiler = None
         self.registry.unregister_callback(self._collect_cb)
         self._balance.uninstall()
         self.monitor.uninstall()

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.profile import charge as profile_charge
 
 #: the ``tier`` label value for block-cache series
 CACHE_TIER = "block_cache"
@@ -147,15 +148,21 @@ class BlockCache:
             self._protected.move_to_end(key)
             if count:
                 self._c_hits.labels(node=key[0], tier=CACHE_TIER).inc()
+                profile_charge("tier", "tier/cache.py:BlockCache.get",
+                               cache_hits=1)
             return entry.rows
         entry = self._probation.pop(key, None)
         if entry is not None:
             self._protected[key] = entry
             if count:
                 self._c_hits.labels(node=key[0], tier=CACHE_TIER).inc()
+                profile_charge("tier", "tier/cache.py:BlockCache.get",
+                               cache_hits=1)
             return entry.rows
         if count:
             self._c_misses.labels(node=key[0], tier=CACHE_TIER).inc()
+            profile_charge("tier", "tier/cache.py:BlockCache.get",
+                           cache_misses=1)
         return None
 
     def put(

@@ -214,3 +214,69 @@ class TestHealthMonitor:
         sim.run()
         assert sim.now <= 10.0
         assert monitor.last_now > 0.0
+
+
+class TestCumulativeHistogramExport:
+    """Satellite: standard `_bucket`/`_sum`/`_count` series next to the
+    precomputed quantile gauges, so histogram_quantile() works natively."""
+
+    def _installed(self):
+        registry = MetricsRegistry()
+        monitor = HealthMonitor(
+            windows=(1.0, 4.0), event_log=EventLog(), label="hist",
+        )
+        for i in range(5):
+            monitor.observe_query(0.1 + i * 0.1, 0.002 * (i + 1),
+                                  coverage=1.0, degraded=False)
+        monitor.tick(0.6)
+        monitor.install(registry)
+        return registry, monitor
+
+    def test_bucket_sum_count_series_present(self):
+        registry, monitor = self._installed()
+        try:
+            text = prometheus_text(registry)
+            assert "# TYPE repro_sli_window_dist histogram" in text
+            assert 'repro_sli_window_dist_bucket{source="hist",sli="turnaround"' \
+                in text
+            assert 'le="+Inf"' in text
+            assert "repro_sli_window_dist_sum{" in text
+            assert "repro_sli_window_dist_count{" in text
+        finally:
+            monitor.uninstall()
+
+    def test_buckets_are_cumulative_and_inf_matches_count(self):
+        registry, monitor = self._installed()
+        try:
+            # Parse the text exposition instead of poking registry internals.
+            text = prometheus_text(registry)
+            series: dict[tuple, float] = {}
+            for line in text.splitlines():
+                if line.startswith("repro_sli_window_dist_bucket{") \
+                        and 'sli="turnaround"' in line and 'window="1.00 s"' in line:
+                    labels, value = line.rsplit(" ", 1)
+                    le = labels.split('le="')[1].split('"')[0]
+                    series[le] = float(value)
+            assert series, text
+            ordered = [v for _le, v in sorted(
+                series.items(),
+                key=lambda kv: float("inf") if kv[0] == "+Inf"
+                else float(kv[0]),
+            )]
+            assert ordered == sorted(ordered)  # monotone non-decreasing
+            count_lines = [
+                line for line in text.splitlines()
+                if line.startswith("repro_sli_window_dist_count{")
+                and 'sli="turnaround"' in line and 'window="1.00 s"' in line
+            ]
+            (count_line,) = count_lines
+            assert ordered[-1] == float(count_line.rsplit(" ", 1)[1])
+        finally:
+            monitor.uninstall()
+
+    def test_window_values_prunes_like_stats(self):
+        recorder = SLIRecorder(windows=(1.0,))
+        recorder.observe("lat", 0.0, 0.5, good=True)
+        recorder.observe("lat", 2.0, 0.25, good=True)
+        values = recorder.window_values(2.1)
+        assert values["lat"]["1.00 s"] == [0.25]

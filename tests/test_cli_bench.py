@@ -95,7 +95,7 @@ class TestBenchCommand:
 
     def test_bench_without_figure_or_regress_errors(self, capsys):
         assert cli.main(["bench"], out=io.StringIO()) == 2
-        assert "name a figure or pass --regress" in capsys.readouterr().err
+        assert "name a figure" in capsys.readouterr().err
 
 
 class TestBenchRegressCli:
